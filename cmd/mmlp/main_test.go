@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	maxminlp "repro"
+)
+
+func TestGenAllFamilies(t *testing.T) {
+	dir := t.TempDir()
+	for _, family := range []string{"random", "structured", "sensor", "bandwidth", "equations", "necklace"} {
+		out := filepath.Join(dir, family+".json")
+		if err := cmdGen([]string{"-family", family, "-out", out, "-m", "6", "-agents", "10"}); err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		in, err := maxminlp.ReadInstanceFile(out)
+		if err != nil {
+			t.Fatalf("%s: %v", family, err)
+		}
+		if in.NumAgents == 0 {
+			t.Fatalf("%s: empty instance", family)
+		}
+	}
+	if err := cmdGen([]string{"-family", "nope"}); err == nil {
+		t.Fatal("unknown family accepted")
+	}
+}
+
+func TestInfoAndSolve(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "inst.json")
+	if err := cmdGen([]string{"-family", "random", "-out", path, "-agents", "8"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdInfo([]string{"-in", path}); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"local", "dist", "exact", "rational", "safe"} {
+		if err := cmdSolve([]string{"-in", path, "-algo", algo}); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+	if err := cmdSolve([]string{"-in", path, "-algo", "nope"}); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	sol := filepath.Join(dir, "sol.json")
+	if err := cmdSolve([]string{"-in", path, "-algo", "local", "-sol", sol}); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(sol); err != nil || st.Size() == 0 {
+		t.Fatalf("solution file missing or empty: %v", err)
+	}
+}
+
+func TestSolveMissingFile(t *testing.T) {
+	if err := cmdSolve([]string{"-in", "/nonexistent.json"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := cmdInfo([]string{"-in", "/nonexistent.json"}); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,73 @@
+// Command mmlpbench regenerates the experiment tables of EXPERIMENTS.md.
+//
+// Usage:
+//
+//	mmlpbench [-e all|e1|e2|e3|e4|e5|e6|e8|e9] [-scale quick|full] [-md]
+//
+// With -md the tables are emitted as GitHub-flavoured markdown (the format
+// EXPERIMENTS.md embeds); the default is aligned text.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	exp := flag.String("e", "all", "experiment id (all, e1…e6, e8…e11)")
+	scaleName := flag.String("scale", "full", "quick|full")
+	md := flag.Bool("md", false, "emit markdown tables")
+	flag.Parse()
+
+	scale := expt.Full
+	if *scaleName == "quick" {
+		scale = expt.Quick
+	}
+
+	runners := map[string]func(expt.Scale) (*expt.Table, error){
+		"e1":  expt.E1RatioSweep,
+		"e2":  expt.E2Structured,
+		"e3":  expt.E3Adversarial,
+		"e4":  expt.E4Baseline,
+		"e5":  expt.E5Rounds,
+		"e6":  expt.E6Transforms,
+		"e8":  expt.E8Scaling,
+		"e9":  expt.E9RSweep,
+		"e10": expt.E10Ablation,
+		"e11": expt.E11Dynamic,
+	}
+
+	var tables []*expt.Table
+	if *exp == "all" {
+		ts, err := expt.All(scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmlpbench:", err)
+			os.Exit(1)
+		}
+		tables = ts
+	} else {
+		fn, ok := runners[strings.ToLower(*exp)]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mmlpbench: unknown experiment %q\n", *exp)
+			os.Exit(2)
+		}
+		tb, err := fn(scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mmlpbench:", err)
+			os.Exit(1)
+		}
+		tables = append(tables, tb)
+	}
+
+	for _, tb := range tables {
+		if *md {
+			tb.Markdown(os.Stdout)
+		} else {
+			tb.Render(os.Stdout)
+		}
+	}
+}

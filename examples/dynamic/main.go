@@ -1,0 +1,81 @@
+// Dynamic: local algorithms are dynamic graph algorithms with
+// constant-time updates (§1.3 of the paper). A coefficient change can only
+// influence outputs within the algorithm's locality radius, so after a
+// local modification only a constant-size neighbourhood needs recomputing —
+// no matter how large the network is.
+//
+// This example perturbs one constraint of a large cycle instance and
+// compares a full re-solve against the library's incremental Update: the
+// outputs are bit-identical, the recomputed region is constant, and agents
+// on the far side of the cycle keep their exact old values.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	maxminlp "repro"
+	"repro/internal/core"
+	"repro/internal/structured"
+)
+
+func main() {
+	const m = 500 // 1500 agents on the cycle
+	const R = 3
+
+	in := maxminlp.GenerateTriNecklace(m)
+	s1, err := structured.FromMMLP(in)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	mod := in.Clone()
+	mod.Cons[0].Terms[0].Coef = 2 // one local change
+	s2, err := structured.FromMMLP(mod)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	old, err := core.Solve(s1, core.Options{R: R})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	full, err := core.Solve(s2, core.Options{R: R})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fullTime := time.Since(start)
+
+	start = time.Now()
+	inc, st, err := core.Update(s1, s2, old, core.Options{R: R})
+	if err != nil {
+		log.Fatal(err)
+	}
+	incTime := time.Since(start)
+
+	same := 0
+	for v := range full.X {
+		if full.X[v] == inc.X[v] {
+			same++
+		}
+	}
+	unchanged := 0
+	for v := range old.X {
+		if old.X[v] == inc.X[v] {
+			unchanged++
+		}
+	}
+
+	fmt.Printf("network: %d agents on a cycle, one constraint coefficient changed\n", s1.N)
+	fmt.Printf("full re-solve:      %8v\n", fullTime)
+	fmt.Printf("incremental update: %8v (recomputed %d/%d t-values)\n",
+		incTime, st.RecomputedT, st.TotalAgents)
+	fmt.Printf("incremental output matches full recompute on %d/%d agents (bit-exact)\n",
+		same, len(full.X))
+	fmt.Printf("agents keeping their exact pre-change output: %d/%d\n", unchanged, len(old.X))
+	fmt.Printf("locality radius at R=%d: %d edges — everything beyond is provably untouched\n",
+		R, core.OutputRadius(R-2))
+}

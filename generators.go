@@ -1,0 +1,65 @@
+package maxminlp
+
+import "repro/internal/gen"
+
+// Generator configurations, re-exported so applications can build the
+// built-in workload families through the public API.
+type (
+	// RandomConfig shapes GenerateRandom.
+	RandomConfig = gen.RandomConfig
+	// StructuredConfig shapes GenerateStructured.
+	StructuredConfig = gen.StructuredConfig
+	// SensorGridConfig shapes GenerateSensorGrid.
+	SensorGridConfig = gen.SensorGridConfig
+	// BandwidthConfig shapes GenerateBandwidth.
+	BandwidthConfig = gen.BandwidthConfig
+	// EquationsConfig shapes GenerateEquations.
+	EquationsConfig = gen.EquationsConfig
+)
+
+// GenerateRandom builds a random strictly valid instance with bounded
+// degrees; see gen.Random.
+func GenerateRandom(cfg RandomConfig, seed int64) *Instance { return gen.Random(cfg, seed) }
+
+// GenerateStructured builds a random instance already in the structured
+// form of §5 (|Vi| = 2, |Kv| = 1, |Vk| ≥ 2, unit objective coefficients).
+func GenerateStructured(cfg StructuredConfig, seed int64) *Instance {
+	return gen.RandomStructured(cfg, seed)
+}
+
+// GenerateSensorGrid builds the balanced data-gathering workload of the
+// paper's introduction: sensors splitting data across nearby
+// battery-limited relays.
+func GenerateSensorGrid(cfg SensorGridConfig, seed int64) *Instance {
+	return gen.SensorGrid(cfg, seed)
+}
+
+// GenerateBandwidth builds the fair bandwidth-allocation workload of the
+// paper's introduction: customers with alternative routes over shared
+// unit-capacity links.
+func GenerateBandwidth(cfg BandwidthConfig, seed int64) *Instance {
+	return gen.Bandwidth(cfg, seed)
+}
+
+// GenerateEquations builds a solvable nonnegative linear equation system
+// encoded as a max-min LP (the mixed packing/covering connection of [20]);
+// its optimum is exactly 1.
+func GenerateEquations(cfg EquationsConfig, seed int64) *Instance {
+	return gen.Equations(cfg, seed)
+}
+
+// GenerateTriNecklace builds the symmetric ΔK=3 cycle family of experiment
+// E3 (m objectives, 3m agents, girth 8, fully band-symmetric).
+func GenerateTriNecklace(m int) *Instance { return gen.TriNecklace(m) }
+
+// GenerateLayeredTree builds a finite, anchored chunk of Figure 1's
+// infinite layered tree (depth tiers of objectives, one up-agent and two
+// down-agents each); see gen.LayeredTree.
+func GenerateLayeredTree(depth int) *Instance { return gen.LayeredTree(depth) }
+
+// GenerateLayeredNecklace builds the layer-consistent ΔK=3 cycle family on
+// which the algorithm's up/down averaging pays exactly the locality
+// threshold ΔI(1−1/ΔK) = 4/3 (experiment E3): one up-agent and two
+// down-agents per objective. The second and third results are the agent and
+// objective layers (consistent modulo 4R whenever R divides m).
+func GenerateLayeredNecklace(m int) (*Instance, []int, []int) { return gen.LayeredNecklace(m) }

@@ -1,0 +1,153 @@
+// Package bipartite models the communication graph G = (V ∪ I ∪ K, E) of a
+// distributed max-min LP (paper §1.1): one node per agent, per constraint
+// and per objective, with an edge {v,i} whenever a_iv > 0 and {v,k} whenever
+// c_kv > 0.
+//
+// Nodes carry no identifiers visible to the algorithms; what the package
+// exposes is *port numbering* (§1.2, §3): every node has an ordered list of
+// incident edges. The order is deterministic, derived from the instance:
+// agents list their constraints first (in increasing row order) and then
+// their objectives; constraints and objectives list their agents in row-term
+// order.
+package bipartite
+
+import (
+	"fmt"
+
+	"repro/internal/mmlp"
+)
+
+// Kind classifies a node of the communication graph.
+type Kind uint8
+
+// The three node classes of the bipartite communication graph.
+const (
+	KindAgent Kind = iota
+	KindConstraint
+	KindObjective
+)
+
+// String names the kind for diagnostics.
+func (k Kind) String() string {
+	switch k {
+	case KindAgent:
+		return "agent"
+	case KindConstraint:
+		return "constraint"
+	case KindObjective:
+		return "objective"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Node is a graph-wide node identifier. Agents occupy [0, NumAgents),
+// constraints the next NumConstraints ids, objectives the rest.
+type Node int32
+
+// Graph is the communication graph of one max-min LP instance. It is
+// immutable after construction.
+type Graph struct {
+	numAgents int
+	numCons   int
+	numObjs   int
+	adj       [][]Node
+}
+
+// FromInstance builds the communication graph of in. The instance must be
+// structurally valid (mmlp.Validate); rows with no terms become isolated
+// nodes.
+func FromInstance(in *mmlp.Instance) *Graph {
+	g := &Graph{
+		numAgents: in.NumAgents,
+		numCons:   len(in.Cons),
+		numObjs:   len(in.Objs),
+	}
+	g.adj = make([][]Node, g.NumNodes())
+	// Agents: constraints first, then objectives, each in row order. Build
+	// by scanning rows in order, which yields exactly that port order.
+	for i, c := range in.Cons {
+		ci := g.ConstraintNode(i)
+		for _, t := range c.Terms {
+			av := g.AgentNode(t.Agent)
+			g.adj[av] = append(g.adj[av], ci)
+			g.adj[ci] = append(g.adj[ci], av)
+		}
+	}
+	for k, o := range in.Objs {
+		ck := g.ObjectiveNode(k)
+		for _, t := range o.Terms {
+			av := g.AgentNode(t.Agent)
+			g.adj[av] = append(g.adj[av], ck)
+			g.adj[ck] = append(g.adj[ck], av)
+		}
+	}
+	return g
+}
+
+// NumNodes returns the total node count |V| + |I| + |K|.
+func (g *Graph) NumNodes() int { return g.numAgents + g.numCons + g.numObjs }
+
+// NumAgents returns |V|.
+func (g *Graph) NumAgents() int { return g.numAgents }
+
+// NumConstraints returns |I|.
+func (g *Graph) NumConstraints() int { return g.numCons }
+
+// NumObjectives returns |K|.
+func (g *Graph) NumObjectives() int { return g.numObjs }
+
+// AgentNode returns the node id of agent v.
+func (g *Graph) AgentNode(v int) Node { return Node(v) }
+
+// ConstraintNode returns the node id of constraint i.
+func (g *Graph) ConstraintNode(i int) Node { return Node(g.numAgents + i) }
+
+// ObjectiveNode returns the node id of objective k.
+func (g *Graph) ObjectiveNode(k int) Node { return Node(g.numAgents + g.numCons + k) }
+
+// Kind reports the class of node n.
+func (g *Graph) Kind(n Node) Kind {
+	switch {
+	case int(n) < g.numAgents:
+		return KindAgent
+	case int(n) < g.numAgents+g.numCons:
+		return KindConstraint
+	default:
+		return KindObjective
+	}
+}
+
+// Index converts a node id back to its index within its class: the agent,
+// constraint or objective number.
+func (g *Graph) Index(n Node) int {
+	switch g.Kind(n) {
+	case KindAgent:
+		return int(n)
+	case KindConstraint:
+		return int(n) - g.numAgents
+	default:
+		return int(n) - g.numAgents - g.numCons
+	}
+}
+
+// Degree returns the number of ports of node n.
+func (g *Graph) Degree(n Node) int { return len(g.adj[n]) }
+
+// Neighbors returns n's adjacency list in port order. The slice is shared
+// with the graph and must not be mutated.
+func (g *Graph) Neighbors(n Node) []Node { return g.adj[n] }
+
+// Neighbor returns the node behind port p of n (ports count from 0).
+func (g *Graph) Neighbor(n Node, p int) Node { return g.adj[n][p] }
+
+// PortTo returns the port of from that leads to to, or -1 when the nodes are
+// not adjacent. Parallel edges do not occur: an agent appears at most once
+// per row.
+func (g *Graph) PortTo(from, to Node) int {
+	for p, m := range g.adj[from] {
+		if m == to {
+			return p
+		}
+	}
+	return -1
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/structured"
+)
+
+func TestAblationZeroEqualsSolve(t *testing.T) {
+	in := gen.RandomStructured(gen.StructuredConfig{Objectives: 6, MaxDegK: 3, ExtraCons: 3}, 1)
+	s, err := structured.FromMMLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := SolveAblated(s, Options{R: 3}, Ablation{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Solve(s, Options{R: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range a.X {
+		if a.X[v] != b.X[v] {
+			t.Fatalf("zero ablation differs at %d", v)
+		}
+	}
+}
+
+func TestAblationNoSmoothingBreaksFeasibility(t *testing.T) {
+	// Find at least one instance in the family where dropping the
+	// smoothing step produces an infeasible output — demonstrating that
+	// §5.3 is load-bearing, not an optimisation.
+	broken := false
+	for seed := int64(0); seed < 30 && !broken; seed++ {
+		in := gen.RandomStructured(gen.StructuredConfig{Objectives: 8, MaxDegK: 3, ExtraCons: 6}, seed)
+		s, err := structured.FromMMLP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := SolveAblated(s, Options{R: 3}, Ablation{NoSmoothing: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.MaxViolation(tr.X) > 1e-6 {
+			broken = true
+		}
+	}
+	if !broken {
+		t.Fatal("no-smoothing ablation never violated feasibility across 30 seeds; " +
+			"either the family is too benign or smoothing is not exercised")
+	}
+}
+
+func TestAblationSingleRoleBreaksFeasibility(t *testing.T) {
+	// All-down role guesses overload shared constraints on symmetric
+	// instances: both endpoints of a constraint claim the down-agent's
+	// larger share g+.
+	in := gen.TriNecklace(10)
+	s, err := structured.FromMMLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := SolveAblated(s, Options{R: 3}, Ablation{Role: RoleDown})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := s.MaxViolation(down.X); v <= 1e-9 {
+		t.Fatalf("all-down output unexpectedly feasible (violation %v)", v)
+	}
+	// All-up is feasible (g− ≤ cap by Lemma 5) but wasteful: its utility is
+	// dominated by the averaged output.
+	up, err := SolveAblated(s, Options{R: 3}, Ablation{Role: RoleUp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg, err := Solve(s, Options{R: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Utility(up.X) > s.Utility(avg.X)+1e-9 {
+		t.Fatalf("all-up utility %v beats averaged %v", s.Utility(up.X), s.Utility(avg.X))
+	}
+}
+
+func TestAblationBinItersAccuracy(t *testing.T) {
+	// Few binary-search iterations underestimate t_u; the output remains
+	// feasible (the analysis only needs t̂ ≤ t) but the utility drops.
+	in := gen.RandomStructured(gen.StructuredConfig{Objectives: 8, MaxDegK: 3, ExtraCons: 4}, 3)
+	s, err := structured.FromMMLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	for i, iters := range []int{3, 8, 100} {
+		tr, err := Solve(s, Options{R: 3, BinIters: iters})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := s.MaxViolation(tr.X); v > 1e-9 {
+			t.Fatalf("iters=%d: infeasible (violation %v)", iters, v)
+		}
+		util := s.Utility(tr.X)
+		if i > 0 && util < prev-1e-9 {
+			t.Fatalf("utility decreased with more iterations: %v → %v", prev, util)
+		}
+		prev = util
+	}
+}

@@ -1,0 +1,200 @@
+// Package core implements the paper's contribution: the local
+// approximation algorithm of §5 for structured max-min LPs, achieving
+// factor 2(1−1/ΔK)(1+1/(R−1)) on the structured form and therefore
+// ΔI(1−1/ΔK)+ε for general max-min LPs after the §4 transformations.
+//
+// The implementation mirrors the paper's three stages:
+//
+//  1. Per-agent upper bounds t_u: the optimum of the max-min LP on the
+//     alternating tree A_u (§5.1–§5.2), found by binary search over ω on
+//     the monotone recursions (5)–(7) — the "simple binary search" the
+//     paper prescribes for practice. Distinct occurrences of the same agent
+//     at the same depth of A_u share their f± value, so the recursion is
+//     memoised on (agent, depth, sign) and runs in time proportional to the
+//     radius-Θ(R) neighbourhood rather than the unfolded tree.
+//  2. Smoothing (§5.3): s_v = min of t_u over agents u within graph
+//     distance 4r+2, computed by 2r+1 rounds of distance-2 min-diffusion.
+//  3. The g± recursions (12)–(14) and the output (18).
+//
+// All stages are local: stage 1 reads a radius-(4r+3) view, stage 2 adds
+// 4r+2 rounds, stage 3 adds ≈4r+2 more. internal/dist executes the same
+// computation as an explicit message-passing protocol.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/structured"
+)
+
+// Options configures a run of the local algorithm.
+type Options struct {
+	// R is the shifting parameter (≥ 2). The local horizon is Θ(R) and the
+	// approximation factor on structured instances is
+	// 2(1−1/ΔK)·(1+1/(R−1)).
+	R int
+	// BinIters caps the binary-search iterations for each t_u. 0 means 100,
+	// which drives the bracket to float64 exhaustion.
+	BinIters int
+	// Workers is the parallelism for the t_u computations; 0 means
+	// GOMAXPROCS.
+	Workers int
+}
+
+// withDefaults fills in zero fields.
+func (o Options) withDefaults() Options {
+	if o.R == 0 {
+		o.R = 3
+	}
+	if o.BinIters == 0 {
+		o.BinIters = 100
+	}
+	return o
+}
+
+// validate rejects unusable parameter combinations.
+func (o Options) validate() error {
+	if o.R < 2 {
+		return fmt.Errorf("core: R must be ≥ 2, got %d", o.R)
+	}
+	if o.BinIters < 0 || o.Workers < 0 {
+		return fmt.Errorf("core: negative BinIters or Workers")
+	}
+	return nil
+}
+
+// Trace is the complete state of one run: the output x plus every
+// intermediate quantity of §5, which the tests check against the lemmas of
+// §6 and the experiments report on.
+type Trace struct {
+	// R and r = R−2 echo the options.
+	R, SmallR int
+	// T[u] is the binary-search approximation of t_u (a lower bound on t_u
+	// within the bracket width, hence still a valid ingredient for s_v).
+	T []float64
+	// S[v] = min_{u: dist(v,u) ≤ 4r+2} T[u], the smoothed bound of §5.3.
+	S []float64
+	// GPlus[d][v] and GMinus[d][v] are g±_{v,d} of (12)–(14), d = 0…r.
+	GPlus, GMinus [][]float64
+	// X is the output (18): x_v = (1/2R) Σ_d (g+_{v,d} + g−_{v,d}).
+	X []float64
+	// UpperBound = min_v T[v] ≥ the optimum of the instance (Lemma 2), a
+	// certificate usable when the instance is too large for an LP solve.
+	UpperBound float64
+}
+
+// Solve runs the local algorithm on a structured instance and returns the
+// full trace. The solution Trace.X is feasible (Lemma 11) and satisfies
+// ω(X) ≥ opt / (2(1−1/ΔK)(1+1/(R−1))) (Lemma 12 with §6.3).
+func Solve(s *structured.Instance, opt Options) (*Trace, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	r := opt.R - 2
+	tr := &Trace{R: opt.R, SmallR: r}
+	tr.T = computeAllT(s, r, opt.BinIters, opt.Workers)
+	tr.S = smooth(s, tr.T, r)
+	tr.GPlus, tr.GMinus = computeG(s, tr.S, r)
+	tr.X = output(s, tr.GPlus, tr.GMinus, opt.R)
+	ub := 0.0
+	for u, t := range tr.T {
+		if u == 0 || t < ub {
+			ub = t
+		}
+	}
+	tr.UpperBound = ub
+	return tr, nil
+}
+
+// computeG evaluates the recursions (12)–(14) for all agents and
+// d = 0…r, in dependency order g+_0, g−_0, g+_1, …, g−_r.
+func computeG(s *structured.Instance, sv []float64, r int) (gp, gm [][]float64) {
+	gp = make([][]float64, r+1)
+	gm = make([][]float64, r+1)
+	for d := 0; d <= r; d++ {
+		gp[d] = make([]float64, s.N)
+		gm[d] = make([]float64, s.N)
+		for v := 0; v < s.N; v++ {
+			if d == 0 {
+				gp[d][v] = s.Caps[v] // (12)
+			} else {
+				// (14): g+_{v,d} = min_i (1 − a_{i,n} g−_{n,d−1}) / a_iv.
+				best := 0.0
+				for j, i := range s.ConsOf[v] {
+					n, av, aw := s.Partner(int(i), int32(v))
+					val := (1 - aw*gm[d-1][n]) / av
+					if j == 0 || val < best {
+						best = val
+					}
+				}
+				gp[d][v] = best
+			}
+		}
+		for v := 0; v < s.N; v++ {
+			// (13): g−_{v,d} = max{0, s_v − Σ_{w∈N(v)} g+_{w,d}}.
+			sum := 0.0
+			s.PeersDo(int32(v), func(w int32) { sum += gp[d][w] })
+			if g := sv[v] - sum; g > 0 {
+				gm[d][v] = g
+			}
+		}
+	}
+	return gp, gm
+}
+
+// output evaluates (18).
+func output(s *structured.Instance, gp, gm [][]float64, R int) []float64 {
+	x := make([]float64, s.N)
+	for v := range x {
+		sum := 0.0
+		for d := range gp {
+			sum += gp[d][v] + gm[d][v]
+		}
+		x[v] = sum / (2 * float64(R))
+	}
+	return x
+}
+
+// smooth computes s_v = min over agents within distance 4r+2 of v, via
+// 2r+1 rounds of distance-2 min-diffusion: agents at even distances are
+// linked through shared constraints (partners) and shared objectives
+// (peers), and every shortest agent-to-agent path passes an agent at each
+// even position.
+func smooth(s *structured.Instance, t []float64, r int) []float64 {
+	cur := append([]float64(nil), t...)
+	next := make([]float64, s.N)
+	for round := 0; round < 2*r+1; round++ {
+		for v := 0; v < s.N; v++ {
+			m := cur[v]
+			for _, i := range s.ConsOf[v] {
+				w, _, _ := s.Partner(int(i), int32(v))
+				if cur[w] < m {
+					m = cur[w]
+				}
+			}
+			s.PeersDo(int32(v), func(w int32) {
+				if cur[w] < m {
+					m = cur[w]
+				}
+			})
+			next[v] = m
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// computeAllT evaluates t_u for every agent in parallel; each worker keeps
+// its own memo tables.
+func computeAllT(s *structured.Instance, r, binIters, workers int) []float64 {
+	t := make([]float64, s.N)
+	par.ForEachChunk(s.N, workers, func(lo, hi int) {
+		ev := newEvaluator(s, r)
+		for u := lo; u < hi; u++ {
+			t[u] = ev.computeT(int32(u), binIters)
+		}
+	})
+	return t
+}

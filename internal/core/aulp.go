@@ -1,0 +1,134 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mmlp"
+	"repro/internal/structured"
+)
+
+// AuOcc is one agent occurrence in the unfolded alternating tree.
+type AuOcc struct {
+	// Agent is the underlying agent of the finite graph.
+	Agent int32
+	// Level is the occurrence's level in A_u (−1 for the root).
+	Level int
+	// Var is the occurrence's variable index in the LP built by BuildAuLP.
+	Var int
+}
+
+// AuStats summarises the explicitly unfolded alternating tree A_u.
+type AuStats struct {
+	// AgentNodes, ConsNodes, ObjNodes count tree occurrences by kind.
+	AgentNodes, ConsNodes, ObjNodes int
+	// LeafCons counts constraint leaves (levels −2 and 4r+2).
+	LeafCons int
+	// AgentLevels collects the multiset of levels at which agents occur.
+	AgentLevels map[int]int
+	// Occs lists every agent occurrence.
+	Occs []AuOcc
+}
+
+// BuildAuLP materialises the alternating tree A_u of §5.1 as an explicit
+// max-min LP: one variable per agent occurrence (walks can revisit an agent
+// of the underlying finite graph; each visit is its own tree node), one
+// 2-term row per internal constraint occurrence, one 1-term row per leaf
+// constraint occurrence, and one objective row per objective occurrence.
+//
+// By Lemma 3, the optimum of the returned LP is exactly t_u. The
+// construction is exponential in r and exists for cross-checking the
+// memoised binary search (test E10) and for the Lemma 1 structure tests;
+// the algorithm itself never builds it.
+func BuildAuLP(s *structured.Instance, u int32, r int) (*mmlp.Instance, AuStats) {
+	lp := mmlp.New(0)
+	st := AuStats{AgentLevels: map[int]int{}}
+
+	newAgent := func(agent int32, level int) int {
+		v := lp.NumAgents
+		lp.NumAgents++
+		st.AgentNodes++
+		st.AgentLevels[level]++
+		st.Occs = append(st.Occs, AuOcc{Agent: agent, Level: level, Var: v})
+		return v
+	}
+
+	maxLevel := 4*r + 2
+
+	// buildFPlus adds the subtree under an f+ agent occurrence of v at
+	// `level` (1 mod 4) and returns its variable index.
+	var buildFPlus func(v int32, level int) int
+	// buildFMinus adds the subtree under an f− agent occurrence of v at
+	// `level` (3 mod 4, or −1 for the root) reached through constraint
+	// `fromCons`, and returns its variable index.
+	var buildFMinus func(v int32, level int, fromCons int32) int
+
+	buildFPlus = func(v int32, level int) int {
+		xv := newAgent(v, level)
+		for _, i := range s.ConsOf[v] {
+			w, av, aw := s.Partner(int(i), v)
+			st.ConsNodes++
+			if level+1 == maxLevel {
+				// Constraint leaf: only the parent side is in A_u.
+				st.LeafCons++
+				lp.AddConstraint(float64(xv), av)
+				continue
+			}
+			xw := buildFMinus(w, level+2, i)
+			lp.AddConstraint(float64(xv), av, float64(xw), aw)
+		}
+		return xv
+	}
+
+	buildFMinus = func(v int32, level int, fromCons int32) int {
+		xv := newAgent(v, level)
+		st.ObjNodes++
+		pairs := []float64{float64(xv), 1}
+		s.PeersDo(v, func(w int32) {
+			xw := buildFPlus(w, level+2)
+			pairs = append(pairs, float64(xw), 1)
+		})
+		lp.AddObjective(pairs...)
+		_ = fromCons // the objective step never backtracks into a constraint
+		return xv
+	}
+
+	// Root: u at level −1 with its own constraints as leaves at level −2
+	// (the "length ≤ 1" clause of §5.1), then the subtree through k(u).
+	rootVar := newAgent(u, -1)
+	for _, i := range s.ConsOf[u] {
+		_, av, _ := s.Partner(int(i), u)
+		st.ConsNodes++
+		st.LeafCons++
+		lp.AddConstraint(float64(rootVar), av)
+	}
+	st.ObjNodes++
+	pairs := []float64{float64(rootVar), 1}
+	s.PeersDo(u, func(w int32) {
+		xw := buildFPlus(w, 1)
+		pairs = append(pairs, float64(xw), 1)
+	})
+	lp.AddObjective(pairs...)
+
+	return lp, st
+}
+
+// CheckAuStructure verifies the Lemma 1 invariants on the stats of an
+// explicitly built A_u: agents at levels ≡ 1 or 3 (mod 4) apart from the
+// root at −1.
+func CheckAuStructure(st AuStats, r int) error {
+	for level, count := range st.AgentLevels {
+		if level == -1 {
+			if count != 1 {
+				return fmt.Errorf("core: %d root occurrences", count)
+			}
+			continue
+		}
+		if m := ((level % 4) + 4) % 4; m != 1 && m != 3 {
+			return fmt.Errorf("core: agent occurrence at level %d (≡ %d mod 4)", level, m)
+		}
+		if level < 1 || level > 4*r+1 {
+			return fmt.Errorf("core: agent occurrence at out-of-range level %d", level)
+		}
+	}
+	return nil
+}

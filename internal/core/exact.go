@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/simplex"
+	"repro/internal/structured"
+)
+
+// ExactTrace is the algorithm's state computed entirely in exact rational
+// arithmetic: t_u is the true optimum of the unfolded tree LP (solved by
+// the rational simplex rather than binary search), and s, g±, x follow the
+// recursions (12)–(14) and (18) over big.Rat. On small instances this
+// certifies the algorithm's guarantees with zero floating-point doubt; the
+// test suite uses it to verify Lemma 12 as an exact rational inequality.
+//
+// The construction is exponential in R (the tree LP is materialised), so
+// it is a verification tool, not a production path.
+type ExactTrace struct {
+	R, SmallR     int
+	T, S          []*big.Rat
+	GPlus, GMinus [][]*big.Rat
+	X             []*big.Rat
+}
+
+// SolveExactRat runs the algorithm in exact arithmetic.
+func SolveExactRat(s *structured.Instance, R int) (*ExactTrace, error) {
+	if R < 2 {
+		return nil, fmt.Errorf("core: R must be ≥ 2, got %d", R)
+	}
+	r := R - 2
+	et := &ExactTrace{R: R, SmallR: r}
+
+	// t_u: the optimum of the LP associated with A_u (Lemma 3), exactly.
+	et.T = make([]*big.Rat, s.N)
+	for u := 0; u < s.N; u++ {
+		lp, _ := BuildAuLP(s, int32(u), r)
+		res := simplex.SolveMaxMinRat(lp)
+		if res.Status != simplex.Optimal {
+			return nil, fmt.Errorf("core: A_u LP for agent %d: %v", u, res.Status)
+		}
+		et.T[u] = res.Value
+	}
+
+	// s_v: minimum over the distance-(4r+2) ball via 2r+1 rounds of
+	// distance-2 min-diffusion, mirroring smooth().
+	cur := make([]*big.Rat, s.N)
+	copy(cur, et.T)
+	for round := 0; round < 2*r+1; round++ {
+		next := make([]*big.Rat, s.N)
+		for v := 0; v < s.N; v++ {
+			m := cur[v]
+			for _, i := range s.ConsOf[v] {
+				w, _, _ := s.Partner(int(i), int32(v))
+				if cur[w].Cmp(m) < 0 {
+					m = cur[w]
+				}
+			}
+			s.PeersDo(int32(v), func(w int32) {
+				if cur[w].Cmp(m) < 0 {
+					m = cur[w]
+				}
+			})
+			next[v] = m
+		}
+		cur = next
+	}
+	et.S = cur
+
+	// g± via (12)–(14) in rationals.
+	one := big.NewRat(1, 1)
+	caps := make([]*big.Rat, s.N)
+	for v := 0; v < s.N; v++ {
+		caps[v] = new(big.Rat).SetFloat64(s.Caps[v])
+	}
+	et.GPlus = make([][]*big.Rat, r+1)
+	et.GMinus = make([][]*big.Rat, r+1)
+	for d := 0; d <= r; d++ {
+		et.GPlus[d] = make([]*big.Rat, s.N)
+		et.GMinus[d] = make([]*big.Rat, s.N)
+		for v := 0; v < s.N; v++ {
+			if d == 0 {
+				et.GPlus[d][v] = caps[v]
+				continue
+			}
+			var best *big.Rat
+			for _, i := range s.ConsOf[v] {
+				w, av, aw := s.Partner(int(i), int32(v))
+				ra := new(big.Rat).SetFloat64(av)
+				rw := new(big.Rat).SetFloat64(aw)
+				val := new(big.Rat).Mul(rw, et.GMinus[d-1][w])
+				val.Sub(one, val)
+				val.Quo(val, ra)
+				if best == nil || val.Cmp(best) < 0 {
+					best = val
+				}
+			}
+			et.GPlus[d][v] = best
+		}
+		for v := 0; v < s.N; v++ {
+			sum := new(big.Rat)
+			s.PeersDo(int32(v), func(w int32) { sum.Add(sum, et.GPlus[d][w]) })
+			g := new(big.Rat).Sub(et.S[v], sum)
+			if g.Sign() < 0 {
+				g = new(big.Rat)
+			}
+			et.GMinus[d][v] = g
+		}
+	}
+
+	// x via (18).
+	twoR := big.NewRat(int64(2*R), 1)
+	et.X = make([]*big.Rat, s.N)
+	for v := 0; v < s.N; v++ {
+		sum := new(big.Rat)
+		for d := 0; d <= r; d++ {
+			sum.Add(sum, et.GPlus[d][v])
+			sum.Add(sum, et.GMinus[d][v])
+		}
+		et.X[v] = sum.Quo(sum, twoR)
+	}
+	return et, nil
+}
+
+// Floats converts the exact trace to float64 (for comparison with Solve).
+func (et *ExactTrace) Floats() []float64 {
+	x := make([]float64, len(et.X))
+	for v := range x {
+		x[v], _ = et.X[v].Float64()
+	}
+	return x
+}
+
+// UtilityRat returns min_k Σ_{v∈Vk} x_v exactly.
+func (et *ExactTrace) UtilityRat(s *structured.Instance) *big.Rat {
+	var best *big.Rat
+	for _, members := range s.Objs {
+		sum := new(big.Rat)
+		for _, v := range members {
+			sum.Add(sum, et.X[v])
+		}
+		if best == nil || sum.Cmp(best) < 0 {
+			best = sum
+		}
+	}
+	return best
+}
+
+// MaxViolationRat returns the exact worst constraint overshoot of X
+// (zero or negative means exactly feasible).
+func (et *ExactTrace) MaxViolationRat(s *structured.Instance) *big.Rat {
+	one := big.NewRat(1, 1)
+	worst := new(big.Rat).Sub(new(big.Rat), one) // -1: any load is ≥ 0
+	for i := range s.ConsV {
+		a0 := new(big.Rat).SetFloat64(s.ConsA[i][0])
+		a1 := new(big.Rat).SetFloat64(s.ConsA[i][1])
+		load := new(big.Rat).Mul(a0, et.X[s.ConsV[i][0]])
+		load.Add(load, new(big.Rat).Mul(a1, et.X[s.ConsV[i][1]]))
+		load.Sub(load, one)
+		if load.Cmp(worst) > 0 {
+			worst = load
+		}
+	}
+	return worst
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/simplex"
+	"repro/internal/structured"
+)
+
+func TestExactMatchesFloatSolve(t *testing.T) {
+	for seed := int64(0); seed < 4; seed++ {
+		in := gen.RandomStructured(gen.StructuredConfig{Objectives: 3, MaxDegK: 3, ExtraCons: 1}, seed)
+		s, err := structured.FromMMLP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, R := range []int{2, 3} {
+			et, err := SolveExactRat(s, R)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fl, err := Solve(s, Options{R: R})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := 0; v < s.N; v++ {
+				exact, _ := et.T[v].Float64()
+				if math.Abs(exact-fl.T[v]) > 1e-7*math.Max(1, exact) {
+					t.Fatalf("seed %d R %d: t[%d] exact %v float %v", seed, R, v, exact, fl.T[v])
+				}
+			}
+			xf := et.Floats()
+			for v := range xf {
+				if math.Abs(xf[v]-fl.X[v]) > 1e-7*math.Max(1, xf[v]) {
+					t.Fatalf("seed %d R %d: x[%d] exact %v float %v", seed, R, v, xf[v], fl.X[v])
+				}
+			}
+		}
+	}
+}
+
+func TestExactFeasibilityIsExact(t *testing.T) {
+	// Lemma 11 as an exact statement: the rational output never exceeds
+	// any constraint, with zero tolerance.
+	for seed := int64(0); seed < 4; seed++ {
+		in := gen.RandomStructured(gen.StructuredConfig{Objectives: 4, MaxDegK: 3, ExtraCons: 2}, seed)
+		s, err := structured.FromMMLP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		et, err := SolveExactRat(s, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := et.MaxViolationRat(s); v.Sign() > 0 {
+			t.Fatalf("seed %d: exact violation %v > 0", seed, v)
+		}
+		for d := 0; d <= et.SmallR; d++ {
+			for v := 0; v < s.N; v++ {
+				if et.GPlus[d][v].Sign() < 0 {
+					t.Fatalf("seed %d: exact g+[%d][%d] negative (Lemma 7)", seed, d, v)
+				}
+			}
+		}
+	}
+}
+
+func TestExactRatioBoundLemma12(t *testing.T) {
+	// The §6.3 guarantee as an exact rational inequality:
+	// ω(x) · 2(1−1/ΔK) · R/(R−1) ≥ opt, verified with zero tolerance.
+	for seed := int64(0); seed < 3; seed++ {
+		in := gen.RandomStructured(gen.StructuredConfig{Objectives: 3, MaxDegK: 3, ExtraCons: 1}, seed)
+		s, err := structured.FromMMLP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		R := 3
+		et, err := SolveExactRat(s, R)
+		if err != nil {
+			t.Fatal(err)
+		}
+		optRes := simplex.SolveMaxMinRat(in)
+		if optRes.Status != simplex.Optimal {
+			t.Fatalf("rational optimum: %v", optRes.Status)
+		}
+		dK := int64(s.DegreeK())
+		// bound = 2 · (dK−1)/dK · R/(R−1)
+		bound := new(big.Rat).Mul(big.NewRat(2*(dK-1), dK), big.NewRat(int64(R), int64(R-1)))
+		lhs := new(big.Rat).Mul(et.UtilityRat(s), bound)
+		if lhs.Cmp(optRes.Value) < 0 {
+			t.Fatalf("seed %d: exact guarantee violated: ω·bound = %v < opt = %v",
+				seed, lhs, optRes.Value)
+		}
+	}
+}
+
+func TestExactRejectsBadR(t *testing.T) {
+	in := gen.TriNecklace(3)
+	s, _ := structured.FromMMLP(in)
+	if _, err := SolveExactRat(s, 1); err == nil {
+		t.Fatal("R=1 accepted")
+	}
+}
+
+func TestExactLayeredNecklaceThresholdExactly(t *testing.T) {
+	// The E3 flagship finding, certified in exact arithmetic: on the
+	// layered necklace the ratio is exactly 4/3.
+	in, _, _ := gen.LayeredNecklace(6)
+	s, err := structured.FromMMLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	et, err := SolveExactRat(s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := simplex.SolveMaxMinRat(in)
+	if opt.Status != simplex.Optimal {
+		t.Fatal(opt.Status)
+	}
+	ratio := new(big.Rat).Quo(opt.Value, et.UtilityRat(s))
+	if ratio.Cmp(big.NewRat(4, 3)) != 0 {
+		t.Fatalf("exact ratio = %v, want exactly 4/3", ratio)
+	}
+}

@@ -1,0 +1,82 @@
+package core
+
+// Layer bookkeeping for the analysis of §6. The algorithm itself never
+// computes layers — that is the whole point of the up/down averaging in
+// (18) — but the shifting-strategy solutions y(j) of (19) and their
+// average (20) are constructible whenever a consistent layer assignment is
+// known (e.g. on the generator families that ship one), and the tests use
+// them to machine-check Lemmas 9–11.
+
+// Layering is a consistent layer assignment in the sense of §6: agent
+// layers are ≡ 1 (down) or ≡ 3 (up) mod 4, every constraint joins a down
+// agent at layer ℓ and an up agent at ℓ+2, and every objective at layer ℓ
+// has exactly one up agent at ℓ−1 with its remaining agents down at ℓ+1.
+// Layers may be taken modulo 4R, which is all (19) reads.
+type Layering struct {
+	// AgentLayer[v] is the layer of agent v.
+	AgentLayer []int
+	// ObjLayer[k] is the layer of objective k.
+	ObjLayer []int
+}
+
+// IsUp reports whether agent v is an up-agent (layer ≡ 3 mod 4).
+func (l *Layering) IsUp(v int) bool {
+	return mod4(l.AgentLayer[v]) == 3
+}
+
+func mod4(x int) int    { return ((x % 4) + 4) % 4 }
+func modn(x, n int) int { return ((x % n) + n) % n }
+
+// ShiftSolution computes y(j) of equation (19) for shift parameter
+// j ∈ [0, R): writing an agent's layer as 4(Rc+j)+4d+e with 0 ≤ d < R and
+// e ∈ {−1, 1}, the agent contributes 0 when d = R−1, g−_{v,r−d} when it is
+// an up agent (e = −1) and g+_{v,r−d} when it is a down agent (e = 1).
+func ShiftSolution(tr *Trace, lay *Layering, j int) []float64 {
+	R := tr.R
+	y := make([]float64, len(lay.AgentLayer))
+	for v, layer := range lay.AgentLayer {
+		d, e := decompose(layer, R, j)
+		switch {
+		case d == R-1:
+			y[v] = 0
+		case e == -1:
+			y[v] = tr.GMinus[tr.SmallR-d][v]
+		default:
+			y[v] = tr.GPlus[tr.SmallR-d][v]
+		}
+	}
+	return y
+}
+
+// decompose writes layer = 4(Rc+j) + 4d + e with 0 ≤ d ≤ R−1, e ∈ {−1,1}.
+func decompose(layer, R, j int) (d, e int) {
+	// Shift so that the decomposition is relative to j, then reduce mod 4R.
+	rel := modn(layer-4*j, 4*R)
+	// rel = 4d + e with e ∈ {−1, 1} ⇒ rel mod 4 ∈ {3 (e=−1, next d), 1}.
+	switch rel % 4 {
+	case 1:
+		return rel / 4, 1
+	case 3:
+		return (rel + 1) / 4 % R, -1
+	}
+	panic("core: layer not ≡ ±1 mod 4")
+}
+
+// AverageShift computes y of equation (20): the average of y(j) over all
+// shifts, which per the paper equals (1/R) Σ_d g−_{v,d} for up agents and
+// (1/R) Σ_d g+_{v,d} for down agents.
+func AverageShift(tr *Trace, lay *Layering) []float64 {
+	y := make([]float64, len(lay.AgentLayer))
+	for v := range y {
+		sum := 0.0
+		for d := 0; d <= tr.SmallR; d++ {
+			if lay.IsUp(v) {
+				sum += tr.GMinus[d][v]
+			} else {
+				sum += tr.GPlus[d][v]
+			}
+		}
+		y[v] = sum / float64(tr.R)
+	}
+	return y
+}

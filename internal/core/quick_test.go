@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/structured"
+)
+
+func quickStructured(seed int64) (*structured.Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	in := gen.RandomStructured(gen.StructuredConfig{
+		Objectives: 3 + rng.Intn(6),
+		MaxDegK:    2 + rng.Intn(3),
+		ExtraCons:  rng.Intn(6),
+	}, seed)
+	return structured.FromMMLP(in)
+}
+
+func TestQuickSolveAlwaysFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := quickStructured(seed)
+		if err != nil {
+			return false
+		}
+		for _, R := range []int{2, 3, 4} {
+			tr, err := Solve(s, Options{R: R})
+			if err != nil {
+				return false
+			}
+			if s.MaxViolation(tr.X) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickTuDecreasesInR(t *testing.T) {
+	// A_u(r+1) refines A_u(r): its constraint set is tighter and its
+	// objective set larger, so the tree optimum t_u can only decrease as R
+	// grows — the upper bound converges downwards to the true optimum.
+	f := func(seed int64) bool {
+		s, err := quickStructured(seed)
+		if err != nil {
+			return false
+		}
+		var prev []float64
+		for _, R := range []int{2, 3, 4} {
+			tr, err := Solve(s, Options{R: R})
+			if err != nil {
+				return false
+			}
+			if prev != nil {
+				for u := range prev {
+					if tr.T[u] > prev[u]+1e-9 {
+						return false
+					}
+				}
+			}
+			prev = tr.T
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUpperBoundDominatesUtility(t *testing.T) {
+	f := func(seed int64) bool {
+		s, err := quickStructured(seed)
+		if err != nil {
+			return false
+		}
+		tr, err := Solve(s, Options{R: 3})
+		if err != nil {
+			return false
+		}
+		// UpperBound ≥ opt ≥ ω(X).
+		return tr.UpperBound >= s.Utility(tr.X)-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickSmoothedBoundBelowTu(t *testing.T) {
+	// s_v ≤ t_v always (the ball contains v), and s is monotone under
+	// growing balls: every s_v equals some t_u in the ball.
+	f := func(seed int64) bool {
+		s, err := quickStructured(seed)
+		if err != nil {
+			return false
+		}
+		tr, err := Solve(s, Options{R: 3})
+		if err != nil {
+			return false
+		}
+		seen := map[float64]bool{}
+		for _, tu := range tr.T {
+			seen[tu] = true
+		}
+		for v := range tr.S {
+			if tr.S[v] > tr.T[v] {
+				return false
+			}
+			if !seen[tr.S[v]] {
+				return false // s must be one of the t values
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import "repro/internal/structured"
+
+// evaluator computes the recursions (5)–(7) for one root agent u at a given
+// ω, with memoisation keyed on (agent, depth, sign).
+//
+// Two occurrences of the same agent at the same depth of the alternating
+// tree A_u always carry the same f± value, because (6) sums over the full
+// peer set N(v) and (7) minimises over the full constraint set Iv — neither
+// depends on which walk reached the occurrence. Memoisation therefore
+// collapses the exponentially-branching tree walk into at most
+// N·(r+1) evaluations per sign without changing any value.
+//
+// Memo slots are invalidated in O(1) between evaluations by an epoch
+// counter.
+type evaluator struct {
+	s *structured.Instance
+	r int
+
+	omega float64
+	ok    bool // condition (8): every evaluated f+ is ≥ 0
+
+	plus, minus         []float64
+	plusSeen, minusSeen []uint64
+	epoch               uint64
+}
+
+// newEvaluator allocates the memo tables for one worker.
+func newEvaluator(s *structured.Instance, r int) *evaluator {
+	n := s.N * (r + 1)
+	return &evaluator{
+		s:         s,
+		r:         r,
+		plus:      make([]float64, n),
+		minus:     make([]float64, n),
+		plusSeen:  make([]uint64, n),
+		minusSeen: make([]uint64, n),
+	}
+}
+
+// fplus returns f+_{u,v,d}(ω) per (5)/(7) and records condition (8).
+func (e *evaluator) fplus(v int32, d int) float64 {
+	slot := d*e.s.N + int(v)
+	if e.plusSeen[slot] == e.epoch {
+		return e.plus[slot]
+	}
+	var val float64
+	if d == 0 {
+		val = e.s.Caps[v] // (5)
+	} else {
+		for j, i := range e.s.ConsOf[v] {
+			w, av, aw := e.s.Partner(int(i), v)
+			cand := (1 - aw*e.fminus(w, d-1)) / av
+			if j == 0 || cand < val {
+				val = cand
+			}
+		}
+	}
+	if val < 0 {
+		e.ok = false // condition (8) violated at this ω
+	}
+	e.plus[slot] = val
+	e.plusSeen[slot] = e.epoch
+	return val
+}
+
+// fminus returns f−_{u,v,d}(ω) per (6).
+func (e *evaluator) fminus(v int32, d int) float64 {
+	slot := d*e.s.N + int(v)
+	if e.minusSeen[slot] == e.epoch {
+		return e.minus[slot]
+	}
+	sum := 0.0
+	e.s.PeersDo(v, func(w int32) { sum += e.fplus(w, d) })
+	val := 0.0
+	if g := e.omega - sum; g > 0 {
+		val = g
+	}
+	e.minus[slot] = val
+	e.minusSeen[slot] = e.epoch
+	return val
+}
+
+// feasible reports whether ω satisfies conditions (8) and (9) for root u.
+// Both conditions are monotone in ω (f+ non-increasing, f− non-decreasing),
+// so the feasible set is an interval [0, t_u].
+func (e *evaluator) feasible(u int32, omega float64) bool {
+	e.epoch++
+	e.omega = omega
+	e.ok = true
+	root := e.fminus(u, e.r)
+	return e.ok && root <= e.s.Caps[u] // (9)
+}
+
+// computeT binary-searches the largest feasible ω, i.e. t_u = the optimum
+// of the max-min LP on A_u (Lemma 3). The search starts from the upper
+// bound Σ_{w∈Vk(u)} cap_w (objective k(u) cannot exceed it) and returns the
+// feasible endpoint of the final bracket, a lower bound on t_u within one
+// bracket width.
+func (e *evaluator) computeT(u int32, iters int) float64 {
+	hi := 0.0
+	for _, w := range e.s.Objs[e.s.ObjOf[u]] {
+		hi += e.s.Caps[w]
+	}
+	if e.feasible(u, hi) {
+		return hi
+	}
+	lo := 0.0
+	for it := 0; it < iters; it++ {
+		mid := lo + (hi-lo)/2
+		if mid <= lo || mid >= hi {
+			break // bracket exhausted at float64 resolution
+		}
+		if e.feasible(u, mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

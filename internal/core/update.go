@@ -1,0 +1,160 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/structured"
+)
+
+// Locality radii of the algorithm's data flow (in graph edges). These
+// quantify §1.3's observation that a local algorithm is automatically a
+// dynamic graph algorithm with constant-time updates: an input change can
+// only influence outputs within OutputRadius.
+//
+//	t_u reads the instance within TRadius(r) = 4r+3 (the tree A_u),
+//	s_v additionally looks 4r+2 further (the smoothing minimum),
+//	x_v chains ≤ 2r+1 g-steps of distance 2 on top of that.
+func TRadius(r int) int { return 4*r + 3 }
+
+// SRadius is the input radius of s_v.
+func SRadius(r int) int { return TRadius(r) + 4*r + 2 }
+
+// OutputRadius is the input radius of the output x_v.
+func OutputRadius(r int) int { return SRadius(r) + 4*r + 2 }
+
+// UpdateStats reports how much work an incremental update performed.
+type UpdateStats struct {
+	// ChangedAgents is the number of agents whose local input differs.
+	ChangedAgents int
+	// RecomputedT is how many t_u were recomputed (the dominant cost).
+	RecomputedT int
+	// TotalAgents is the instance size, for comparison.
+	TotalAgents int
+}
+
+// Update incrementally recomputes a trace after a local modification of
+// the instance: only agents within TRadius of a changed agent get a fresh
+// t_u (the dominant cost); the cheap derived quantities (s, g, x) are
+// re-evaluated from the merged t-vector. The result is identical to
+// Solve(sNew, opt) — bit for bit — because t_u depends only on the
+// radius-(4r+3) neighbourhood, which is unchanged for every skipped agent.
+//
+// sOld must be the instance old was computed from (same agent count as
+// sNew and the same R); constraint and objective membership and
+// coefficients may differ arbitrarily.
+func Update(sOld, sNew *structured.Instance, old *Trace, opt Options) (*Trace, *UpdateStats, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, nil, err
+	}
+	if sOld.N != sNew.N {
+		return nil, nil, fmt.Errorf("core: Update requires equal agent counts (old %d, new %d)", sOld.N, sNew.N)
+	}
+	if opt.R-2 != old.SmallR {
+		return nil, nil, fmt.Errorf("core: Update requires the same R (old r=%d, new r=%d)", old.SmallR, opt.R-2)
+	}
+	r := opt.R - 2
+	changed := DiffAgents(sOld, sNew)
+	affected := growAgentSet(sOld, sNew, changed, TRadius(r))
+
+	tr := &Trace{R: opt.R, SmallR: r}
+	tr.T = append([]float64(nil), old.T...)
+	idx := make([]int, 0, len(affected))
+	for v, hit := range affected {
+		if hit {
+			idx = append(idx, v)
+		}
+	}
+	par.ForEachChunk(len(idx), opt.Workers, func(lo, hi int) {
+		ev := newEvaluator(sNew, r)
+		for j := lo; j < hi; j++ {
+			tr.T[idx[j]] = ev.computeT(int32(idx[j]), opt.BinIters)
+		}
+	})
+	tr.S = smooth(sNew, tr.T, r)
+	tr.GPlus, tr.GMinus = computeG(sNew, tr.S, r)
+	tr.X = output(sNew, tr.GPlus, tr.GMinus, opt.R)
+	ub := 0.0
+	for u, t := range tr.T {
+		if u == 0 || t < ub {
+			ub = t
+		}
+	}
+	tr.UpperBound = ub
+	st := &UpdateStats{ChangedAgents: len(changed), RecomputedT: len(idx), TotalAgents: sNew.N}
+	return tr, st, nil
+}
+
+// DiffAgents returns the agents whose local input (objective membership,
+// peer list, constraint list or any incident coefficient) differs between
+// the two instances.
+func DiffAgents(a, b *structured.Instance) []int {
+	var changed []int
+	for v := 0; v < a.N; v++ {
+		if !sameLocalInput(a, b, int32(v)) {
+			changed = append(changed, v)
+		}
+	}
+	return changed
+}
+
+// sameLocalInput compares one agent's §1.1 local input across instances.
+func sameLocalInput(a, b *structured.Instance, v int32) bool {
+	// Peer multiset, order-sensitively: the §5 recursions iterate members
+	// in order, so order changes count as changes (they can perturb float
+	// summation order).
+	ka, kb := a.ObjOf[v], b.ObjOf[v]
+	ma, mb := a.Objs[ka], b.Objs[kb]
+	if len(ma) != len(mb) {
+		return false
+	}
+	for j := range ma {
+		if ma[j] != mb[j] {
+			return false
+		}
+	}
+	if len(a.ConsOf[v]) != len(b.ConsOf[v]) {
+		return false
+	}
+	for j := range a.ConsOf[v] {
+		ia, ib := int(a.ConsOf[v][j]), int(b.ConsOf[v][j])
+		wa, ava, awa := a.Partner(ia, v)
+		wb, avb, awb := b.Partner(ib, v)
+		if wa != wb || ava != avb || awa != awb {
+			return false
+		}
+	}
+	return true
+}
+
+// growAgentSet expands the seed set to all agents within the given radius
+// in either instance's communication graph, using distance-2 agent
+// adjacency (peers and constraint partners); ⌈radius/2⌉ relaxation rounds
+// over-approximate the ball, which is safe (extra recomputation only).
+func growAgentSet(a, b *structured.Instance, seeds []int, radius int) []bool {
+	cur := make([]bool, a.N)
+	for _, v := range seeds {
+		cur[v] = true
+	}
+	rounds := (radius + 1) / 2
+	for round := 0; round < rounds; round++ {
+		next := append([]bool(nil), cur...)
+		mark := func(s *structured.Instance) {
+			for v := 0; v < s.N; v++ {
+				if !cur[v] {
+					continue
+				}
+				s.PeersDo(int32(v), func(w int32) { next[w] = true })
+				for _, i := range s.ConsOf[v] {
+					w, _, _ := s.Partner(int(i), int32(v))
+					next[w] = true
+				}
+			}
+		}
+		mark(a)
+		mark(b)
+		cur = next
+	}
+	return cur
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/structured"
+)
+
+// perturb returns a copy of the necklace instance with one constraint
+// coefficient changed at objective band k0.
+func perturbedNecklace(t *testing.T, m, k0 int) (*structured.Instance, *structured.Instance) {
+	t.Helper()
+	in := gen.TriNecklace(m)
+	s1, err := structured.FromMMLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod := in.Clone()
+	mod.Cons[2*k0].Terms[0].Coef = 2 // R_k0 side of {R_k0, L_k0+1}
+	s2, err := structured.FromMMLP(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s1, s2
+}
+
+func TestUpdateMatchesFullRecompute(t *testing.T) {
+	for _, R := range []int{2, 3, 4} {
+		s1, s2 := perturbedNecklace(t, 40, 7)
+		old, err := Solve(s1, Options{R: R})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, st, err := Update(s1, s2, old, Options{R: R})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Solve(s2, Options{R: R})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < s2.N; v++ {
+			if got.T[v] != want.T[v] {
+				t.Fatalf("R=%d: t[%d] incremental %v full %v", R, v, got.T[v], want.T[v])
+			}
+			if got.X[v] != want.X[v] {
+				t.Fatalf("R=%d: x[%d] incremental %v full %v", R, v, got.X[v], want.X[v])
+			}
+		}
+		if st.ChangedAgents != 2 {
+			// Both endpoints of the modified constraint see a new coefficient.
+			t.Fatalf("R=%d: changed agents = %d, want 2", R, st.ChangedAgents)
+		}
+		if st.RecomputedT >= st.TotalAgents {
+			t.Fatalf("R=%d: incremental update recomputed everything (%d/%d)",
+				R, st.RecomputedT, st.TotalAgents)
+		}
+	}
+}
+
+func TestUpdateLocalityFarOutputsUnchanged(t *testing.T) {
+	// §1.3: a change can only influence outputs within OutputRadius. On a
+	// large necklace, agents on the far side keep bit-identical outputs.
+	R := 3
+	m := 60
+	s1, s2 := perturbedNecklace(t, m, 0)
+	old, err := Solve(s1, Options{R: R})
+	if err != nil {
+		t.Fatal(err)
+	}
+	updated, _, err := Update(s1, s2, old, Options{R: R})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The far side of the cycle: objective band m/2. Graph distance from
+	// the modified constraint is ≈ 2·(m/2) edges ≫ OutputRadius(1) = 19.
+	far := 3 * (m / 2)
+	for v := far; v < far+3; v++ {
+		if updated.X[v] != old.X[v] {
+			t.Fatalf("far agent %d output changed: %v → %v", v, old.X[v], updated.X[v])
+		}
+		if updated.T[v] != old.T[v] {
+			t.Fatalf("far agent %d t changed", v)
+		}
+	}
+	// Near the change, outputs do move (the perturbation matters).
+	moved := false
+	for v := 0; v < 6; v++ {
+		if updated.X[v] != old.X[v] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("perturbation had no effect near the change")
+	}
+}
+
+func TestUpdateRejectsMismatches(t *testing.T) {
+	s1, s2 := perturbedNecklace(t, 10, 2)
+	old, err := Solve(s1, Options{R: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Update(s1, s2, old, Options{R: 4}); err == nil {
+		t.Fatal("R mismatch accepted")
+	}
+	small, err := structured.FromMMLP(gen.TriNecklace(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Update(s1, small, old, Options{R: 3}); err == nil {
+		t.Fatal("agent count mismatch accepted")
+	}
+}
+
+func TestDiffAgentsOnIdenticalInstances(t *testing.T) {
+	s1, err := structured.FromMMLP(gen.TriNecklace(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := structured.FromMMLP(gen.TriNecklace(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DiffAgents(s1, s2); len(d) != 0 {
+		t.Fatalf("identical instances diff: %v", d)
+	}
+	// An update over identical instances recomputes nothing.
+	old, err := Solve(s1, Options{R: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := Update(s1, s2, old, Options{R: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.RecomputedT != 0 {
+		t.Fatalf("recomputed %d t-values for a no-op change", st.RecomputedT)
+	}
+	for v := range got.X {
+		if got.X[v] != old.X[v] {
+			t.Fatalf("no-op update changed x[%d]", v)
+		}
+	}
+}
+
+func TestRadiiFormulas(t *testing.T) {
+	for r := 0; r <= 4; r++ {
+		if TRadius(r) != 4*r+3 {
+			t.Fatalf("TRadius(%d) = %d", r, TRadius(r))
+		}
+		if SRadius(r) != 8*r+5 {
+			t.Fatalf("SRadius(%d) = %d", r, SRadius(r))
+		}
+		if OutputRadius(r) != 12*r+7 {
+			t.Fatalf("OutputRadius(%d) = %d", r, OutputRadius(r))
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/structured"
+)
+
+// VerifyTrace checks every lemma-level invariant of §5–§6 on a computed
+// trace, with additive tolerance tol:
+//
+//	Lemma 5:  g+_{v,r} ≥ 0 and g−_{v,r} ≤ cap_v,
+//	Lemma 6:  g− non-decreasing and g+ non-increasing in d,
+//	Lemma 7:  g+_{v,d} ≥ 0 for all d,
+//	(13):     g−_{v,d} = max(0, s_v − Σ_{w∈N(v)} g+_{w,d}) recomputed,
+//	(18):     x matches the g-sums,
+//	Lemma 11: x is feasible,
+//	(21):     ω_k(x) ≥ ½ (1−1/R) |Vk|/(|Vk|−1) min_{v∈Vk} s_v,
+//	s_v ≤ t_v and s_v equals some t value (smoothing sanity).
+//
+// A nil return certifies the run satisfied the paper's guarantees; the
+// facade exposes it as LocalOptions.SelfCheck.
+func VerifyTrace(s *structured.Instance, tr *Trace, tol float64) error {
+	r := tr.SmallR
+	if len(tr.GPlus) != r+1 || len(tr.GMinus) != r+1 {
+		return fmt.Errorf("core: trace has %d g-levels, want %d", len(tr.GPlus), r+1)
+	}
+	for v := 0; v < s.N; v++ {
+		if tr.GPlus[r][v] < -tol {
+			return fmt.Errorf("core: Lemma 5 violated: g+[r][%d] = %v", v, tr.GPlus[r][v])
+		}
+		if tr.GMinus[r][v] > s.Caps[v]+tol {
+			return fmt.Errorf("core: Lemma 5 violated: g−[r][%d] = %v > cap %v", v, tr.GMinus[r][v], s.Caps[v])
+		}
+		for d := 0; d <= r; d++ {
+			if tr.GPlus[d][v] < -tol {
+				return fmt.Errorf("core: Lemma 7 violated at d=%d v=%d", d, v)
+			}
+			if d > 0 {
+				if tr.GMinus[d-1][v] > tr.GMinus[d][v]+tol || tr.GPlus[d][v] > tr.GPlus[d-1][v]+tol {
+					return fmt.Errorf("core: Lemma 6 violated at d=%d v=%d", d, v)
+				}
+			}
+			// Recompute (13).
+			sum := 0.0
+			s.PeersDo(int32(v), func(w int32) { sum += tr.GPlus[d][w] })
+			want := math.Max(0, tr.S[v]-sum)
+			if math.Abs(want-tr.GMinus[d][v]) > tol {
+				return fmt.Errorf("core: (13) mismatch at d=%d v=%d: %v vs %v", d, v, tr.GMinus[d][v], want)
+			}
+		}
+		// (18).
+		sum := 0.0
+		for d := 0; d <= r; d++ {
+			sum += tr.GPlus[d][v] + tr.GMinus[d][v]
+		}
+		if math.Abs(sum/(2*float64(tr.R))-tr.X[v]) > tol {
+			return fmt.Errorf("core: (18) mismatch at v=%d", v)
+		}
+		if tr.S[v] > tr.T[v]+tol {
+			return fmt.Errorf("core: s[%d] = %v exceeds t[%d] = %v", v, tr.S[v], v, tr.T[v])
+		}
+	}
+	if viol := s.MaxViolation(tr.X); viol > tol {
+		return fmt.Errorf("core: Lemma 11 violated: max violation %v", viol)
+	}
+	// (21): the per-objective guarantee.
+	for k, members := range s.Objs {
+		val, minS := 0.0, math.Inf(1)
+		for _, v := range members {
+			val += tr.X[v]
+			if tr.S[v] < minS {
+				minS = tr.S[v]
+			}
+		}
+		sz := float64(len(members))
+		want := 0.5 * (1 - 1/float64(tr.R)) * sz / (sz - 1) * minS
+		if val < want-tol {
+			return fmt.Errorf("core: (21) violated at objective %d: ω_k = %v < %v", k, val, want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/structured"
+)
+
+func TestVerifyTraceAcceptsRealRuns(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		in := gen.RandomStructured(gen.StructuredConfig{Objectives: 6, MaxDegK: 4, ExtraCons: 4}, seed)
+		s, err := structured.FromMMLP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, R := range []int{2, 3, 4} {
+			tr, err := Solve(s, Options{R: R})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := VerifyTrace(s, tr, 1e-9); err != nil {
+				t.Fatalf("seed %d R %d: %v", seed, R, err)
+			}
+		}
+	}
+}
+
+func TestVerifyTraceRejectsTampering(t *testing.T) {
+	in := gen.RandomStructured(gen.StructuredConfig{Objectives: 5, MaxDegK: 3, ExtraCons: 3}, 1)
+	s, err := structured.FromMMLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *Trace {
+		tr, err := Solve(s, Options{R: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	cases := []struct {
+		name    string
+		corrupt func(tr *Trace)
+		keyword string
+	}{
+		{"negative g+", func(tr *Trace) { tr.GPlus[tr.SmallR][0] = -1 }, "Lemma"},
+		{"g- recomputation", func(tr *Trace) { tr.GMinus[0][0] += 0.5 }, "(13)"},
+		{"x mismatch", func(tr *Trace) { tr.X[0] += 0.7 }, ""},
+		{"s above t", func(tr *Trace) { tr.S[0] = tr.T[0] + 1 }, ""},
+		{"wrong level count", func(tr *Trace) { tr.GPlus = tr.GPlus[:1] }, "g-levels"},
+	}
+	for _, tc := range cases {
+		tr := fresh()
+		tc.corrupt(tr)
+		err := VerifyTrace(s, tr, 1e-9)
+		if err == nil {
+			t.Fatalf("%s: tampered trace accepted", tc.name)
+		}
+		if tc.keyword != "" && !strings.Contains(err.Error(), tc.keyword) {
+			t.Fatalf("%s: unexpected diagnosis %v", tc.name, err)
+		}
+	}
+}
+
+func TestVerifyTraceRejectsAblatedRuns(t *testing.T) {
+	// The verifier must catch what the ablations break.
+	for seed := int64(0); seed < 30; seed++ {
+		in := gen.RandomStructured(gen.StructuredConfig{Objectives: 8, MaxDegK: 3, ExtraCons: 6}, seed)
+		s, err := structured.FromMMLP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := SolveAblated(s, Options{R: 3}, Ablation{NoSmoothing: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.MaxViolation(tr.X) > 1e-6 {
+			if err := VerifyTrace(s, tr, 1e-9); err == nil {
+				t.Fatal("verifier passed an infeasible ablated run")
+			}
+			return
+		}
+	}
+	t.Skip("no infeasible ablated run found in 30 seeds")
+}

@@ -1,0 +1,426 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	maxminlp "repro"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/mmlp"
+	"repro/internal/simplex"
+	"repro/internal/structured"
+	"repro/internal/transform"
+)
+
+// Scale selects how much work the experiment suite does.
+type Scale int
+
+// Experiment scales.
+const (
+	// Quick runs reduced sweeps suitable for tests (a few seconds).
+	Quick Scale = iota
+	// Full runs the sweeps EXPERIMENTS.md reports.
+	Full
+)
+
+// ratioAgainstExact runs SolveLocal and the exact solver and returns
+// opt / ω(x) together with the utilities.
+func ratioAgainstExact(in *mmlp.Instance, R int) (ratio, opt, util float64, err error) {
+	sol, err := maxminlp.SolveLocal(in, maxminlp.LocalOptions{R: R, DisableSpecialCases: true})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	exact, err := maxminlp.SolveExact(in)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	if exact.Status != maxminlp.StatusOptimal {
+		return 0, 0, 0, fmt.Errorf("expt: exact solve %v", exact.Status)
+	}
+	return exact.Utility / sol.Utility, exact.Utility, sol.Utility, nil
+}
+
+// E1RatioSweep measures Theorem 1's upper bound across (ΔI, ΔK, R) on
+// random general instances.
+func E1RatioSweep(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E1",
+		Title:   "approximation ratio vs. Theorem 1 bound, random general instances",
+		Headers: []string{"ΔI", "ΔK", "R", "seeds", "worst ratio", "mean ratio", "bound ΔI(1−1/ΔK)(1+1/(R−1))"},
+		Notes:   []string{"PASS requires worst ratio ≤ bound for every row"},
+	}
+	seeds := 25
+	agents := 24
+	if scale == Quick {
+		seeds, agents = 5, 12
+	}
+	for _, dI := range []int{2, 3, 4} {
+		for _, dK := range []int{2, 3, 4} {
+			for _, R := range []int{2, 3, 5} {
+				worst, sum := 0.0, 0.0
+				for seed := 0; seed < seeds; seed++ {
+					in := gen.Random(gen.RandomConfig{
+						Agents: agents, MaxDegI: dI, MaxDegK: dK,
+						ExtraCons: agents / 4, ExtraObjs: agents / 8,
+					}, int64(seed))
+					ratio, _, _, err := ratioAgainstExact(in, R)
+					if err != nil {
+						return nil, err
+					}
+					if ratio > worst {
+						worst = ratio
+					}
+					sum += ratio
+				}
+				bound := maxminlp.RatioBound(dI, dK, R)
+				t.AddRow(dI, dK, R, seeds, worst, sum/float64(seeds), bound)
+				if worst > bound+1e-7 {
+					return t, fmt.Errorf("E1: worst ratio %v exceeds bound %v at ΔI=%d ΔK=%d R=%d", worst, bound, dI, dK, R)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// E2Structured measures the structured-case guarantee 2(1−1/ΔK)(1+1/(R−1))
+// without any transformations.
+func E2Structured(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E2",
+		Title:   "structured instances (§5 form): ratio vs. 2(1−1/ΔK)(1+1/(R−1))",
+		Headers: []string{"ΔK", "R", "seeds", "worst ratio", "mean ratio", "bound"},
+		Notes:   []string{"instances already satisfy |Vi|=2, |Kv|=1, c=1; no ΔI/2 cost"},
+	}
+	seeds := 25
+	objs := 12
+	if scale == Quick {
+		seeds, objs = 5, 6
+	}
+	for _, dK := range []int{2, 3, 4} {
+		for _, R := range []int{2, 3, 5} {
+			worst, sum := 0.0, 0.0
+			for seed := 0; seed < seeds; seed++ {
+				in := gen.RandomStructured(gen.StructuredConfig{
+					Objectives: objs, MaxDegK: dK, ExtraCons: objs / 2,
+				}, int64(seed))
+				ratio, _, _, err := ratioAgainstExact(in, R)
+				if err != nil {
+					return nil, err
+				}
+				if ratio > worst {
+					worst = ratio
+				}
+				sum += ratio
+			}
+			bound := 2 * (1 - 1/float64(dK)) * (1 + 1/float64(R-1))
+			t.AddRow(dK, R, seeds, worst, sum/float64(seeds), bound)
+			if worst > bound+1e-7 {
+				return t, fmt.Errorf("E2: worst ratio %v exceeds bound %v", worst, bound)
+			}
+		}
+	}
+	return t, nil
+}
+
+// E3Adversarial measures the ratio on symmetric families designed to
+// stress the up/down ambiguity that drives the Theorem 1 lower bound.
+func E3Adversarial(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E3",
+		Title:   "adversarial symmetric families (ΔI=2, ΔK=3): ratio vs. threshold 4/3",
+		Headers: []string{"family", "m", "R", "ratio", "bound 4/3·(1+1/(R−1))", "threshold 4/3"},
+		Notes: []string{
+			"threshold ΔI(1−1/ΔK) = 4/3 is unreachable by any local algorithm (Theorem 1 lower bound)",
+			"tri-necklace: the symmetric solution is optimal, so the algorithm is exact (ratio 1)",
+			"layered-necklace: the up/down averaging pays exactly the threshold 4/3 for every m and R —",
+			"the hedging cost the lower bound proves unavoidable, demonstrating Theorem 1 is tight",
+			"layered-tree: anchored finite trees are benign — the boundary breaks the symmetry and the",
+			"ratio decays towards 1 as R grows; only orientation-free topologies pay the threshold",
+		},
+	}
+	ms := []int{4, 8, 16, 32}
+	Rs := []int{3, 5}
+	if scale == Quick {
+		ms, Rs = []int{4, 8}, []int{3}
+	}
+	threshold := maxminlp.LocalityThreshold(2, 3)
+	for _, family := range []string{"tri-necklace", "layered-necklace", "layered-tree"} {
+		for _, m := range ms {
+			for _, R := range Rs {
+				var in *mmlp.Instance
+				switch family {
+				case "tri-necklace":
+					in = gen.TriNecklace(m)
+				case "layered-necklace":
+					in, _, _ = gen.LayeredNecklace(m)
+				default:
+					// Interpret m as ≈ agents/5: depth grows logarithmically.
+					depth := 2
+					for (1 << (depth + 1)) < m {
+						depth++
+					}
+					in = gen.LayeredTree(depth)
+				}
+				ratio, _, _, err := ratioAgainstExact(in, R)
+				if err != nil {
+					return nil, err
+				}
+				bound := maxminlp.RatioBound(2, 3, R)
+				t.AddRow(family, m, R, ratio, bound, threshold)
+				if ratio > bound+1e-7 {
+					return t, fmt.Errorf("E3: ratio %v exceeds bound %v", ratio, bound)
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// E4Baseline compares the paper's algorithm against the safe algorithm
+// (factor ΔI) on the same instances.
+func E4Baseline(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Title:   "this paper (R=3) vs. safe algorithm [8,16] — mean utilities and ratios",
+		Headers: []string{"ΔI", "ΔK", "seeds", "mean ratio local", "mean ratio safe", "safe/local utility"},
+		Notes:   []string{"ratios are opt/ω(x); smaller is better; the paper's guarantee beats safe's ΔI whenever ΔK ≥ 2"},
+	}
+	seeds := 25
+	agents := 24
+	if scale == Quick {
+		seeds, agents = 5, 12
+	}
+	for _, dI := range []int{2, 3, 4} {
+		for _, dK := range []int{2, 3} {
+			sumL, sumS, sumSpeed := 0.0, 0.0, 0.0
+			for seed := 0; seed < seeds; seed++ {
+				in := gen.Random(gen.RandomConfig{
+					Agents: agents, MaxDegI: dI, MaxDegK: dK,
+					ExtraCons: agents / 4, ExtraObjs: agents / 8, ZeroOne: true,
+				}, int64(seed))
+				local, err := maxminlp.SolveLocal(in, maxminlp.LocalOptions{R: 3, DisableSpecialCases: true})
+				if err != nil {
+					return nil, err
+				}
+				safe, err := maxminlp.SolveSafe(in)
+				if err != nil {
+					return nil, err
+				}
+				exact, err := maxminlp.SolveExact(in)
+				if err != nil {
+					return nil, err
+				}
+				sumL += exact.Utility / local.Utility
+				sumS += exact.Utility / safe.Utility
+				sumSpeed += safe.Utility / local.Utility
+			}
+			n := float64(seeds)
+			t.AddRow(dI, dK, seeds, sumL/n, sumS/n, sumSpeed/n)
+		}
+	}
+	return t, nil
+}
+
+// E5Rounds demonstrates locality: the round count depends on R only, while
+// traffic scales linearly in the network size.
+func E5Rounds(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Title:   "distributed protocol: rounds and traffic (tri-necklace instances)",
+		Headers: []string{"protocol", "m", "agents", "R", "rounds", "messages", "bytes", "compressed B", "max message B"},
+		Notes: []string{
+			"rounds = 12(R−2)+8 independent of m: the defining property of a local algorithm",
+			"max message grows with R (view gathering) but not with m",
+			"compressed = views deduplicated into DAGs: the standard polynomial-size encoding",
+			"the record protocol trades anonymity (unique ids) for polynomial messages; outputs are bit-identical",
+		},
+	}
+	ms := []int{6, 12, 24}
+	Rs := []int{2, 3, 4}
+	if scale == Quick {
+		ms, Rs = []int{4, 8}, []int{2, 3}
+	}
+	type proto struct {
+		name string
+		run  func(*structured.Instance, core.Options) (*dist.Result, error)
+	}
+	protos := []proto{
+		{"views (anonymous)", dist.SolveDistributed},
+		{"records (ids)", dist.SolveDistributedCompact},
+	}
+	for _, pr := range protos {
+		for _, R := range Rs {
+			for _, m := range ms {
+				in := gen.TriNecklace(m)
+				sIn, err := toStructured(in)
+				if err != nil {
+					return nil, err
+				}
+				res, err := pr.run(sIn, core.Options{R: R})
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(pr.name, m, in.NumAgents, R, res.Rounds, res.Stats.Messages, res.Stats.Bytes, res.Stats.CompressedBytes, res.Stats.MaxMessageBytes)
+			}
+		}
+	}
+	return t, nil
+}
+
+// E6Transforms audits the §4 pipeline: the optimum may only move in the
+// documented directions, and the back-mapped utility obeys the ΔI/2 rule.
+func E6Transforms(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Title:   "§4 transformation audit on random instances",
+		Headers: []string{"seeds", "max |opt′−opt| (opt-preserving steps)", "min opt′−opt (§4.3)", "worst ω(back)/ (2ω′/ΔI)"},
+		Notes:   []string{"§4.2/§4.4/§4.5/§4.6 must preserve the optimum; §4.3 may only increase it; the back-map keeps ≥ 2ω′/ΔI"},
+	}
+	seeds := 20
+	if scale == Quick {
+		seeds = 6
+	}
+	maxDrift := 0.0
+	minGain := math.Inf(1)
+	worstBack := math.Inf(1)
+	for seed := 0; seed < seeds; seed++ {
+		in := gen.Random(gen.RandomConfig{Agents: 10, MaxDegI: 4, MaxDegK: 3, ExtraCons: 3, ExtraObjs: 2}, int64(seed))
+		opt := simplex.SolveMaxMin(in).Value
+
+		// Apply the pipeline step by step (each step's preconditions are
+		// established by its predecessors), recording the optimum drift of
+		// the preserving steps and the one-sided move of §4.3.
+		s1, _ := transform.AugmentSingletonConstraints(in)
+		opt1 := simplex.SolveMaxMin(s1).Value
+		if d := math.Abs(opt1 - opt); d > maxDrift {
+			maxDrift = d
+		}
+		s2, back2 := transform.ReduceConstraintDegree(s1)
+		r2 := simplex.SolveMaxMin(s2)
+		if g := r2.Value - opt1; g < minGain {
+			minGain = g
+		}
+		// Back-map guarantee of (4): ω(back(x')) ≥ 2ω'/ΔI.
+		x := back2(r2.X)
+		dI := math.Max(2, float64(s1.DegreeI()))
+		if q := s1.Utility(x) / (2 * r2.Value / dI); q < worstBack {
+			worstBack = q
+		}
+		s3, _ := transform.SplitAgentsPerObjective(s2)
+		opt3 := simplex.SolveMaxMin(s3).Value
+		if d := math.Abs(opt3 - r2.Value); d > maxDrift {
+			maxDrift = d
+		}
+		s4, _ := transform.AugmentSingletonObjectives(s3)
+		opt4 := simplex.SolveMaxMin(s4).Value
+		if d := math.Abs(opt4 - opt3); d > maxDrift {
+			maxDrift = d
+		}
+		s5, _ := transform.NormalizeCoefficients(s4)
+		opt5 := simplex.SolveMaxMin(s5).Value
+		if d := math.Abs(opt5 - opt4); d > maxDrift {
+			maxDrift = d
+		}
+	}
+	t.AddRow(seeds, maxDrift, minGain, worstBack)
+	if maxDrift > 1e-6 || minGain < -1e-6 || worstBack < 1-1e-5 {
+		return t, fmt.Errorf("E6: transformation audit failed: drift %v gain %v back %v", maxDrift, minGain, worstBack)
+	}
+	return t, nil
+}
+
+// E8Scaling times the centralised engine on growing structured instances:
+// per-agent cost is flat (the algorithm is local), so total time is linear.
+func E8Scaling(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E8",
+		Title:   "runtime scaling of the centralised engine (R=3)",
+		Headers: []string{"agents", "total ms", "µs/agent"},
+		Notes:   []string{"µs/agent flat ⇒ linear total time: constant per-node work"},
+	}
+	sizes := []int{1000, 2000, 4000, 8000}
+	if scale == Quick {
+		sizes = []int{500, 1000}
+	}
+	for _, objs := range sizes {
+		in := gen.RandomStructured(gen.StructuredConfig{Objectives: objs, MaxDegK: 3, ExtraCons: objs / 2}, 1)
+		s, err := toStructured(in)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := core.Solve(s, core.Options{R: 3}); err != nil {
+			return nil, err
+		}
+		el := time.Since(start)
+		t.AddRow(in.NumAgents, fmt.Sprintf("%.1f", float64(el.Microseconds())/1000),
+			fmt.Sprintf("%.2f", float64(el.Microseconds())/float64(in.NumAgents)))
+	}
+	return t, nil
+}
+
+// E9RSweep shows convergence of the ratio in R towards the locality
+// threshold on a fixed instance family.
+func E9RSweep(scale Scale) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "ratio vs. R on fixed random general instances (ΔI=3, ΔK=3)",
+		Headers: []string{"R", "seeds", "worst ratio", "mean ratio", "bound", "threshold ΔI(1−1/ΔK)"},
+		Notes:   []string{"the bound converges to the threshold 2.0 as R grows; measured ratios stay below it"},
+	}
+	Rs := []int{2, 3, 4, 6, 8}
+	seeds := 15
+	if scale == Quick {
+		Rs, seeds = []int{2, 3, 4}, 4
+	}
+	for _, R := range Rs {
+		worst, sum := 0.0, 0.0
+		for seed := 0; seed < seeds; seed++ {
+			in := gen.Random(gen.RandomConfig{Agents: 18, MaxDegI: 3, MaxDegK: 3, ExtraCons: 5, ExtraObjs: 2}, int64(seed))
+			ratio, _, _, err := ratioAgainstExact(in, R)
+			if err != nil {
+				return nil, err
+			}
+			if ratio > worst {
+				worst = ratio
+			}
+			sum += ratio
+		}
+		t.AddRow(R, seeds, worst, sum/float64(seeds), maxminlp.RatioBound(3, 3, R), maxminlp.LocalityThreshold(3, 3))
+	}
+	return t, nil
+}
+
+// toStructured converts a structured-form mmlp instance.
+func toStructured(in *mmlp.Instance) (*structured.Instance, error) {
+	if err := transform.CheckStructured(in); err != nil {
+		return nil, err
+	}
+	return structured.FromMMLP(in)
+}
+
+// All runs every experiment at the given scale.
+func All(scale Scale) ([]*Table, error) {
+	type runner struct {
+		name string
+		fn   func(Scale) (*Table, error)
+	}
+	var tables []*Table
+	for _, r := range []runner{
+		{"E1", E1RatioSweep}, {"E2", E2Structured}, {"E3", E3Adversarial},
+		{"E4", E4Baseline}, {"E5", E5Rounds}, {"E6", E6Transforms},
+		{"E8", E8Scaling}, {"E9", E9RSweep}, {"E10", E10Ablation},
+		{"E11", E11Dynamic},
+	} {
+		tb, err := r.fn(scale)
+		if err != nil {
+			return tables, fmt.Errorf("%s: %w", r.name, err)
+		}
+		tables = append(tables, tb)
+	}
+	return tables, nil
+}

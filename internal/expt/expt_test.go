@@ -1,0 +1,55 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAllQuick(t *testing.T) {
+	tables, err := All(Quick)
+	if err != nil {
+		t.Fatalf("experiment failed: %v", err)
+	}
+	if len(tables) != 10 {
+		t.Fatalf("got %d tables, want 10", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, tb := range tables {
+		ids[tb.ID] = true
+		if len(tb.Rows) == 0 {
+			t.Fatalf("%s: no rows", tb.ID)
+		}
+		for _, r := range tb.Rows {
+			if len(r) != len(tb.Headers) {
+				t.Fatalf("%s: row width %d vs %d headers", tb.ID, len(r), len(tb.Headers))
+			}
+		}
+	}
+	for _, want := range []string{"E1", "E2", "E3", "E4", "E5", "E6", "E8", "E9", "E10", "E11"} {
+		if !ids[want] {
+			t.Fatalf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{ID: "T", Title: "demo", Headers: []string{"a", "bb"}, Notes: []string{"hello"}}
+	tb.AddRow(1, 2.5)
+	tb.AddRow("x", "y")
+	var txt bytes.Buffer
+	tb.Render(&txt)
+	out := txt.String()
+	for _, want := range []string{"T — demo", "a", "bb", "2.5000", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+	var md bytes.Buffer
+	tb.Markdown(&md)
+	for _, want := range []string{"### T — demo", "| a | bb |", "| --- | --- |", "| 1 | 2.5000 |", "_hello_"} {
+		if !strings.Contains(md.String(), want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md.String())
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package mmlp
+
+import (
+	"fmt"
+	"math"
+)
+
+// ConstraintValue returns Σ_{v∈Vi} a_iv x_v for constraint i.
+func (in *Instance) ConstraintValue(i int, x []float64) float64 {
+	s := 0.0
+	for _, t := range in.Cons[i].Terms {
+		s += t.Coef * x[t.Agent]
+	}
+	return s
+}
+
+// ObjectiveValue returns ω_k(x) = Σ_{v∈Vk} c_kv x_v for objective k.
+func (in *Instance) ObjectiveValue(k int, x []float64) float64 {
+	s := 0.0
+	for _, t := range in.Objs[k].Terms {
+		s += t.Coef * x[t.Agent]
+	}
+	return s
+}
+
+// Utility returns ω(x) = min_k ω_k(x), the quantity a max-min LP maximises.
+// An instance without objectives has utility +Inf.
+func (in *Instance) Utility(x []float64) float64 {
+	u := math.Inf(1)
+	for k := range in.Objs {
+		if w := in.ObjectiveValue(k, x); w < u {
+			u = w
+		}
+	}
+	return u
+}
+
+// MaxViolation returns the largest amount by which x violates feasibility:
+// the maximum over max_i (Σ a_iv x_v − 1) and max_v (−x_v), clamped below at
+// zero. A feasible point has MaxViolation 0.
+func (in *Instance) MaxViolation(x []float64) float64 {
+	worst := 0.0
+	for _, xv := range x {
+		if -xv > worst {
+			worst = -xv
+		}
+	}
+	for i := range in.Cons {
+		if over := in.ConstraintValue(i, x) - 1; over > worst {
+			worst = over
+		}
+	}
+	return worst
+}
+
+// CheckFeasible returns nil when x is feasible up to the additive tolerance
+// tol, and a descriptive error naming the first offending constraint or
+// negative variable otherwise. The vector length must equal NumAgents.
+func (in *Instance) CheckFeasible(x []float64, tol float64) error {
+	if len(x) != in.NumAgents {
+		return fmt.Errorf("mmlp: solution has %d entries, instance has %d agents", len(x), in.NumAgents)
+	}
+	for v, xv := range x {
+		if xv < -tol || math.IsNaN(xv) {
+			return fmt.Errorf("mmlp: x[%d] = %v is negative beyond tolerance %v", v, xv, tol)
+		}
+	}
+	for i := range in.Cons {
+		if s := in.ConstraintValue(i, x); s > 1+tol {
+			return fmt.Errorf("mmlp: constraint %d has load %v > 1 beyond tolerance %v", i, s, tol)
+		}
+	}
+	return nil
+}
+
+// Strictify returns a copy of x scaled so that it is exactly feasible:
+// negative entries are clamped to zero and the whole vector is divided by
+// the worst constraint load when that load exceeds 1. The utility shrinks by
+// at most the same factor. Useful to convert a numerically ε-infeasible
+// float solution into a certifiably feasible one.
+func (in *Instance) Strictify(x []float64) []float64 {
+	y := make([]float64, len(x))
+	for v, xv := range x {
+		if xv > 0 {
+			y[v] = xv
+		}
+	}
+	// Rescaling by the worst load may itself round a hair above 1, so repeat
+	// until the point is exactly feasible; each pass shrinks the load.
+	for {
+		worst := 1.0
+		for i := range in.Cons {
+			if s := in.ConstraintValue(i, y); s > worst {
+				worst = s
+			}
+		}
+		if worst <= 1 {
+			return y
+		}
+		worst = math.Nextafter(worst, math.Inf(1))
+		for v := range y {
+			y[v] /= worst
+		}
+	}
+}

@@ -1,0 +1,238 @@
+// Package mmlp defines the max-min linear program instance model used
+// throughout the repository.
+//
+// A max-min LP asks to
+//
+//	maximise   ω(x) = min_{k∈K} Σ_{v∈Vk} c_kv x_v
+//	subject to Σ_{v∈Vi} a_iv x_v ≤ 1  for all i ∈ I
+//	           x_v ≥ 0                for all v ∈ V
+//
+// where all coefficients a_iv and c_kv are strictly positive, every
+// constraint row has at most ΔI terms and every objective row has at most
+// ΔK terms. Agents, constraints and objectives are the three node classes of
+// the bipartite communication graph in the distributed setting (Floréen,
+// Kaasinen, Kaski, Suomela, SPAA 2009, §1.1).
+package mmlp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Term couples an agent index with a strictly positive coefficient. A term
+// in a constraint row carries a_iv; a term in an objective row carries c_kv.
+type Term struct {
+	Agent int     `json:"agent"`
+	Coef  float64 `json:"coef"`
+}
+
+// Constraint is one packing row Σ_{v∈Vi} a_iv x_v ≤ 1.
+type Constraint struct {
+	Terms []Term `json:"terms"`
+}
+
+// Objective is one covering row Σ_{v∈Vk} c_kv x_v, whose minimum over all
+// objectives is the utility ω(x) to be maximised.
+type Objective struct {
+	Terms []Term `json:"terms"`
+}
+
+// Instance is a complete max-min LP. Agents are identified by the integers
+// 0..NumAgents-1; constraints and objectives by their position in Cons and
+// Objs. The zero value is an empty, valid instance with no agents.
+type Instance struct {
+	NumAgents int          `json:"num_agents"`
+	Cons      []Constraint `json:"constraints"`
+	Objs      []Objective  `json:"objectives"`
+}
+
+// New returns an empty instance with n agents.
+func New(n int) *Instance {
+	return &Instance{NumAgents: n}
+}
+
+// AddConstraint appends the packing row Σ a_iv x_v ≤ 1 given as alternating
+// (agent, coefficient) pairs and returns its index. It panics if the
+// argument list has odd length; use Validate to vet the resulting instance.
+func (in *Instance) AddConstraint(pairs ...float64) int {
+	in.Cons = append(in.Cons, Constraint{Terms: termsOf(pairs)})
+	return len(in.Cons) - 1
+}
+
+// AddObjective appends the covering row Σ c_kv x_v given as alternating
+// (agent, coefficient) pairs and returns its index.
+func (in *Instance) AddObjective(pairs ...float64) int {
+	in.Objs = append(in.Objs, Objective{Terms: termsOf(pairs)})
+	return len(in.Objs) - 1
+}
+
+func termsOf(pairs []float64) []Term {
+	if len(pairs)%2 != 0 {
+		panic("mmlp: odd number of values in (agent, coef) pair list")
+	}
+	ts := make([]Term, 0, len(pairs)/2)
+	for j := 0; j < len(pairs); j += 2 {
+		ts = append(ts, Term{Agent: int(pairs[j]), Coef: pairs[j+1]})
+	}
+	return ts
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{
+		NumAgents: in.NumAgents,
+		Cons:      make([]Constraint, len(in.Cons)),
+		Objs:      make([]Objective, len(in.Objs)),
+	}
+	for i, c := range in.Cons {
+		out.Cons[i] = Constraint{Terms: append([]Term(nil), c.Terms...)}
+	}
+	for k, o := range in.Objs {
+		out.Objs[k] = Objective{Terms: append([]Term(nil), o.Terms...)}
+	}
+	return out
+}
+
+// DegreeI returns ΔI, the maximum number of terms in any constraint row.
+// An instance without constraints has DegreeI 0.
+func (in *Instance) DegreeI() int {
+	d := 0
+	for _, c := range in.Cons {
+		if len(c.Terms) > d {
+			d = len(c.Terms)
+		}
+	}
+	return d
+}
+
+// DegreeK returns ΔK, the maximum number of terms in any objective row.
+func (in *Instance) DegreeK() int {
+	d := 0
+	for _, o := range in.Objs {
+		if len(o.Terms) > d {
+			d = len(o.Terms)
+		}
+	}
+	return d
+}
+
+// Incidence captures, for every agent, the constraint rows Iv and objective
+// rows Kv it appears in. It is the per-agent "local input" of §1.1.
+type Incidence struct {
+	// ConsOf[v] lists the indices of constraints containing agent v.
+	ConsOf [][]int
+	// ObjsOf[v] lists the indices of objectives containing agent v.
+	ObjsOf [][]int
+}
+
+// Incidence computes the agent→row incidence lists. Row indices appear in
+// increasing order.
+func (in *Instance) Incidence() *Incidence {
+	inc := &Incidence{
+		ConsOf: make([][]int, in.NumAgents),
+		ObjsOf: make([][]int, in.NumAgents),
+	}
+	for i, c := range in.Cons {
+		for _, t := range c.Terms {
+			inc.ConsOf[t.Agent] = append(inc.ConsOf[t.Agent], i)
+		}
+	}
+	for k, o := range in.Objs {
+		for _, t := range o.Terms {
+			inc.ObjsOf[t.Agent] = append(inc.ObjsOf[t.Agent], k)
+		}
+	}
+	return inc
+}
+
+// Caps returns, for every agent v, the largest value x_v may take if all
+// other variables are zero: cap_v = min_{i∈Iv} 1/a_iv, or +Inf when v has no
+// constraints. Caps appear as f+_{u,v,0} in equation (5) of the paper.
+func (in *Instance) Caps() []float64 {
+	caps := make([]float64, in.NumAgents)
+	for v := range caps {
+		caps[v] = math.Inf(1)
+	}
+	for _, c := range in.Cons {
+		for _, t := range c.Terms {
+			if cap := 1 / t.Coef; cap < caps[t.Agent] {
+				caps[t.Agent] = cap
+			}
+		}
+	}
+	return caps
+}
+
+// TrivialUpperBound returns min_k Σ_{v∈Vk} c_kv cap_v, a cheap upper bound
+// on the optimum: no objective can exceed the value it attains when every
+// member agent is at its individual cap. Returns +Inf for an instance
+// without objectives.
+func (in *Instance) TrivialUpperBound() float64 {
+	caps := in.Caps()
+	ub := math.Inf(1)
+	for _, o := range in.Objs {
+		s := 0.0
+		for _, t := range o.Terms {
+			s += t.Coef * caps[t.Agent]
+		}
+		if s < ub {
+			ub = s
+		}
+	}
+	return ub
+}
+
+// Stats summarises the shape of an instance.
+type Stats struct {
+	Agents          int
+	Constraints     int
+	Objectives      int
+	DegreeI         int // ΔI
+	DegreeK         int // ΔK
+	MaxConsPerAgent int
+	MaxObjsPerAgent int
+	Edges           int
+}
+
+// Stats computes summary statistics for the instance.
+func (in *Instance) Stats() Stats {
+	st := Stats{
+		Agents:      in.NumAgents,
+		Constraints: len(in.Cons),
+		Objectives:  len(in.Objs),
+		DegreeI:     in.DegreeI(),
+		DegreeK:     in.DegreeK(),
+	}
+	inc := in.Incidence()
+	for v := 0; v < in.NumAgents; v++ {
+		if d := len(inc.ConsOf[v]); d > st.MaxConsPerAgent {
+			st.MaxConsPerAgent = d
+		}
+		if d := len(inc.ObjsOf[v]); d > st.MaxObjsPerAgent {
+			st.MaxObjsPerAgent = d
+		}
+		st.Edges += len(inc.ConsOf[v]) + len(inc.ObjsOf[v])
+	}
+	return st
+}
+
+// String renders the stats in a single human-readable line.
+func (s Stats) String() string {
+	return fmt.Sprintf("agents=%d constraints=%d objectives=%d ΔI=%d ΔK=%d edges=%d",
+		s.Agents, s.Constraints, s.Objectives, s.DegreeI, s.DegreeK, s.Edges)
+}
+
+// SortTerms orders every row's terms by agent index. Row semantics are
+// unchanged; a sorted instance has a canonical representation, which the
+// tests and the JSON golden files rely on.
+func (in *Instance) SortTerms() {
+	for i := range in.Cons {
+		ts := in.Cons[i].Terms
+		sort.Slice(ts, func(a, b int) bool { return ts[a].Agent < ts[b].Agent })
+	}
+	for k := range in.Objs {
+		ts := in.Objs[k].Terms
+		sort.Slice(ts, func(a, b int) bool { return ts[a].Agent < ts[b].Agent })
+	}
+}

@@ -1,0 +1,91 @@
+package mmlp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randInstance builds a random strictly valid instance from a seed.
+func randInstance(rng *rand.Rand) *Instance {
+	n := 2 + rng.Intn(8)
+	in := New(n)
+	// Every agent gets one private constraint so the instance is strictly
+	// valid; extra shared rows are layered on top.
+	for v := 0; v < n; v++ {
+		in.AddConstraint(float64(v), 0.5+rng.Float64())
+		in.AddObjective(float64(v), 0.5+rng.Float64())
+	}
+	for r := 0; r < rng.Intn(6); r++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		in.AddConstraint(float64(a), 0.5+rng.Float64(), float64(b), 0.5+rng.Float64())
+	}
+	return in
+}
+
+func TestQuickStrictifyAlwaysFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randInstance(rng)
+		x := make([]float64, in.NumAgents)
+		for v := range x {
+			x[v] = rng.Float64()*4 - 1 // may be negative or far too large
+		}
+		y := in.Strictify(x)
+		return in.CheckFeasible(y, 0) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickUtilityBelowTrivialBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randInstance(rng)
+		// Any feasible point's utility is at most the trivial bound.
+		x := make([]float64, in.NumAgents)
+		for v := range x {
+			x[v] = rng.Float64() * 3
+		}
+		x = in.Strictify(x)
+		return in.Utility(x) <= in.TrivialUpperBound()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCapsAreFeasiblePerAgent(t *testing.T) {
+	// Setting a single agent to its cap and all others to zero is feasible.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randInstance(rng)
+		caps := in.Caps()
+		v := rng.Intn(in.NumAgents)
+		x := make([]float64, in.NumAgents)
+		if math.IsInf(caps[v], 1) {
+			return true
+		}
+		x[v] = caps[v]
+		return in.CheckFeasible(x, 1e-12) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickValidateRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randInstance(rng)
+		return in.Validate() == nil && in.ValidateStrict() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

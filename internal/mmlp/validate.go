@@ -1,0 +1,88 @@
+package mmlp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrInvalid is wrapped by every error returned from Validate, so callers
+// can test with errors.Is(err, mmlp.ErrInvalid).
+var ErrInvalid = errors.New("invalid max-min LP instance")
+
+// Validate checks structural well-formedness:
+//
+//   - agent indices are within [0, NumAgents),
+//   - all coefficients are finite and strictly positive,
+//   - no row mentions the same agent twice.
+//
+// Validate does not require every agent to appear in a constraint and an
+// objective; degenerate agents are handled by transform.Preprocess, mirroring
+// the assumptions spelled out at the start of §4 in the paper.
+func (in *Instance) Validate() error {
+	if in.NumAgents < 0 {
+		return fmt.Errorf("%w: negative agent count %d", ErrInvalid, in.NumAgents)
+	}
+	seen := make(map[int]int, 8)
+	checkRow := func(kind string, row int, ts []Term) error {
+		clear(seen)
+		for _, t := range ts {
+			if t.Agent < 0 || t.Agent >= in.NumAgents {
+				return fmt.Errorf("%w: %s %d references agent %d outside [0,%d)",
+					ErrInvalid, kind, row, t.Agent, in.NumAgents)
+			}
+			if !(t.Coef > 0) || math.IsInf(t.Coef, 0) || math.IsNaN(t.Coef) {
+				return fmt.Errorf("%w: %s %d has non-positive or non-finite coefficient %v for agent %d",
+					ErrInvalid, kind, row, t.Coef, t.Agent)
+			}
+			if prev, dup := seen[t.Agent]; dup {
+				return fmt.Errorf("%w: %s %d mentions agent %d twice (terms %d and %d)",
+					ErrInvalid, kind, row, t.Agent, prev, len(seen))
+			}
+			seen[t.Agent] = len(seen)
+		}
+		return nil
+	}
+	for i, c := range in.Cons {
+		if err := checkRow("constraint", i, c.Terms); err != nil {
+			return err
+		}
+	}
+	for k, o := range in.Objs {
+		if err := checkRow("objective", k, o.Terms); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ValidateStrict additionally enforces the non-degeneracy assumptions of §4:
+// every constraint and objective has at least one agent, and every agent
+// appears in at least one constraint and at least one objective. Instances
+// that fail ValidateStrict but pass Validate can be repaired with
+// transform.Preprocess.
+func (in *Instance) ValidateStrict() error {
+	if err := in.Validate(); err != nil {
+		return err
+	}
+	for i, c := range in.Cons {
+		if len(c.Terms) == 0 {
+			return fmt.Errorf("%w: constraint %d has no agents", ErrInvalid, i)
+		}
+	}
+	for k, o := range in.Objs {
+		if len(o.Terms) == 0 {
+			return fmt.Errorf("%w: objective %d has no agents", ErrInvalid, k)
+		}
+	}
+	inc := in.Incidence()
+	for v := 0; v < in.NumAgents; v++ {
+		if len(inc.ConsOf[v]) == 0 {
+			return fmt.Errorf("%w: agent %d is unconstrained", ErrInvalid, v)
+		}
+		if len(inc.ObjsOf[v]) == 0 {
+			return fmt.Errorf("%w: agent %d contributes to no objective", ErrInvalid, v)
+		}
+	}
+	return nil
+}

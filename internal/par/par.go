@@ -1,0 +1,74 @@
+// Package par provides the small, deterministic parallel-iteration helper
+// the computational kernels share. Work is split into contiguous chunks so
+// results are written to disjoint index ranges without synchronisation.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach invokes fn(i) for every i in [0, n) using up to workers
+// goroutines (GOMAXPROCS when workers ≤ 0). fn must be safe to call
+// concurrently for distinct indices; iteration order within a chunk is
+// ascending. ForEach returns when all calls have completed.
+func ForEach(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	ForEachChunk(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+	})
+}
+
+// ForEachChunk splits [0, n) into at most `workers` contiguous chunks and
+// invokes fn(lo, hi) for each chunk on its own goroutine. Use it when the
+// worker needs per-goroutine scratch state that should be allocated once
+// per chunk rather than once per item.
+func ForEachChunk(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

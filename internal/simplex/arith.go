@@ -1,0 +1,66 @@
+package simplex
+
+import "math/big"
+
+// arith abstracts the field operations the tableau needs, so one simplex
+// implementation serves both float64 (fast, tolerance-based) and *big.Rat
+// (exact) arithmetic.
+type arith[T any] interface {
+	add(a, b T) T
+	sub(a, b T) T
+	mul(a, b T) T
+	div(a, b T) T
+	zero() T
+	fromFloat(f float64) T
+	toFloat(a T) float64
+	// sign returns -1, 0, +1; the float implementation treats |a| ≤ eps as 0.
+	sign(a T) int
+	// less reports a < b exactly (no tolerance); used only for ratio tests.
+	less(a, b T) bool
+	// clone returns a value safe to store (rationals are pointers).
+	clone(a T) T
+}
+
+// floatArith implements arith over float64 with an absolute tolerance.
+type floatArith struct{ eps float64 }
+
+func (floatArith) add(a, b float64) float64    { return a + b }
+func (floatArith) sub(a, b float64) float64    { return a - b }
+func (floatArith) mul(a, b float64) float64    { return a * b }
+func (floatArith) div(a, b float64) float64    { return a / b }
+func (floatArith) zero() float64               { return 0 }
+func (floatArith) fromFloat(f float64) float64 { return f }
+func (floatArith) toFloat(a float64) float64   { return a }
+func (fa floatArith) sign(a float64) int {
+	switch {
+	case a > fa.eps:
+		return 1
+	case a < -fa.eps:
+		return -1
+	default:
+		return 0
+	}
+}
+func (floatArith) less(a, b float64) bool  { return a < b }
+func (floatArith) clone(a float64) float64 { return a }
+
+// ratArith implements arith over *big.Rat; all results are fresh values.
+type ratArith struct{}
+
+func (ratArith) add(a, b *big.Rat) *big.Rat { return new(big.Rat).Add(a, b) }
+func (ratArith) sub(a, b *big.Rat) *big.Rat { return new(big.Rat).Sub(a, b) }
+func (ratArith) mul(a, b *big.Rat) *big.Rat { return new(big.Rat).Mul(a, b) }
+func (ratArith) div(a, b *big.Rat) *big.Rat { return new(big.Rat).Quo(a, b) }
+func (ratArith) zero() *big.Rat             { return new(big.Rat) }
+func (ratArith) fromFloat(f float64) *big.Rat {
+	r := new(big.Rat)
+	r.SetFloat64(f) // exact: every finite float64 is rational
+	return r
+}
+func (ratArith) toFloat(a *big.Rat) float64 {
+	f, _ := a.Float64()
+	return f
+}
+func (ratArith) sign(a *big.Rat) int       { return a.Sign() }
+func (ratArith) less(a, b *big.Rat) bool   { return a.Cmp(b) < 0 }
+func (ratArith) clone(a *big.Rat) *big.Rat { return new(big.Rat).Set(a) }

@@ -1,0 +1,205 @@
+package simplex
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/mmlp"
+)
+
+// SolveWithDuals runs the float64 simplex and additionally extracts the
+// optimal dual values, one per row. For a maximisation problem the duals
+// satisfy (when Status == Optimal):
+//
+//	strong duality:      Σ_i y_i b_i = optimum,
+//	dual feasibility:    Σ_i y_i a_ij ≥ c_j for every variable j,
+//	sign conventions:    y_i ≥ 0 for ≤ rows, y_i ≤ 0 for ≥ rows, free for =.
+//
+// Duals are read off the final reduced-cost row: the slack column of row i
+// prices to exactly y_i (cost 0, unit coefficient), a surplus column to
+// −y_i, and an artificial column (equality rows) to y_i.
+func SolveWithDuals(p *Problem) (Result, []float64) {
+	// Re-run build bookkeeping to locate each row's private column.
+	// (This duplicates the column plan of build; kept in sync by tests.)
+	r, duals := solveDuals(p, 1e-9)
+	return r, duals
+}
+
+func solveDuals(p *Problem, eps float64) (Result, []float64) {
+	ar := floatArith{eps: eps}
+	t := build[float64](ar, p)
+	if t.artStart < t.ncols {
+		st := t.iterate(t.obj1, t.ncols)
+		if st == Stalled {
+			return Result{Status: Stalled}, nil
+		}
+		if ar.sign(t.obj1[t.ncols]) != 0 {
+			return Result{Status: Infeasible}, nil
+		}
+		t.evictArtificials()
+	}
+	st := t.iterate(t.obj2, t.artStart)
+	if st != Optimal {
+		return Result{Status: st}, nil
+	}
+	xs := make([]float64, t.nStruct)
+	for i, b := range t.basis {
+		if b < t.nStruct {
+			xs[b] = t.a[i][t.ncols]
+		}
+	}
+	res := Result{Status: Optimal, X: xs, Value: t.obj2[t.ncols]}
+
+	// Column plan reconstruction: which column belongs to which row.
+	duals := make([]float64, len(p.Rows))
+	col := p.NumVars
+	type owner struct {
+		row  int
+		sign float64 // +1 slack, −1 surplus
+	}
+	owners := make([]owner, 0, len(p.Rows))
+	flips := make([]float64, len(p.Rows))
+	for i, row := range p.Rows {
+		rel, rhs := row.Rel, row.RHS
+		flips[i] = 1
+		if rhs < 0 {
+			flips[i] = -1
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		if rel == LE {
+			owners = append(owners, owner{i, 1})
+			col++
+		} else if rel == GE {
+			owners = append(owners, owner{i, -1})
+			col++
+		}
+	}
+	artCol := col
+	for i, row := range p.Rows {
+		rel := row.Rel
+		if flips[i] < 0 {
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		if rel == GE || rel == EQ {
+			// For GE the surplus already identifies the dual; equality rows
+			// need their artificial column.
+			if rel == EQ {
+				duals[i] = flips[i] * t.obj2[artCol]
+			}
+			artCol++
+		}
+	}
+	colAt := p.NumVars
+	for _, ow := range owners {
+		duals[ow.row] = flips[ow.row] * ow.sign * t.obj2[colAt]
+		colAt++
+	}
+	return res, duals
+}
+
+// MaxMinCertificate is a self-contained upper-bound proof for a max-min
+// LP, extracted from the optimal duals of the FromMaxMin reduction. With
+// yCons ≥ 0 (one weight per constraint row) and yObjs ≥ 0 (one per
+// objective row) satisfying
+//
+//	Σ_k yObjs_k ≥ 1                                (ω is covered)
+//	Σ_i yCons_i a_iv ≥ Σ_k yObjs_k c_kv  ∀ agent v (agents priced out)
+//
+// every feasible solution has ω ≤ Σ_i yCons_i =: Bound. Verify re-checks
+// the inequalities from scratch, so a certificate can be validated without
+// trusting the solver.
+type MaxMinCertificate struct {
+	YCons []float64
+	YObjs []float64
+	Bound float64
+}
+
+// CertifyMaxMin solves the instance and returns the optimal solution
+// together with a dual certificate of its optimality.
+func CertifyMaxMin(in *mmlp.Instance) (Result, *MaxMinCertificate, error) {
+	if len(in.Objs) == 0 {
+		return Result{Status: Unbounded}, nil, fmt.Errorf("simplex: no objectives")
+	}
+	p := FromMaxMin(in)
+	res, duals := solveDuals(p, 1e-9)
+	if res.Status != Optimal {
+		return res, nil, fmt.Errorf("simplex: %v", res.Status)
+	}
+	cert := &MaxMinCertificate{
+		YCons: make([]float64, len(in.Cons)),
+		YObjs: make([]float64, len(in.Objs)),
+	}
+	for i := range in.Cons {
+		y := duals[i]
+		if y < 0 {
+			y = 0 // clip float noise; Verify re-checks soundness
+		}
+		cert.YCons[i] = y
+		cert.Bound += y
+	}
+	for k := range in.Objs {
+		y := duals[len(in.Cons)+k]
+		if y < 0 {
+			y = 0
+		}
+		cert.YObjs[k] = y
+	}
+	res.X = res.X[:in.NumAgents]
+	return res, cert, nil
+}
+
+// Verify checks the certificate inequalities directly against the
+// instance, with additive tolerance tol, and confirms Bound = Σ yCons.
+func (c *MaxMinCertificate) Verify(in *mmlp.Instance, tol float64) error {
+	if len(c.YCons) != len(in.Cons) || len(c.YObjs) != len(in.Objs) {
+		return fmt.Errorf("simplex: certificate shape mismatch")
+	}
+	sumY := 0.0
+	for i, y := range c.YCons {
+		if y < -tol {
+			return fmt.Errorf("simplex: negative constraint weight %d", i)
+		}
+		sumY += y
+	}
+	if math.Abs(sumY-c.Bound) > tol*math.Max(1, c.Bound) {
+		return fmt.Errorf("simplex: bound %v != Σ y = %v", c.Bound, sumY)
+	}
+	cover := 0.0
+	for k, y := range c.YObjs {
+		if y < -tol {
+			return fmt.Errorf("simplex: negative objective weight %d", k)
+		}
+		cover += y
+	}
+	if cover < 1-tol {
+		return fmt.Errorf("simplex: objective weights cover only %v < 1", cover)
+	}
+	// Agents priced out: Σ_i y_i a_iv − Σ_k y_k c_kv ≥ 0.
+	price := make([]float64, in.NumAgents)
+	for i, cRow := range in.Cons {
+		for _, t := range cRow.Terms {
+			price[t.Agent] += c.YCons[i] * t.Coef
+		}
+	}
+	for k, o := range in.Objs {
+		for _, t := range o.Terms {
+			price[t.Agent] -= c.YObjs[k] * t.Coef
+		}
+	}
+	for v, pv := range price {
+		if pv < -tol {
+			return fmt.Errorf("simplex: agent %d priced at %v < 0", v, pv)
+		}
+	}
+	return nil
+}

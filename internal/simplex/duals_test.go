@@ -1,0 +1,165 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDualsStrongDualityKnownLP(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → 36.
+	// Known duals: y1 = 0, y2 = 3/2, y3 = 1.
+	p := New(2)
+	p.SetObjective(0, 3)
+	p.SetObjective(1, 5)
+	p.AddRow(LE, 4, 0, 1)
+	p.AddRow(LE, 12, 1, 2)
+	p.AddRow(LE, 18, 0, 3, 1, 2)
+	r, duals := SolveWithDuals(p)
+	if r.Status != Optimal {
+		t.Fatalf("status %v", r.Status)
+	}
+	want := []float64{0, 1.5, 1}
+	for i := range want {
+		if math.Abs(duals[i]-want[i]) > 1e-9 {
+			t.Fatalf("dual %d = %v, want %v", i, duals[i], want[i])
+		}
+	}
+	// Strong duality.
+	if got := 4*duals[0] + 12*duals[1] + 18*duals[2]; math.Abs(got-r.Value) > 1e-9 {
+		t.Fatalf("yᵀb = %v vs optimum %v", got, r.Value)
+	}
+}
+
+func TestDualsWithGEAndEQ(t *testing.T) {
+	// max x + y s.t. x + y ≤ 10, x ≥ 2, y = 3.
+	p := New(2)
+	p.SetObjective(0, 1)
+	p.SetObjective(1, 1)
+	p.AddRow(LE, 10, 0, 1, 1, 1)
+	p.AddRow(GE, 2, 0, 1)
+	p.AddRow(EQ, 3, 1, 1)
+	r, duals := SolveWithDuals(p)
+	if r.Status != Optimal {
+		t.Fatalf("status %v", r.Status)
+	}
+	if got := 10*duals[0] + 2*duals[1] + 3*duals[2]; math.Abs(got-r.Value) > 1e-9 {
+		t.Fatalf("strong duality: yᵀb = %v vs %v", got, r.Value)
+	}
+	if duals[0] < -1e-12 {
+		t.Fatalf("≤ row has negative dual %v", duals[0])
+	}
+	if duals[1] > 1e-12 {
+		t.Fatalf("≥ row has positive dual %v", duals[1])
+	}
+}
+
+func TestQuickStrongDualityRandomLPs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		p := New(n)
+		for j := 0; j < n; j++ {
+			p.SetObjective(j, rng.Float64()*3)
+			p.AddRow(LE, 1+rng.Float64()*3, float64(j), 0.5+rng.Float64())
+		}
+		for r := 0; r < rng.Intn(3); r++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a == b {
+				continue
+			}
+			p.AddRow(LE, 1+rng.Float64()*2, float64(a), 0.5+rng.Float64(), float64(b), 0.5+rng.Float64())
+		}
+		res, duals := SolveWithDuals(p)
+		if res.Status != Optimal {
+			return false
+		}
+		yb := 0.0
+		for i, row := range p.Rows {
+			yb += duals[i] * row.RHS
+		}
+		if math.Abs(yb-res.Value) > 1e-6*math.Max(1, math.Abs(res.Value)) {
+			return false
+		}
+		// Dual feasibility: Σ_i y_i a_ij ≥ c_j.
+		price := make([]float64, n)
+		for i, row := range p.Rows {
+			for _, e := range row.Entries {
+				price[e.Var] += duals[i] * e.Coef
+			}
+		}
+		for j := 0; j < n; j++ {
+			if price[j] < p.Objective[j]-1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertifyMaxMin(t *testing.T) {
+	in := twoAgentShared()
+	res, cert, err := CertifyMaxMin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value-0.5) > 1e-9 {
+		t.Fatalf("optimum %v", res.Value)
+	}
+	if err := cert.Verify(in, 1e-9); err != nil {
+		t.Fatalf("certificate rejected: %v", err)
+	}
+	if math.Abs(cert.Bound-res.Value) > 1e-7 {
+		t.Fatalf("certificate bound %v vs optimum %v", cert.Bound, res.Value)
+	}
+}
+
+func TestQuickCertifyMaxMinRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randMaxMin(rng)
+		res, cert, err := CertifyMaxMin(in)
+		if err != nil {
+			return false
+		}
+		if cert.Verify(in, 1e-6) != nil {
+			return false
+		}
+		// The certified bound matches the optimum (strong duality), and it
+		// really bounds the primal value.
+		return math.Abs(cert.Bound-res.Value) < 1e-5*math.Max(1, res.Value) &&
+			in.Utility(res.X) <= cert.Bound+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertificateVerifyRejectsBogus(t *testing.T) {
+	in := twoAgentShared()
+	_, cert, err := CertifyMaxMin(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := *cert
+	bogus.YObjs = append([]float64(nil), cert.YObjs...)
+	bogus.YObjs[0] = 0 // breaks the ω cover
+	bogus.YObjs[1] = 0
+	if err := bogus.Verify(in, 1e-9); err == nil {
+		t.Fatal("uncovered ω accepted")
+	}
+	bogus2 := *cert
+	bogus2.Bound = cert.Bound * 2
+	if err := bogus2.Verify(in, 1e-9); err == nil {
+		t.Fatal("inflated bound accepted")
+	}
+	bogus3 := *cert
+	bogus3.YCons = []float64{}
+	if err := bogus3.Verify(in, 1e-9); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}

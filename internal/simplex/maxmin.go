@@ -1,0 +1,117 @@
+package simplex
+
+import (
+	"math"
+	"math/big"
+
+	"repro/internal/mmlp"
+)
+
+// FromMaxMin encodes a max-min LP as a plain LP:
+//
+//	maximise ω  subject to  Ax ≤ 1,  ω − Cx ≤ 0,  x ≥ 0, ω ≥ 0.
+//
+// Variables 0..NumAgents-1 are the agents' x_v; variable NumAgents is ω.
+// Written with ≤ rows and nonnegative right-hand sides throughout, the LP
+// has a feasible all-slack basis, so the solver skips phase 1 entirely.
+func FromMaxMin(in *mmlp.Instance) *Problem {
+	n := in.NumAgents
+	p := New(n + 1)
+	p.SetObjective(n, 1)
+	for _, c := range in.Cons {
+		row := Row{Rel: LE, RHS: 1}
+		for _, t := range c.Terms {
+			row.Entries = append(row.Entries, Entry{Var: t.Agent, Coef: t.Coef})
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	for _, o := range in.Objs {
+		row := Row{Rel: LE, RHS: 0, Entries: []Entry{{Var: n, Coef: 1}}}
+		for _, t := range o.Terms {
+			row.Entries = append(row.Entries, Entry{Var: t.Agent, Coef: -t.Coef})
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	return p
+}
+
+// SolveMaxMin computes an optimal solution of the max-min LP with the
+// float64 simplex. The returned X has length NumAgents and Value is the
+// optimum utility ω*. An instance with no objectives is reported Unbounded.
+func SolveMaxMin(in *mmlp.Instance) Result {
+	if len(in.Objs) == 0 {
+		return Result{Status: Unbounded}
+	}
+	r := Solve(FromMaxMin(in))
+	if r.Status != Optimal {
+		return r
+	}
+	return Result{Status: Optimal, X: r.X[:in.NumAgents], Value: r.Value}
+}
+
+// SolveMaxMinRat computes the exact rational optimum of the max-min LP.
+func SolveMaxMinRat(in *mmlp.Instance) RatResult {
+	if len(in.Objs) == 0 {
+		return RatResult{Status: Unbounded}
+	}
+	r := SolveRat(FromMaxMin(in))
+	if r.Status != Optimal {
+		return r
+	}
+	return RatResult{Status: Optimal, X: r.X[:in.NumAgents], Value: r.Value}
+}
+
+// SolveMaxMinBisect solves the max-min LP by bisection on ω with a phase-1
+// feasibility test per step: the largest ω with {Ax ≤ 1, Cx ≥ ω1} nonempty.
+// It stops when the bracket is narrower than tol·max(1, ω). Exists as an
+// independent method to cross-check the direct reduction, and as the model
+// for the binary search the local algorithm uses for t_u (§5.2).
+func SolveMaxMinBisect(in *mmlp.Instance, tol float64) Result {
+	if len(in.Objs) == 0 {
+		return Result{Status: Unbounded}
+	}
+	hi := in.TrivialUpperBound()
+	if math.IsInf(hi, 1) {
+		// Some objective is made of unconstrained agents only; ω is
+		// unbounded unless another objective pins it. Fall back on the
+		// direct reduction which detects this case exactly.
+		return SolveMaxMin(in)
+	}
+	feasibleAt := func(w float64) bool {
+		p := New(in.NumAgents)
+		for _, c := range in.Cons {
+			row := Row{Rel: LE, RHS: 1}
+			for _, t := range c.Terms {
+				row.Entries = append(row.Entries, Entry{Var: t.Agent, Coef: t.Coef})
+			}
+			p.Rows = append(p.Rows, row)
+		}
+		for _, o := range in.Objs {
+			row := Row{Rel: GE, RHS: w}
+			for _, t := range o.Terms {
+				row.Entries = append(row.Entries, Entry{Var: t.Agent, Coef: t.Coef})
+			}
+			p.Rows = append(p.Rows, row)
+		}
+		return Feasible(p, 1e-9)
+	}
+	lo := 0.0
+	if !feasibleAt(0) {
+		return Result{Status: Infeasible}
+	}
+	for hi-lo > tol*math.Max(1, lo) {
+		mid := lo + (hi-lo)/2
+		if feasibleAt(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return Result{Status: Optimal, Value: lo}
+}
+
+// RatFloat converts a rational to float64, a convenience for reporting.
+func RatFloat(r *big.Rat) float64 {
+	f, _ := r.Float64()
+	return f
+}

@@ -1,0 +1,179 @@
+package simplex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mmlp"
+)
+
+// twoAgentShared: x0 + x1 ≤ 1, objectives x0 and x1 → optimum 1/2 each.
+func twoAgentShared() *mmlp.Instance {
+	in := mmlp.New(2)
+	in.AddConstraint(0, 1, 1, 1)
+	in.AddObjective(0, 1)
+	in.AddObjective(1, 1)
+	return in
+}
+
+func TestSolveMaxMinTwoAgent(t *testing.T) {
+	r := SolveMaxMin(twoAgentShared())
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	approx(t, r.Value, 0.5, 1e-9, "omega*")
+	if len(r.X) != 2 {
+		t.Fatalf("len(X) = %d", len(r.X))
+	}
+	approx(t, r.X[0], 0.5, 1e-9, "x0")
+}
+
+func TestSolveMaxMinRatExact(t *testing.T) {
+	r := SolveMaxMinRat(twoAgentShared())
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	if got := RatFloat(r.Value); got != 0.5 {
+		t.Fatalf("omega* = %v, want 1/2", got)
+	}
+}
+
+func TestSolveMaxMinUnbalancedCoefs(t *testing.T) {
+	// x0 ≤ 1/2 via 2x0 ≤ 1; objective1 = 4 x0 → 2; objective2 = x1 with
+	// x1 ≤ 1 → 1. Optimum min is 1 (both achievable independently).
+	in := mmlp.New(2)
+	in.AddConstraint(0, 2)
+	in.AddConstraint(1, 1)
+	in.AddObjective(0, 4)
+	in.AddObjective(1, 1)
+	r := SolveMaxMin(in)
+	approx(t, r.Value, 1, 1e-9, "omega*")
+}
+
+func TestSolveMaxMinNoObjectives(t *testing.T) {
+	in := mmlp.New(1)
+	in.AddConstraint(0, 1)
+	if r := SolveMaxMin(in); r.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", r.Status)
+	}
+	if r := SolveMaxMinRat(in); r.Status != Unbounded {
+		t.Fatalf("rat status = %v, want unbounded", r.Status)
+	}
+	if r := SolveMaxMinBisect(in, 1e-9); r.Status != Unbounded {
+		t.Fatalf("bisect status = %v, want unbounded", r.Status)
+	}
+}
+
+func TestSolveMaxMinUnboundedObjective(t *testing.T) {
+	// The only objective consists of an unconstrained agent → unbounded.
+	in := mmlp.New(2)
+	in.AddConstraint(0, 1)
+	in.AddObjective(1, 1)
+	if r := SolveMaxMin(in); r.Status != Unbounded {
+		t.Fatalf("status = %v, want unbounded", r.Status)
+	}
+	if r := SolveMaxMinBisect(in, 1e-9); r.Status != Unbounded {
+		t.Fatalf("bisect status = %v, want unbounded", r.Status)
+	}
+}
+
+func TestSolveMaxMinOneUnboundedObjectiveAmongTwo(t *testing.T) {
+	// ω = min over objectives; an unconstrained objective does not lift the
+	// bound imposed by a constrained one.
+	in := mmlp.New(2)
+	in.AddConstraint(0, 1)
+	in.AddObjective(0, 1)
+	in.AddObjective(1, 1)
+	r := SolveMaxMin(in)
+	if r.Status != Optimal {
+		t.Fatalf("status = %v", r.Status)
+	}
+	approx(t, r.Value, 1, 1e-9, "omega*")
+}
+
+// randMaxMin builds a random strictly valid, fully constrained instance.
+func randMaxMin(rng *rand.Rand) *mmlp.Instance {
+	n := 2 + rng.Intn(5)
+	in := mmlp.New(n)
+	for v := 0; v < n; v++ {
+		in.AddConstraint(float64(v), 0.5+rng.Float64())
+	}
+	for r := 0; r < 1+rng.Intn(4); r++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a == b {
+			continue
+		}
+		in.AddConstraint(float64(a), 0.5+rng.Float64(), float64(b), 0.5+rng.Float64())
+	}
+	for v := 0; v < n; v++ {
+		// objective over v and a partner
+		w := (v + 1) % n
+		in.AddObjective(float64(v), 0.5+rng.Float64(), float64(w), 0.5+rng.Float64())
+	}
+	return in
+}
+
+func TestQuickMaxMinSolutionFeasibleAndTight(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randMaxMin(rng)
+		r := SolveMaxMin(in)
+		if r.Status != Optimal {
+			return false
+		}
+		if in.CheckFeasible(r.X, 1e-7) != nil {
+			return false
+		}
+		// Utility of the returned x matches the reported value.
+		return math.Abs(in.Utility(r.X)-r.Value) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMaxMinFloatMatchesRational(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randMaxMin(rng)
+		rf := SolveMaxMin(in)
+		rr := SolveMaxMinRat(in)
+		if rf.Status != Optimal || rr.Status != Optimal {
+			return false
+		}
+		return math.Abs(rf.Value-RatFloat(rr.Value)) < 1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMaxMinBisectMatchesDirect(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randMaxMin(rng)
+		direct := SolveMaxMin(in)
+		bis := SolveMaxMinBisect(in, 1e-9)
+		if direct.Status != Optimal || bis.Status != Optimal {
+			return false
+		}
+		return math.Abs(direct.Value-bis.Value) < 1e-6*math.Max(1, direct.Value)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMaxMinOptimumBelowTrivialBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randMaxMin(rng)
+		r := SolveMaxMin(in)
+		return r.Status == Optimal && r.Value <= in.TrivialUpperBound()+1e-7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,206 @@
+// Package structured holds the compact representation of a max-min LP in
+// the special form the algorithm of §5 operates on, as produced by the §4
+// transformations:
+//
+//	|Vi| = 2   every constraint couples exactly two agents,
+//	|Kv| = 1   every agent belongs to exactly one objective k(v),
+//	|Vk| ≥ 2   every objective has at least two agents,
+//	c_kv = 1   all objective coefficients are 1,
+//	|Iv| ≥ 1   every agent has at least one constraint.
+//
+// The representation stores, per agent, its objective k(v), its constraint
+// list Iv and its cap min_{i∈Iv} 1/a_iv, and per constraint the agent pair
+// with coefficients, so the recursions (5)–(7) and (12)–(14) read their
+// inputs in O(1).
+package structured
+
+import (
+	"fmt"
+
+	"repro/internal/mmlp"
+)
+
+// Instance is a structured max-min LP.
+type Instance struct {
+	// N is the number of agents.
+	N int
+	// ObjOf[v] is k(v), the unique objective of agent v.
+	ObjOf []int32
+	// Objs[k] lists Vk, the agents of objective k (length ≥ 2).
+	Objs [][]int32
+	// ConsV[i] is the agent pair of constraint i.
+	ConsV [][2]int32
+	// ConsA[i] holds the matching coefficients a_iv.
+	ConsA [][2]float64
+	// ConsOf[v] lists Iv, the constraints containing agent v.
+	ConsOf [][]int32
+	// Caps[v] = min_{i∈Iv} 1/a_iv, the value f+_{u,v,0} of equation (5).
+	Caps []float64
+}
+
+// FromMMLP converts a structured mmlp.Instance (see transform.CheckStructured)
+// into the compact form. It re-verifies the structural preconditions.
+func FromMMLP(in *mmlp.Instance) (*Instance, error) {
+	s := &Instance{
+		N:      in.NumAgents,
+		ObjOf:  make([]int32, in.NumAgents),
+		Objs:   make([][]int32, len(in.Objs)),
+		ConsV:  make([][2]int32, len(in.Cons)),
+		ConsA:  make([][2]float64, len(in.Cons)),
+		ConsOf: make([][]int32, in.NumAgents),
+		Caps:   make([]float64, in.NumAgents),
+	}
+	for v := range s.ObjOf {
+		s.ObjOf[v] = -1
+	}
+	for k, o := range in.Objs {
+		if len(o.Terms) < 2 {
+			return nil, fmt.Errorf("structured: objective %d has %d agents, want ≥ 2", k, len(o.Terms))
+		}
+		s.Objs[k] = make([]int32, len(o.Terms))
+		for j, t := range o.Terms {
+			if t.Coef != 1 {
+				return nil, fmt.Errorf("structured: objective %d agent %d has coefficient %v, want 1", k, t.Agent, t.Coef)
+			}
+			if s.ObjOf[t.Agent] != -1 {
+				return nil, fmt.Errorf("structured: agent %d belongs to objectives %d and %d", t.Agent, s.ObjOf[t.Agent], k)
+			}
+			s.ObjOf[t.Agent] = int32(k)
+			s.Objs[k][j] = int32(t.Agent)
+		}
+	}
+	for v := range s.ObjOf {
+		if s.ObjOf[v] == -1 {
+			return nil, fmt.Errorf("structured: agent %d has no objective", v)
+		}
+	}
+	for i, c := range in.Cons {
+		if len(c.Terms) != 2 {
+			return nil, fmt.Errorf("structured: constraint %d has %d agents, want 2", i, len(c.Terms))
+		}
+		for j, t := range c.Terms {
+			s.ConsV[i][j] = int32(t.Agent)
+			s.ConsA[i][j] = t.Coef
+			s.ConsOf[t.Agent] = append(s.ConsOf[t.Agent], int32(i))
+		}
+	}
+	for v := 0; v < s.N; v++ {
+		if len(s.ConsOf[v]) == 0 {
+			return nil, fmt.Errorf("structured: agent %d has no constraints", v)
+		}
+		cap := 0.0
+		for j, i := range s.ConsOf[v] {
+			a := s.CoefOf(int(i), int32(v))
+			if j == 0 || 1/a < cap {
+				cap = 1 / a
+			}
+		}
+		s.Caps[v] = cap
+	}
+	return s, nil
+}
+
+// CoefOf returns a_iv for agent v in constraint i; v must be in the pair.
+func (s *Instance) CoefOf(i int, v int32) float64 {
+	if s.ConsV[i][0] == v {
+		return s.ConsA[i][0]
+	}
+	if s.ConsV[i][1] == v {
+		return s.ConsA[i][1]
+	}
+	panic(fmt.Sprintf("structured: agent %d not in constraint %d", v, i))
+}
+
+// Partner returns n(v,i): the other agent of constraint i, together with
+// a_iv (the caller's coefficient) and a_i,n(v,i) (the partner's).
+func (s *Instance) Partner(i int, v int32) (w int32, av, aw float64) {
+	if s.ConsV[i][0] == v {
+		return s.ConsV[i][1], s.ConsA[i][0], s.ConsA[i][1]
+	}
+	if s.ConsV[i][1] == v {
+		return s.ConsV[i][0], s.ConsA[i][1], s.ConsA[i][0]
+	}
+	panic(fmt.Sprintf("structured: agent %d not in constraint %d", v, i))
+}
+
+// PeersDo invokes fn for every w ∈ N(v) = Vk(v) \ {v}.
+func (s *Instance) PeersDo(v int32, fn func(w int32)) {
+	for _, w := range s.Objs[s.ObjOf[v]] {
+		if w != v {
+			fn(w)
+		}
+	}
+}
+
+// DegreeK returns ΔK, the largest objective size.
+func (s *Instance) DegreeK() int {
+	d := 0
+	for _, m := range s.Objs {
+		if len(m) > d {
+			d = len(m)
+		}
+	}
+	return d
+}
+
+// MaxConsPerAgent returns max_v |Iv|, the branching factor of the
+// alternating-tree recursion.
+func (s *Instance) MaxConsPerAgent() int {
+	d := 0
+	for _, c := range s.ConsOf {
+		if len(c) > d {
+			d = len(c)
+		}
+	}
+	return d
+}
+
+// ToMMLP converts back to the row representation (for LP solving, JSON, …).
+func (s *Instance) ToMMLP() *mmlp.Instance {
+	out := mmlp.New(s.N)
+	for i := range s.ConsV {
+		out.AddConstraint(float64(s.ConsV[i][0]), s.ConsA[i][0], float64(s.ConsV[i][1]), s.ConsA[i][1])
+	}
+	for _, members := range s.Objs {
+		pairs := make([]float64, 0, 2*len(members))
+		for _, v := range members {
+			pairs = append(pairs, float64(v), 1)
+		}
+		out.AddObjective(pairs...)
+	}
+	return out
+}
+
+// Utility returns ω(x) on the structured instance: the smallest objective
+// sum Σ_{v∈Vk} x_v.
+func (s *Instance) Utility(x []float64) float64 {
+	best := 0.0
+	for k, members := range s.Objs {
+		sum := 0.0
+		for _, v := range members {
+			sum += x[v]
+		}
+		if k == 0 || sum < best {
+			best = sum
+		}
+	}
+	return best
+}
+
+// MaxViolation returns the worst constraint overshoot max_i (Σ a x − 1),
+// clamped at 0, plus any negativity of x.
+func (s *Instance) MaxViolation(x []float64) float64 {
+	worst := 0.0
+	for _, xv := range x {
+		if -xv > worst {
+			worst = -xv
+		}
+	}
+	for i := range s.ConsV {
+		load := s.ConsA[i][0]*x[s.ConsV[i][0]] + s.ConsA[i][1]*x[s.ConsV[i][1]]
+		if load-1 > worst {
+			worst = load - 1
+		}
+	}
+	return worst
+}

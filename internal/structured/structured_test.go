@@ -1,0 +1,189 @@
+package structured
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mmlp"
+)
+
+// sample: objective {0,1,2}, constraints {0,1} a=(1,2) and {1,2} a=(0.5,1),
+// plus objective {3,4} with constraint {3,4} — two components.
+func sample() *mmlp.Instance {
+	in := mmlp.New(5)
+	in.AddObjective(0, 1, 1, 1, 2, 1)
+	in.AddObjective(3, 1, 4, 1)
+	in.AddConstraint(0, 1, 1, 2)
+	in.AddConstraint(1, 0.5, 2, 1)
+	in.AddConstraint(3, 1, 4, 1)
+	return in
+}
+
+func TestFromMMLPBuildsArrays(t *testing.T) {
+	s, err := FromMMLP(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N != 5 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.ObjOf[0] != 0 || s.ObjOf[4] != 1 {
+		t.Fatalf("ObjOf wrong: %v", s.ObjOf)
+	}
+	if len(s.Objs[0]) != 3 || len(s.Objs[1]) != 2 {
+		t.Fatalf("Objs sizes wrong")
+	}
+	if len(s.ConsOf[1]) != 2 {
+		t.Fatalf("agent 1 should be in 2 constraints, got %d", len(s.ConsOf[1]))
+	}
+	// Caps: agent 1 has a = 2 and 0.5 → cap = 1/2.
+	if s.Caps[1] != 0.5 {
+		t.Fatalf("cap[1] = %v", s.Caps[1])
+	}
+	if s.Caps[0] != 1 || s.Caps[2] != 1 {
+		t.Fatalf("caps wrong: %v", s.Caps)
+	}
+}
+
+func TestFromMMLPRejects(t *testing.T) {
+	// Objective too small.
+	a := mmlp.New(1)
+	a.AddObjective(0, 1)
+	if _, err := FromMMLP(a); err == nil {
+		t.Fatal("singleton objective accepted")
+	}
+	// Non-unit coefficient.
+	b := mmlp.New(2)
+	b.AddObjective(0, 1, 1, 2)
+	b.AddConstraint(0, 1, 1, 1)
+	if _, err := FromMMLP(b); err == nil {
+		t.Fatal("non-unit coefficient accepted")
+	}
+	// Agent in two objectives.
+	c := mmlp.New(3)
+	c.AddObjective(0, 1, 1, 1)
+	c.AddObjective(0, 1, 2, 1)
+	c.AddConstraint(0, 1, 1, 1)
+	c.AddConstraint(2, 1, 0, 1)
+	if _, err := FromMMLP(c); err == nil {
+		t.Fatal("doubly covered agent accepted")
+	}
+	// Agent without objective.
+	d := mmlp.New(3)
+	d.AddObjective(0, 1, 1, 1)
+	d.AddConstraint(1, 1, 2, 1)
+	if _, err := FromMMLP(d); err == nil {
+		t.Fatal("uncovered agent accepted")
+	}
+	// Constraint with wrong arity.
+	e := mmlp.New(2)
+	e.AddObjective(0, 1, 1, 1)
+	e.AddConstraint(0, 1)
+	if _, err := FromMMLP(e); err == nil {
+		t.Fatal("singleton constraint accepted")
+	}
+	// Agent without constraint.
+	f := mmlp.New(2)
+	f.AddObjective(0, 1, 1, 1)
+	f.AddConstraint(0, 1, 0, 1) // invalid duplicate… use a valid pair on one agent twice
+	if _, err := FromMMLP(f); err == nil {
+		t.Fatal("expected rejection (agent 1 unconstrained or duplicate pair)")
+	}
+}
+
+func TestPartnerAndCoef(t *testing.T) {
+	s, err := FromMMLP(sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, av, aw := s.Partner(0, 0)
+	if w != 1 || av != 1 || aw != 2 {
+		t.Fatalf("Partner(0,0) = %d %v %v", w, av, aw)
+	}
+	w, av, aw = s.Partner(0, 1)
+	if w != 0 || av != 2 || aw != 1 {
+		t.Fatalf("Partner(0,1) = %d %v %v", w, av, aw)
+	}
+	if got := s.CoefOf(1, 1); got != 0.5 {
+		t.Fatalf("CoefOf(1,1) = %v", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("CoefOf on absent agent should panic")
+		}
+	}()
+	s.CoefOf(0, 4)
+}
+
+func TestPartnerPanicsOnAbsentAgent(t *testing.T) {
+	s, _ := FromMMLP(sample())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	s.Partner(0, 4)
+}
+
+func TestPeersDo(t *testing.T) {
+	s, _ := FromMMLP(sample())
+	var peers []int32
+	s.PeersDo(1, func(w int32) { peers = append(peers, w) })
+	if len(peers) != 2 || peers[0] != 0 || peers[1] != 2 {
+		t.Fatalf("peers of 1 = %v", peers)
+	}
+	peers = nil
+	s.PeersDo(3, func(w int32) { peers = append(peers, w) })
+	if len(peers) != 1 || peers[0] != 4 {
+		t.Fatalf("peers of 3 = %v", peers)
+	}
+}
+
+func TestDegreesAndBranching(t *testing.T) {
+	s, _ := FromMMLP(sample())
+	if s.DegreeK() != 3 {
+		t.Fatalf("DegreeK = %d", s.DegreeK())
+	}
+	if s.MaxConsPerAgent() != 2 {
+		t.Fatalf("MaxConsPerAgent = %d", s.MaxConsPerAgent())
+	}
+}
+
+func TestToMMLPRoundTrip(t *testing.T) {
+	in := sample()
+	s, _ := FromMMLP(in)
+	back := s.ToMMLP()
+	if back.NumAgents != in.NumAgents || len(back.Cons) != len(in.Cons) || len(back.Objs) != len(in.Objs) {
+		t.Fatalf("round trip changed shape: %v vs %v", back.Stats(), in.Stats())
+	}
+	s2, err := FromMMLP(back)
+	if err != nil {
+		t.Fatalf("round trip not structured: %v", err)
+	}
+	for v := 0; v < s.N; v++ {
+		if s2.Caps[v] != s.Caps[v] {
+			t.Fatalf("caps changed at %d", v)
+		}
+	}
+}
+
+func TestUtilityAndViolation(t *testing.T) {
+	s, _ := FromMMLP(sample())
+	x := []float64{0.2, 0.3, 0.4, 0.5, 0.5}
+	// Objective sums: 0.9 and 1.0 → utility 0.9.
+	if got := s.Utility(x); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("utility = %v", got)
+	}
+	if v := s.MaxViolation(x); v != 0 {
+		t.Fatalf("violation = %v for feasible x", v)
+	}
+	bad := []float64{1, 1, 0, 0, 0}
+	// Constraint 0: 1 + 2 = 3 → violation 2.
+	if v := s.MaxViolation(bad); math.Abs(v-2) > 1e-12 {
+		t.Fatalf("violation = %v, want 2", v)
+	}
+	neg := []float64{-0.5, 0, 0, 0, 0}
+	if v := s.MaxViolation(neg); math.Abs(v-0.5) > 1e-12 {
+		t.Fatalf("violation = %v, want 0.5", v)
+	}
+}

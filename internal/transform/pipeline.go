@@ -1,0 +1,124 @@
+// Package transform implements the locally computable reductions of §4 of
+// the paper, which turn an arbitrary max-min LP into the structured form
+// required by the algorithm of §5:
+//
+//	|Vi| = 2  for every constraint,
+//	|Kv| = 1  for every agent,
+//	|Vk| ≥ 2  for every objective,
+//	c_kv = 1  for every objective coefficient.
+//
+// Each step produces a transformed instance together with a back-mapping
+// that converts any feasible solution of the transformed instance into a
+// feasible solution of the original whose utility is no smaller (up to the
+// deliberate ΔI/2 scaling of the degree-reduction step §4.3). Steps compose
+// into a Pipeline.
+//
+// The paper performs these rewrites inside each node's local view to keep
+// the algorithm distributed; the rewrite rules themselves are deterministic
+// and local (each looks only at a constant-radius neighbourhood), so
+// applying them to the whole instance — as this package does — produces the
+// same transformed network that the per-node views would stitch together.
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/mmlp"
+)
+
+// BackMap converts a feasible solution of a transformed instance into a
+// feasible solution of the instance the transformation started from.
+type BackMap func(x []float64) []float64
+
+// Step is one applied transformation.
+type Step struct {
+	// Name identifies the paper section, e.g. "§4.3 degree reduction".
+	Name string
+	// Out is the instance after the step.
+	Out *mmlp.Instance
+	// Back maps a solution of Out to a solution of the step's input.
+	Back BackMap
+}
+
+// Pipeline is a composed sequence of transformation steps.
+type Pipeline struct {
+	// Input is the original instance handed to Structure.
+	Input *mmlp.Instance
+	// Steps lists the applied transformations in application order.
+	Steps []Step
+}
+
+// Final returns the instance after the last step (Input when no steps ran).
+func (p *Pipeline) Final() *mmlp.Instance {
+	if len(p.Steps) == 0 {
+		return p.Input
+	}
+	return p.Steps[len(p.Steps)-1].Out
+}
+
+// Back maps a feasible solution of Final() back to the original instance by
+// applying the step back-maps in reverse order.
+func (p *Pipeline) Back(x []float64) []float64 {
+	for s := len(p.Steps) - 1; s >= 0; s-- {
+		x = p.Steps[s].Back(x)
+	}
+	return x
+}
+
+// Structure applies the full §4 pipeline (after Preprocess has removed
+// degenerate nodes — see Preprocess; Structure requires a strictly valid
+// input) and returns the composed pipeline. The final instance satisfies
+// CheckStructured.
+func Structure(in *mmlp.Instance) (*Pipeline, error) {
+	if err := in.ValidateStrict(); err != nil {
+		return nil, fmt.Errorf("transform: input must be strictly valid (run Preprocess first): %w", err)
+	}
+	p := &Pipeline{Input: in}
+	cur := in
+	apply := func(name string, f func(*mmlp.Instance) (*mmlp.Instance, BackMap)) {
+		out, back := f(cur)
+		p.Steps = append(p.Steps, Step{Name: name, Out: out, Back: back})
+		cur = out
+	}
+	apply("§4.2 augment singleton constraints", AugmentSingletonConstraints)
+	apply("§4.3 reduce constraint degree", ReduceConstraintDegree)
+	apply("§4.4 one objective per agent", SplitAgentsPerObjective)
+	apply("§4.5 augment singleton objectives", AugmentSingletonObjectives)
+	apply("§4.6 normalise coefficients", NormalizeCoefficients)
+	if err := CheckStructured(cur); err != nil {
+		return nil, fmt.Errorf("transform: pipeline did not reach structured form: %w", err)
+	}
+	return p, nil
+}
+
+// CheckStructured verifies the §5 preconditions: every constraint has
+// exactly two agents, every agent exactly one objective and at least one
+// constraint, every objective at least two agents, and all objective
+// coefficients equal 1.
+func CheckStructured(in *mmlp.Instance) error {
+	for i, c := range in.Cons {
+		if len(c.Terms) != 2 {
+			return fmt.Errorf("constraint %d has %d agents, want 2", i, len(c.Terms))
+		}
+	}
+	for k, o := range in.Objs {
+		if len(o.Terms) < 2 {
+			return fmt.Errorf("objective %d has %d agents, want ≥ 2", k, len(o.Terms))
+		}
+		for _, t := range o.Terms {
+			if t.Coef != 1 {
+				return fmt.Errorf("objective %d has coefficient %v for agent %d, want 1", k, t.Coef, t.Agent)
+			}
+		}
+	}
+	inc := in.Incidence()
+	for v := 0; v < in.NumAgents; v++ {
+		if len(inc.ObjsOf[v]) != 1 {
+			return fmt.Errorf("agent %d belongs to %d objectives, want 1", v, len(inc.ObjsOf[v]))
+		}
+		if len(inc.ConsOf[v]) == 0 {
+			return fmt.Errorf("agent %d has no constraints", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+package transform
+
+import (
+	"math"
+
+	"repro/internal/mmlp"
+)
+
+// Outcome classifies what preprocessing discovered about an instance.
+type Outcome int
+
+// Preprocessing outcomes.
+const (
+	// OK: the reduced instance is strictly valid and the optimum of the
+	// original equals the optimum of the reduced instance.
+	OK Outcome = iota
+	// ZeroOptimum: some objective row is empty, so ω(x) = 0 for every x;
+	// the all-zero vector is optimal and no reduced instance is produced.
+	ZeroOptimum
+	// UnboundedOptimum: every objective can be pushed arbitrarily high by
+	// unconstrained agents; no reduced instance is produced.
+	UnboundedOptimum
+)
+
+// Preprocessed is the result of Preprocess: a strictly valid reduced
+// instance plus the bookkeeping to lift solutions back to the original.
+type Preprocessed struct {
+	// Outcome tells whether a reduced instance exists.
+	Outcome Outcome
+	// Out is the reduced instance (nil unless Outcome == OK).
+	Out *mmlp.Instance
+	// origAgents is the original agent count.
+	origAgents int
+	// keepAgent maps reduced agent index → original agent index.
+	keepAgent []int
+	// boost lists, per removed objective, one unconstrained original agent
+	// and the objective coefficient tying it to that objective; the lift
+	// sets the agent high enough to cover the achieved utility.
+	boost []boostEntry
+}
+
+type boostEntry struct {
+	agent int
+	coef  float64
+}
+
+// Preprocess removes the degenerate structures enumerated at the start of
+// §4: empty constraints are dropped; an empty objective forces the optimum
+// to zero; agents with no constraints ("unconstrained") let every objective
+// containing them reach any value, so those objectives are dropped; agents
+// that then contribute to no objective are fixed to zero and removed. The
+// reduced instance, when one exists, is strictly valid and has the same
+// optimum as the original.
+func Preprocess(in *mmlp.Instance) *Preprocessed {
+	pp := &Preprocessed{origAgents: in.NumAgents}
+
+	for _, o := range in.Objs {
+		if len(o.Terms) == 0 {
+			pp.Outcome = ZeroOptimum
+			return pp
+		}
+	}
+
+	inc := in.Incidence()
+	unconstrained := make([]bool, in.NumAgents)
+	for v := 0; v < in.NumAgents; v++ {
+		unconstrained[v] = len(inc.ConsOf[v]) == 0
+	}
+
+	// Objectives containing an unconstrained agent can reach any value.
+	keepObj := make([]bool, len(in.Objs))
+	kept := 0
+	for k, o := range in.Objs {
+		keepObj[k] = true
+		for _, t := range o.Terms {
+			if unconstrained[t.Agent] {
+				keepObj[k] = false
+				pp.boost = append(pp.boost, boostEntry{agent: t.Agent, coef: t.Coef})
+				break
+			}
+		}
+		if keepObj[k] {
+			kept++
+		}
+	}
+	if kept == 0 {
+		pp.Outcome = UnboundedOptimum
+		return pp
+	}
+
+	// Agents contributing to no kept objective are fixed to zero; dropping
+	// them only relaxes constraints.
+	contributes := make([]bool, in.NumAgents)
+	for k, o := range in.Objs {
+		if !keepObj[k] {
+			continue
+		}
+		for _, t := range o.Terms {
+			contributes[t.Agent] = true
+		}
+	}
+
+	newIndex := make([]int, in.NumAgents)
+	for v := range newIndex {
+		newIndex[v] = -1
+	}
+	out := mmlp.New(0)
+	for v := 0; v < in.NumAgents; v++ {
+		if contributes[v] {
+			newIndex[v] = out.NumAgents
+			pp.keepAgent = append(pp.keepAgent, v)
+			out.NumAgents++
+		}
+	}
+	for _, c := range in.Cons {
+		var terms []mmlp.Term
+		for _, t := range c.Terms {
+			if newIndex[t.Agent] >= 0 {
+				terms = append(terms, mmlp.Term{Agent: newIndex[t.Agent], Coef: t.Coef})
+			}
+		}
+		if len(terms) > 0 {
+			out.Cons = append(out.Cons, mmlp.Constraint{Terms: terms})
+		}
+	}
+	for k, o := range in.Objs {
+		if !keepObj[k] {
+			continue
+		}
+		terms := make([]mmlp.Term, 0, len(o.Terms))
+		for _, t := range o.Terms {
+			terms = append(terms, mmlp.Term{Agent: newIndex[t.Agent], Coef: t.Coef})
+		}
+		out.Objs = append(out.Objs, mmlp.Objective{Terms: terms})
+	}
+	pp.Outcome = OK
+	pp.Out = out
+	return pp
+}
+
+// Lift converts a feasible solution of the reduced instance into a feasible
+// solution of the original with at least the same utility: kept agents copy
+// their values, dropped agents are zero, and one unconstrained agent per
+// dropped objective is raised so that the dropped objective matches the
+// utility the reduced solution achieves. For ZeroOptimum the all-zero
+// vector is returned (x may be nil in that case).
+func (pp *Preprocessed) Lift(x []float64) []float64 {
+	full := make([]float64, pp.origAgents)
+	if pp.Outcome != OK {
+		return full
+	}
+	for r, v := range pp.keepAgent {
+		full[v] = x[r]
+	}
+	util := pp.Out.Utility(x)
+	if math.IsInf(util, 1) || util <= 0 {
+		return full
+	}
+	for _, b := range pp.boost {
+		if need := util / b.coef; full[b.agent] < need {
+			full[b.agent] = need
+		}
+	}
+	return full
+}

@@ -1,0 +1,283 @@
+package transform
+
+import (
+	"math"
+
+	"repro/internal/mmlp"
+)
+
+// AugmentSingletonConstraints implements §4.2: every constraint with a
+// single agent v is augmented with a six-node gadget (agents s, t, u;
+// objectives h, ℓ; constraint j) so that afterwards |Vi| ≥ 2 everywhere.
+// The gadget never constrains the original instance: setting x_s = 0 and
+// x_t = x_u = 1/2 satisfies the new rows at utility at least the optimum,
+// because the gadget's large coefficient M is twice the trivial bound of an
+// objective adjacent to v. Optima coincide; back-mapping truncates to the
+// original agents.
+func AugmentSingletonConstraints(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
+	out := in.Clone()
+	caps := in.Caps()
+	inc := in.Incidence()
+	origAgents := in.NumAgents
+	for i := range out.Cons {
+		if len(out.Cons[i].Terms) != 1 {
+			continue
+		}
+		v := out.Cons[i].Terms[0].Agent
+		if v >= origAgents {
+			continue // gadget agents are already fine (their rows have 2 terms)
+		}
+		// M = 2 Σ_{w∈Vk} c_kw cap_w for the first objective k adjacent to v.
+		k := inc.ObjsOf[v][0]
+		m := 0.0
+		for _, t := range in.Objs[k].Terms {
+			m += t.Coef * caps[t.Agent]
+		}
+		m *= 2
+		if m <= 0 || math.IsInf(m, 1) {
+			// Defensive: strictly valid inputs have positive finite caps.
+			m = 1
+		}
+		s := out.NumAgents
+		tt := s + 1
+		u := s + 2
+		out.NumAgents += 3
+		out.Cons[i].Terms = append(out.Cons[i].Terms, mmlp.Term{Agent: s, Coef: 1})
+		out.AddConstraint(float64(tt), 1, float64(u), 1) // j: x_t + x_u ≤ 1
+		out.AddObjective(float64(s), 1, float64(tt), m)  // h: x_s + M x_t
+		out.AddObjective(float64(s), 1, float64(u), m)   // ℓ: x_s + M x_u
+	}
+	back := func(x []float64) []float64 {
+		return append([]float64(nil), x[:origAgents]...)
+	}
+	return out, back
+}
+
+// ReduceConstraintDegree implements §4.3: every constraint with |Vi| > 2 is
+// replaced by the C(|Vi|,2) pairwise constraints (3). The back-mapping (4)
+// scales each agent by 2 / max_{i∈Iv} |Vi| computed on the step's input, so
+// a feasible transformed solution maps to a feasible original one. This is
+// the only step that costs approximation ratio: a factor ΔI/2.
+func ReduceConstraintDegree(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
+	out := mmlp.New(in.NumAgents)
+	out.Objs = in.Clone().Objs
+	divisor := make([]float64, in.NumAgents)
+	for v := range divisor {
+		divisor[v] = 2
+	}
+	for _, c := range in.Cons {
+		for _, t := range c.Terms {
+			if d := float64(len(c.Terms)); d > divisor[t.Agent] {
+				divisor[t.Agent] = d
+			}
+		}
+		if len(c.Terms) <= 2 {
+			out.Cons = append(out.Cons, mmlp.Constraint{Terms: append([]mmlp.Term(nil), c.Terms...)})
+			continue
+		}
+		for a := 0; a < len(c.Terms); a++ {
+			for b := a + 1; b < len(c.Terms); b++ {
+				out.Cons = append(out.Cons, mmlp.Constraint{
+					Terms: []mmlp.Term{c.Terms[a], c.Terms[b]},
+				})
+			}
+		}
+	}
+	back := func(x []float64) []float64 {
+		y := make([]float64, len(x))
+		for v := range x {
+			y[v] = 2 * x[v] / divisor[v]
+		}
+		return y
+	}
+	return out, back
+}
+
+// SplitAgentsPerObjective implements §4.4: each agent v with |Kv| = q is
+// split into q copies, one per adjacent objective; every constraint {v,w}
+// is replaced by the |Kv|·|Kw| combinations of copies. Afterwards
+// |Kv| = 1 everywhere. Optima coincide; the back-mapping takes the maximum
+// over the copies of each original agent, which remains feasible because
+// every combination of copies is constrained.
+//
+// The step requires |Vi| ≤ 2 (guaranteed by ReduceConstraintDegree).
+func SplitAgentsPerObjective(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
+	inc := in.Incidence()
+	// copyIndex[v] maps objective k → the copy of v dedicated to k.
+	copyIndex := make([]map[int]int, in.NumAgents)
+	parent := []int{}
+	out := mmlp.New(0)
+	for v := 0; v < in.NumAgents; v++ {
+		copyIndex[v] = make(map[int]int, len(inc.ObjsOf[v]))
+		for _, k := range inc.ObjsOf[v] {
+			copyIndex[v][k] = out.NumAgents
+			parent = append(parent, v)
+			out.NumAgents++
+		}
+	}
+	for _, c := range in.Cons {
+		switch len(c.Terms) {
+		case 1:
+			t := c.Terms[0]
+			for _, k := range inc.ObjsOf[t.Agent] {
+				out.Cons = append(out.Cons, mmlp.Constraint{Terms: []mmlp.Term{
+					{Agent: copyIndex[t.Agent][k], Coef: t.Coef},
+				}})
+			}
+		case 2:
+			ta, tb := c.Terms[0], c.Terms[1]
+			for _, ka := range inc.ObjsOf[ta.Agent] {
+				for _, kb := range inc.ObjsOf[tb.Agent] {
+					out.Cons = append(out.Cons, mmlp.Constraint{Terms: []mmlp.Term{
+						{Agent: copyIndex[ta.Agent][ka], Coef: ta.Coef},
+						{Agent: copyIndex[tb.Agent][kb], Coef: tb.Coef},
+					}})
+				}
+			}
+		default:
+			panic("transform: SplitAgentsPerObjective requires |Vi| ≤ 2; run ReduceConstraintDegree first")
+		}
+	}
+	for k, o := range in.Objs {
+		terms := make([]mmlp.Term, 0, len(o.Terms))
+		for _, t := range o.Terms {
+			terms = append(terms, mmlp.Term{Agent: copyIndex[t.Agent][k], Coef: t.Coef})
+		}
+		out.Objs = append(out.Objs, mmlp.Objective{Terms: terms})
+	}
+	nOrig := in.NumAgents
+	back := func(x []float64) []float64 {
+		y := make([]float64, nOrig)
+		for c, v := range parent {
+			if x[c] > y[v] {
+				y[v] = x[c]
+			}
+		}
+		return y
+	}
+	return out, back
+}
+
+// AugmentSingletonObjectives implements §4.5: every objective with a single
+// agent v splits v into two copies t, u; every constraint containing v is
+// duplicated, once per copy; the objective becomes c/2 · (x_t + x_u).
+// Afterwards |Vk| ≥ 2 everywhere. Optima coincide; back-mapping takes the
+// maximum of the two copies.
+//
+// The step requires |Kv| = 1 (guaranteed by SplitAgentsPerObjective).
+func AugmentSingletonObjectives(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
+	inc := in.Incidence()
+	// split[v] holds the two copies for agents that get split, else nil.
+	type pair struct{ t, u int }
+	split := make([]*pair, in.NumAgents)
+	// firstCopy[v] is v's index in the output for unsplit agents.
+	newIndex := make([]int, in.NumAgents)
+	out := mmlp.New(0)
+	parent := []int{}
+	for v := 0; v < in.NumAgents; v++ {
+		needsSplit := false
+		for _, k := range inc.ObjsOf[v] {
+			if len(in.Objs[k].Terms) == 1 {
+				needsSplit = true
+			}
+		}
+		if needsSplit {
+			split[v] = &pair{t: out.NumAgents, u: out.NumAgents + 1}
+			newIndex[v] = -1
+			parent = append(parent, v, v)
+			out.NumAgents += 2
+		} else {
+			newIndex[v] = out.NumAgents
+			parent = append(parent, v)
+			out.NumAgents++
+		}
+	}
+	// Constraints: rows containing a split agent are duplicated per copy
+	// (independently for each split member, so a row with two split agents
+	// yields four rows — each combination must hold for max-feasibility).
+	var emit func(terms []mmlp.Term, idx int, acc []mmlp.Term)
+	emit = func(terms []mmlp.Term, idx int, acc []mmlp.Term) {
+		if idx == len(terms) {
+			out.Cons = append(out.Cons, mmlp.Constraint{Terms: append([]mmlp.Term(nil), acc...)})
+			return
+		}
+		t := terms[idx]
+		if sp := split[t.Agent]; sp != nil {
+			emit(terms, idx+1, append(acc, mmlp.Term{Agent: sp.t, Coef: t.Coef}))
+			emit(terms, idx+1, append(acc, mmlp.Term{Agent: sp.u, Coef: t.Coef}))
+			return
+		}
+		emit(terms, idx+1, append(acc, mmlp.Term{Agent: newIndex[t.Agent], Coef: t.Coef}))
+	}
+	for _, c := range in.Cons {
+		emit(c.Terms, 0, nil)
+	}
+	for _, o := range in.Objs {
+		if len(o.Terms) == 1 {
+			t := o.Terms[0]
+			sp := split[t.Agent]
+			out.AddObjective(float64(sp.t), t.Coef/2, float64(sp.u), t.Coef/2)
+			continue
+		}
+		terms := make([]mmlp.Term, 0, len(o.Terms))
+		for _, t := range o.Terms {
+			if sp := split[t.Agent]; sp != nil {
+				// A split agent appearing in a multi-agent objective cannot
+				// occur when |Kv| = 1, but handle it by charging copy t.
+				terms = append(terms, mmlp.Term{Agent: sp.t, Coef: t.Coef})
+				continue
+			}
+			terms = append(terms, mmlp.Term{Agent: newIndex[t.Agent], Coef: t.Coef})
+		}
+		out.Objs = append(out.Objs, mmlp.Objective{Terms: terms})
+	}
+	nOrig := in.NumAgents
+	back := func(x []float64) []float64 {
+		y := make([]float64, nOrig)
+		for c, v := range parent {
+			if x[c] > y[v] {
+				y[v] = x[c]
+			}
+		}
+		return y
+	}
+	return out, back
+}
+
+// NormalizeCoefficients implements §4.6: with |Kv| = 1, each agent's
+// objective coefficient γ_v = c_{k(v)v} is divided out, i.e. the instance
+// is rewritten in the variables x'_v = γ_v x_v, making every objective
+// coefficient 1 and rescaling a_iv to a_iv/γ_v. Back-mapping divides by
+// γ_v. Optima coincide.
+func NormalizeCoefficients(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
+	gamma := make([]float64, in.NumAgents)
+	for v := range gamma {
+		gamma[v] = 1
+	}
+	for _, o := range in.Objs {
+		for _, t := range o.Terms {
+			gamma[t.Agent] = t.Coef
+		}
+	}
+	out := in.Clone()
+	for i := range out.Cons {
+		for j := range out.Cons[i].Terms {
+			t := &out.Cons[i].Terms[j]
+			t.Coef /= gamma[t.Agent]
+		}
+	}
+	for k := range out.Objs {
+		for j := range out.Objs[k].Terms {
+			out.Objs[k].Terms[j].Coef = 1
+		}
+	}
+	g := gamma
+	back := func(x []float64) []float64 {
+		y := make([]float64, len(x))
+		for v := range x {
+			y[v] = x[v] / g[v]
+		}
+		return y
+	}
+	return out, back
+}

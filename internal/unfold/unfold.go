@@ -1,0 +1,130 @@
+// Package unfold materialises the unfolding of §3 of the paper: the tree
+// whose nodes are the non-backtracking walks of a finite communication
+// graph starting at a root. The algorithm itself never builds this tree —
+// the core package walks it implicitly and the dist package gathers it as
+// anonymous views — but the explicit construction lets the tests check the
+// remarks of §3 (the unfolding is a tree; it is finite iff the graph is a
+// tree; types, ports and coefficients are inherited; solutions transfer).
+package unfold
+
+import (
+	"fmt"
+
+	"repro/internal/bipartite"
+)
+
+// Tree is a truncated unfolding: node 0 is the root walk (just the root
+// vertex); every other node extends its parent's walk by one edge.
+type Tree struct {
+	// Parent[i] is the tree parent of node i (-1 for the root).
+	Parent []int
+	// Vertex[i] is the underlying graph vertex (the walk's end node).
+	Vertex []bipartite.Node
+	// Depth[i] is the walk length.
+	Depth []int
+	// PortFromParent[i] is the port of Parent's vertex through which the
+	// walk was extended (-1 for the root); the unfolding inherits the port
+	// numbering this way (§3, remark 4).
+	PortFromParent []int
+}
+
+// Truncated builds the unfolding of g rooted at root, keeping walks of
+// length at most depth. Children are generated in port order, so the tree
+// is canonical for a given port numbering.
+func Truncated(g *bipartite.Graph, root bipartite.Node, depth int) *Tree {
+	t := &Tree{
+		Parent:         []int{-1},
+		Vertex:         []bipartite.Node{root},
+		Depth:          []int{0},
+		PortFromParent: []int{-1},
+	}
+	// BFS over walks; lastEdge identifies the edge to the parent as the
+	// (min endpoint, max endpoint, parent port) triple — non-backtracking
+	// forbids reusing exactly that edge.
+	type frame struct {
+		node     int
+		fromPort int // port of Vertex[node] that leads back to the parent, -1 at root
+	}
+	queue := []frame{{0, -1}}
+	for head := 0; head < len(queue); head++ {
+		f := queue[head]
+		if t.Depth[f.node] == depth {
+			continue
+		}
+		v := t.Vertex[f.node]
+		for p := 0; p < g.Degree(v); p++ {
+			if p == f.fromPort {
+				continue // backtracking
+			}
+			w := g.Neighbor(v, p)
+			child := len(t.Vertex)
+			t.Parent = append(t.Parent, f.node)
+			t.Vertex = append(t.Vertex, w)
+			t.Depth = append(t.Depth, t.Depth[f.node]+1)
+			t.PortFromParent = append(t.PortFromParent, p)
+			queue = append(queue, frame{child, g.PortTo(w, v)})
+		}
+	}
+	return t
+}
+
+// Size returns the number of tree nodes.
+func (t *Tree) Size() int { return len(t.Vertex) }
+
+// CountAtDepth returns how many tree nodes sit at each depth 0..max.
+func (t *Tree) CountAtDepth() []int {
+	max := 0
+	for _, d := range t.Depth {
+		if d > max {
+			max = d
+		}
+	}
+	counts := make([]int, max+1)
+	for _, d := range t.Depth {
+		counts[d]++
+	}
+	return counts
+}
+
+// Verify checks the structural invariants of an unfolding against its
+// graph: parent/child vertices are adjacent, ports match, walks never
+// backtrack, and node 0 is the only root.
+func (t *Tree) Verify(g *bipartite.Graph) error {
+	for i := 1; i < t.Size(); i++ {
+		p := t.Parent[i]
+		if p < 0 || p >= t.Size() {
+			return fmt.Errorf("unfold: node %d has bad parent %d", i, p)
+		}
+		if t.Depth[i] != t.Depth[p]+1 {
+			return fmt.Errorf("unfold: node %d depth %d under parent depth %d", i, t.Depth[i], t.Depth[p])
+		}
+		port := t.PortFromParent[i]
+		if g.Neighbor(t.Vertex[p], port) != t.Vertex[i] {
+			return fmt.Errorf("unfold: node %d is not behind port %d of its parent", i, port)
+		}
+		// Non-backtracking: the parent's walk must not have arrived through
+		// the same edge.
+		if gp := t.Parent[p]; gp != -1 {
+			backPort := g.PortTo(t.Vertex[p], t.Vertex[gp])
+			// Arriving edge of p is (Vertex[gp] → Vertex[p]); the child may
+			// not use the reverse of that same edge.
+			if t.Vertex[i] == t.Vertex[gp] && port == backPort {
+				return fmt.Errorf("unfold: node %d backtracks", i)
+			}
+		}
+	}
+	return nil
+}
+
+// ProjectSolution lifts a per-agent solution of the finite graph onto the
+// unfolding (§3, remark 7): every occurrence of an agent inherits its
+// value. Non-agent occurrences get 0.
+func (t *Tree) ProjectSolution(g *bipartite.Graph, x []float64) []float64 {
+	y := make([]float64, t.Size())
+	for i, v := range t.Vertex {
+		if g.Kind(v) == bipartite.KindAgent {
+			y[i] = x[g.Index(v)]
+		}
+	}
+	return y
+}

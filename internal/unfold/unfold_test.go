@@ -1,0 +1,121 @@
+package unfold
+
+import (
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/gen"
+	"repro/internal/mmlp"
+)
+
+// pathGraph: V0 -I- V1 -K- V2 (alternating path), a tree.
+func pathGraph() *bipartite.Graph {
+	in := mmlp.New(3)
+	in.AddConstraint(0, 1, 1, 1)
+	in.AddObjective(1, 1, 2, 1)
+	return bipartite.FromInstance(in)
+}
+
+func TestUnfoldingOfTreeIsTheTree(t *testing.T) {
+	// §3 remark 2: the unfolding is finite iff G is a tree — and then it
+	// is G itself (from any root).
+	g := pathGraph()
+	for root := 0; root < g.NumNodes(); root++ {
+		tr := Truncated(g, bipartite.Node(root), 10)
+		if tr.Size() != g.NumNodes() {
+			t.Fatalf("root %d: unfolding size %d, want %d", root, tr.Size(), g.NumNodes())
+		}
+		if err := tr.Verify(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUnfoldingOfCycleIsAPath(t *testing.T) {
+	// A cycle unfolds into an infinite path; the truncation at depth d has
+	// exactly 2d+1 nodes (two arms from the root).
+	in := mmlp.New(4)
+	in.AddConstraint(0, 1, 1, 1)
+	in.AddObjective(1, 1, 2, 1)
+	in.AddConstraint(2, 1, 3, 1)
+	in.AddObjective(3, 1, 0, 1)
+	g := bipartite.FromInstance(in)
+	for _, d := range []int{1, 3, 7} {
+		tr := Truncated(g, g.AgentNode(0), d)
+		if tr.Size() != 2*d+1 {
+			t.Fatalf("depth %d: size %d, want %d", d, tr.Size(), 2*d+1)
+		}
+		if err := tr.Verify(g); err != nil {
+			t.Fatal(err)
+		}
+		counts := tr.CountAtDepth()
+		for depth := 1; depth <= d; depth++ {
+			if counts[depth] != 2 {
+				t.Fatalf("depth %d has %d nodes, want 2 (a path)", depth, counts[depth])
+			}
+		}
+	}
+}
+
+func TestUnfoldingGrowsWithBranching(t *testing.T) {
+	// On the tri-necklace (agents of degree 2, objectives of degree 3) the
+	// unfolding grows strictly with depth and verifies structurally.
+	g := bipartite.FromInstance(gen.TriNecklace(6))
+	prev := 0
+	for _, d := range []int{1, 2, 4, 6} {
+		tr := Truncated(g, g.AgentNode(0), d)
+		if tr.Size() <= prev {
+			t.Fatalf("depth %d: size %d did not grow from %d", d, tr.Size(), prev)
+		}
+		prev = tr.Size()
+		if err := tr.Verify(g); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestUnfoldingInheritsPortsDeterministically(t *testing.T) {
+	// §3 remark 4: same graph, same root → identical unfolding (children
+	// in port order).
+	g := bipartite.FromInstance(gen.TriNecklace(4))
+	a := Truncated(g, g.AgentNode(2), 5)
+	b := Truncated(g, g.AgentNode(2), 5)
+	if a.Size() != b.Size() {
+		t.Fatal("non-deterministic size")
+	}
+	for i := range a.Vertex {
+		if a.Vertex[i] != b.Vertex[i] || a.PortFromParent[i] != b.PortFromParent[i] {
+			t.Fatalf("non-deterministic node %d", i)
+		}
+	}
+}
+
+func TestProjectSolution(t *testing.T) {
+	// §3 remark 7: a feasible solution of G lifts to the unfolding by
+	// inheritance; every occurrence of an agent carries its value.
+	g := bipartite.FromInstance(gen.TriNecklace(4))
+	x := make([]float64, g.NumAgents())
+	for v := range x {
+		x[v] = float64(v) / 10
+	}
+	tr := Truncated(g, g.AgentNode(0), 6)
+	y := tr.ProjectSolution(g, x)
+	for i, v := range tr.Vertex {
+		if g.Kind(v) == bipartite.KindAgent {
+			if y[i] != x[g.Index(v)] {
+				t.Fatalf("occurrence %d of agent %d has %v, want %v", i, g.Index(v), y[i], x[g.Index(v)])
+			}
+		} else if y[i] != 0 {
+			t.Fatalf("non-agent occurrence %d has %v", i, y[i])
+		}
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	g := bipartite.FromInstance(gen.TriNecklace(4))
+	tr := Truncated(g, g.AgentNode(0), 3)
+	tr.Depth[2] = 9
+	if err := tr.Verify(g); err == nil {
+		t.Fatal("corrupted depth accepted")
+	}
+}

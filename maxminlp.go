@@ -1,0 +1,358 @@
+// Package maxminlp is a library for solving max-min linear programs with
+// local (constant-round distributed) algorithms. It reproduces, end to end,
+// the algorithm of
+//
+//	Floréen, Kaasinen, Kaski, Suomela:
+//	"An Optimal Local Approximation Algorithm for Max-Min Linear Programs",
+//	SPAA 2009,
+//
+// which achieves the optimal local approximation ratio ΔI(1−1/ΔK)+ε for
+// max-min LPs whose constraints touch at most ΔI agents and objectives at
+// most ΔK agents.
+//
+// A max-min LP asks to
+//
+//	maximise  ω(x) = min_k Σ_v c_kv x_v
+//	s.t.      Σ_v a_iv x_v ≤ 1 for every constraint i,  x ≥ 0,
+//
+// with positive coefficients. Build an *Instance (or generate one with the
+// Generate* functions), then call:
+//
+//   - SolveLocal — the paper's local algorithm (§4 transformations + §5
+//     algorithm) executed by the fast centralised engine,
+//   - SolveLocalDistributed — the identical algorithm executed as an honest
+//     synchronous message-passing protocol (one goroutine per network
+//     node), returning traffic statistics,
+//   - SolveExact / SolveExactRational — the built-in simplex reference
+//     (float64 / exact rational arithmetic),
+//   - SolveSafe — the factor-ΔI safe algorithm of prior work [8, 16].
+//
+// SolveLocal automatically dispatches the trivial cases ΔI = 1 and
+// ΔK = 1 to the optimal local algorithms of [17].
+package maxminlp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mmlp"
+	"repro/internal/simplex"
+	"repro/internal/structured"
+	"repro/internal/transform"
+)
+
+// Instance is a max-min linear program; see the mmlp package for the row
+// and evaluation API (AddConstraint, AddObjective, Utility, CheckFeasible,
+// …). The alias keeps one concrete type across the library surface.
+type Instance = mmlp.Instance
+
+// Term, Constraint and Objective re-export the instance building blocks.
+type (
+	Term       = mmlp.Term
+	Constraint = mmlp.Constraint
+	Objective  = mmlp.Objective
+)
+
+// NewInstance returns an empty instance with n agents.
+func NewInstance(n int) *Instance { return mmlp.New(n) }
+
+// ReadInstanceFile loads a JSON instance.
+func ReadInstanceFile(path string) (*Instance, error) { return mmlp.ReadFile(path) }
+
+// Status classifies a Solution.
+type Status int
+
+// Solution statuses.
+const (
+	// StatusApproximate: the solution satisfies the local approximation
+	// guarantee ΔI(1−1/ΔK)(1+1/(R−1)) but need not be optimal.
+	StatusApproximate Status = iota
+	// StatusOptimal: the solution is optimal (exact solver, or a trivial
+	// case dispatched to the optimal local algorithms of [17]).
+	StatusOptimal
+	// StatusUnbounded: the utility can be made arbitrarily large.
+	StatusUnbounded
+	// StatusZeroOptimum: some objective is empty, so the optimum is 0.
+	StatusZeroOptimum
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusApproximate:
+		return "approximate"
+	case StatusOptimal:
+		return "optimal"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusZeroOptimum:
+		return "zero-optimum"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of any solver in this package.
+type Solution struct {
+	// Status classifies the outcome; X and Utility are meaningful for
+	// StatusApproximate, StatusOptimal and StatusZeroOptimum.
+	Status Status
+	// X is a feasible assignment (length = NumAgents).
+	X []float64
+	// Utility is ω(X) on the input instance.
+	Utility float64
+	// UpperBound, when positive, certifies optimum ≤ UpperBound. The local
+	// algorithm derives it from the per-agent tree optima t_v (Lemma 2);
+	// exact solvers set it to the optimum.
+	UpperBound float64
+}
+
+// LocalOptions configures SolveLocal and SolveLocalDistributed.
+type LocalOptions struct {
+	// R is the shifting parameter (≥ 2, default 3). Larger R tightens the
+	// guarantee to ΔI(1−1/ΔK)(1+1/(R−1)) at the cost of a Θ(R) horizon.
+	R int
+	// Workers bounds the parallelism of the centralised engine
+	// (0 = GOMAXPROCS).
+	Workers int
+	// BinIters caps the per-agent binary search (0 = 100).
+	BinIters int
+	// DisableSpecialCases skips the optimal ΔI=1 / ΔK=1 dispatch (used by
+	// the experiments to exercise the general pipeline on trivial shapes).
+	DisableSpecialCases bool
+	// CompactProtocol makes SolveLocalDistributed use identifier-based
+	// record gossip instead of anonymous view gathering: polynomial message
+	// sizes, identical outputs. Ignored by SolveLocal.
+	CompactProtocol bool
+	// SelfCheck re-verifies every lemma-level invariant of the run
+	// (Lemmas 5–7, 11, the recursions and the per-objective guarantee (21))
+	// before returning; a failure is reported as an error. Costs one extra
+	// pass over the trace.
+	SelfCheck bool
+}
+
+// ErrInvalid wraps instance validation failures.
+var ErrInvalid = mmlp.ErrInvalid
+
+// DistInfo reports the traffic of a distributed run.
+type DistInfo struct {
+	// Rounds is the number of synchronous rounds (12(R−2)+8; the final
+	// round carries no messages).
+	Rounds int
+	// Messages and Bytes total the traffic; MaxMessageBytes is the largest
+	// single message (dominated by the view-gathering phase);
+	// CompressedBytes re-counts view messages at their DAG-compressed size.
+	Messages, Bytes, MaxMessageBytes, CompressedBytes int
+}
+
+// SolveLocal runs the paper's local approximation algorithm: degenerate
+// structures are stripped (§4 preamble), the §4.2–§4.6 transformations
+// produce the structured form, the §5 algorithm computes the solution, and
+// the back-mappings lift it to the input instance. The result is feasible
+// and within factor max(2,ΔI)·(1−1/max(2,ΔK))·(1+1/(R−1)) of the optimum.
+func SolveLocal(in *Instance, opts LocalOptions) (*Solution, error) {
+	run := func(s *structured.Instance, o core.Options) ([]float64, float64, error) {
+		tr, err := core.Solve(s, o)
+		if err != nil {
+			return nil, 0, err
+		}
+		if opts.SelfCheck {
+			if err := core.VerifyTrace(s, tr, 1e-9); err != nil {
+				return nil, 0, fmt.Errorf("maxminlp: self-check failed: %w", err)
+			}
+		}
+		return tr.X, tr.UpperBound, nil
+	}
+	return solveLocalWith(in, opts, run)
+}
+
+// SolveLocalDistributed is SolveLocal executed as the synchronous
+// message-passing protocol of the dist package. The solution is identical
+// to SolveLocal's; the second result reports the communication volume.
+func SolveLocalDistributed(in *Instance, opts LocalOptions) (*Solution, *DistInfo, error) {
+	info := &DistInfo{}
+	run := func(s *structured.Instance, o core.Options) ([]float64, float64, error) {
+		solver := dist.SolveDistributed
+		if opts.CompactProtocol {
+			solver = dist.SolveDistributedCompact
+		}
+		res, err := solver(s, o)
+		if err != nil {
+			return nil, 0, err
+		}
+		info.Rounds = res.Rounds
+		info.Messages = res.Stats.Messages
+		info.Bytes = res.Stats.Bytes
+		info.MaxMessageBytes = res.Stats.MaxMessageBytes
+		info.CompressedBytes = res.Stats.CompressedBytes
+		ub := math.Inf(1)
+		for _, t := range res.T {
+			if t < ub {
+				ub = t
+			}
+		}
+		return res.X, ub, nil
+	}
+	sol, err := solveLocalWith(in, opts, run)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sol, info, nil
+}
+
+// solveLocalWith factors the shared pipeline around the structured-solver
+// callback.
+func solveLocalWith(in *Instance, opts LocalOptions,
+	run func(*structured.Instance, core.Options) ([]float64, float64, error)) (*Solution, error) {
+
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.R == 0 {
+		opts.R = 3
+	}
+	if opts.R < 2 {
+		return nil, fmt.Errorf("maxminlp: R must be ≥ 2, got %d", opts.R)
+	}
+
+	pp := transform.Preprocess(in)
+	switch pp.Outcome {
+	case transform.ZeroOptimum:
+		return &Solution{Status: StatusZeroOptimum, X: pp.Lift(nil), Utility: 0, UpperBound: 0}, nil
+	case transform.UnboundedOptimum:
+		return &Solution{Status: StatusUnbounded}, nil
+	}
+	red := pp.Out
+
+	// Trivial cases: the optimal local algorithms of [17].
+	if !opts.DisableSpecialCases {
+		if red.DegreeI() <= 1 {
+			x := in.Strictify(pp.Lift(baseline.SolveSingletonConstraints(red)))
+			return &Solution{Status: StatusOptimal, X: x, Utility: in.Utility(x), UpperBound: in.Utility(x)}, nil
+		}
+		if red.DegreeK() <= 1 {
+			x := in.Strictify(pp.Lift(baseline.SolveSingletonObjectives(red)))
+			return &Solution{Status: StatusOptimal, X: x, Utility: in.Utility(x), UpperBound: in.Utility(x)}, nil
+		}
+	}
+
+	pipe, err := transform.Structure(red)
+	if err != nil {
+		return nil, err
+	}
+	s, err := structured.FromMMLP(pipe.Final())
+	if err != nil {
+		return nil, err
+	}
+	xs, ub, err := run(s, core.Options{R: opts.R, Workers: opts.Workers, BinIters: opts.BinIters})
+	if err != nil {
+		return nil, err
+	}
+	x := in.Strictify(pp.Lift(pipe.Back(xs)))
+	return &Solution{
+		Status:     StatusApproximate,
+		X:          x,
+		Utility:    in.Utility(x),
+		UpperBound: ub,
+	}, nil
+}
+
+// SolveExact computes an optimal solution with the built-in float64
+// simplex.
+func SolveExact(in *Instance) (*Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	r := simplex.SolveMaxMin(in)
+	switch r.Status {
+	case simplex.Optimal:
+		x := in.Strictify(r.X)
+		return &Solution{Status: StatusOptimal, X: x, Utility: in.Utility(x), UpperBound: r.Value}, nil
+	case simplex.Unbounded:
+		return &Solution{Status: StatusUnbounded}, nil
+	default:
+		return nil, fmt.Errorf("maxminlp: simplex returned %v", r.Status)
+	}
+}
+
+// SolveExactRational computes the optimum in exact rational arithmetic and
+// returns it converted to float64 (the X vector is exact at conversion).
+// Exponentially slower than SolveExact; intended for small instances and
+// verification.
+func SolveExactRational(in *Instance) (*Solution, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	r := simplex.SolveMaxMinRat(in)
+	switch r.Status {
+	case simplex.Optimal:
+		x := make([]float64, in.NumAgents)
+		for v := range x {
+			x[v] = simplex.RatFloat(r.X[v])
+		}
+		x = in.Strictify(x)
+		return &Solution{Status: StatusOptimal, X: x, Utility: in.Utility(x), UpperBound: simplex.RatFloat(r.Value)}, nil
+	case simplex.Unbounded:
+		return &Solution{Status: StatusUnbounded}, nil
+	default:
+		return nil, fmt.Errorf("maxminlp: rational simplex returned %v", r.Status)
+	}
+}
+
+// SolveSafe runs the factor-ΔI safe algorithm of [8, 16] (2-round local
+// horizon), the strongest general local algorithm known before the paper.
+func SolveSafe(in *Instance) (*Solution, error) {
+	if err := in.ValidateStrict(); err != nil {
+		return nil, err
+	}
+	x := in.Strictify(baseline.SolveSafe(in))
+	return &Solution{Status: StatusApproximate, X: x, Utility: in.Utility(x)}, nil
+}
+
+// Certificate is a self-contained dual proof that the optimum of an
+// instance is at most Bound; Verify re-checks it from scratch without
+// trusting the solver (see simplex.MaxMinCertificate).
+type Certificate = simplex.MaxMinCertificate
+
+// SolveExactCertified computes the optimum together with an independently
+// verifiable dual certificate of optimality. The certificate is validated
+// before it is returned.
+func SolveExactCertified(in *Instance) (*Solution, *Certificate, error) {
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	res, cert, err := simplex.CertifyMaxMin(in)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := cert.Verify(in, 1e-6); err != nil {
+		return nil, nil, fmt.Errorf("maxminlp: solver produced an invalid certificate: %w", err)
+	}
+	x := in.Strictify(res.X)
+	return &Solution{Status: StatusOptimal, X: x, Utility: in.Utility(x), UpperBound: cert.Bound}, cert, nil
+}
+
+// RatioBound returns the approximation guarantee of SolveLocal for an
+// instance with the given degrees and shifting parameter:
+// max(2,ΔI) · (1 − 1/max(2,ΔK)) · (1 + 1/(R−1)).
+func RatioBound(degI, degK, R int) float64 {
+	if degI < 2 {
+		degI = 2
+	}
+	if degK < 2 {
+		degK = 2
+	}
+	return float64(degI) * (1 - 1/float64(degK)) * (1 + 1/float64(R-1))
+}
+
+// LocalityThreshold returns ΔI(1−1/ΔK), the exact approximability
+// threshold of Theorem 1: achievable within any ε, unachievable exactly.
+func LocalityThreshold(degI, degK int) float64 {
+	return float64(degI) * (1 - 1/float64(degK))
+}
+
+// ErrNotOptimal is returned by helpers that require an exact solve.
+var ErrNotOptimal = errors.New("maxminlp: instance has no finite optimum")

@@ -28,6 +28,20 @@ func main() {
 	protocol := flag.String("protocol", "views", "views (anonymous) | records (id-based, compact)")
 	flag.Parse()
 
+	if *m < 1 {
+		fmt.Fprintf(os.Stderr, "mmlpdist: -m must be ≥ 1, got %d\n", *m)
+		os.Exit(2)
+	}
+	var solver func(*structured.Instance, core.Options) (*dist.Result, error)
+	switch *protocol {
+	case "views":
+		solver = dist.SolveDistributed
+	case "records":
+		solver = dist.SolveDistributedCompact
+	default:
+		fmt.Fprintf(os.Stderr, "mmlpdist: unknown protocol %q (want views or records)\n", *protocol)
+		os.Exit(2)
+	}
 	var in *maxminlp.Instance
 	switch *family {
 	case "necklace":
@@ -40,6 +54,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mmlpdist: unknown family %q\n", *family)
 		os.Exit(2)
 	}
+	if err := in.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "mmlpdist: invalid instance:", err)
+		os.Exit(1)
+	}
 	if err := transform.CheckStructured(in); err != nil {
 		fmt.Fprintln(os.Stderr, "mmlpdist: instance not structured:", err)
 		os.Exit(1)
@@ -48,10 +66,6 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mmlpdist:", err)
 		os.Exit(1)
-	}
-	solver := dist.SolveDistributed
-	if *protocol == "records" {
-		solver = dist.SolveDistributedCompact
 	}
 	res, err := solver(s, core.Options{R: *rParam})
 	if err != nil {

@@ -88,8 +88,8 @@ type Trace struct {
 // full trace. The solution Trace.X is feasible (Lemma 11) and satisfies
 // ω(X) ≥ opt / (2(1−1/ΔK)(1+1/(R−1))) (Lemma 12 with §6.3).
 func Solve(s *structured.Instance, opt Options) (*Trace, error) {
-	opt = opt.withDefaults()
-	if err := opt.validate(); err != nil {
+	opt, err := opt.Normalized()
+	if err != nil {
 		return nil, err
 	}
 	r := opt.R - 2
@@ -124,7 +124,7 @@ func computeG(s *structured.Instance, sv []float64, r int) (gp, gm [][]float64) 
 				best := 0.0
 				for j, i := range s.ConsOf[v] {
 					n, av, aw := s.Partner(int(i), int32(v))
-					val := (1 - aw*gm[d-1][n]) / av
+					val := GPlusCandidate(av, aw, gm[d-1][n])
 					if j == 0 || val < best {
 						best = val
 					}
@@ -136,9 +136,7 @@ func computeG(s *structured.Instance, sv []float64, r int) (gp, gm [][]float64) 
 			// (13): g−_{v,d} = max{0, s_v − Σ_{w∈N(v)} g+_{w,d}}.
 			sum := 0.0
 			s.PeersDo(int32(v), func(w int32) { sum += gp[d][w] })
-			if g := sv[v] - sum; g > 0 {
-				gm[d][v] = g
-			}
+			gm[d][v] = HingePos(sv[v] - sum)
 		}
 	}
 	return gp, gm
@@ -147,12 +145,13 @@ func computeG(s *structured.Instance, sv []float64, r int) (gp, gm [][]float64) 
 // output evaluates (18).
 func output(s *structured.Instance, gp, gm [][]float64, R int) []float64 {
 	x := make([]float64, s.N)
+	gps := make([]float64, len(gp))
+	gms := make([]float64, len(gm))
 	for v := range x {
-		sum := 0.0
 		for d := range gp {
-			sum += gp[d][v] + gm[d][v]
+			gps[d], gms[d] = gp[d][v], gm[d][v]
 		}
-		x[v] = sum / (2 * float64(R))
+		x[v] = CombineOutput(gps, gms, R)
 	}
 	return x
 }

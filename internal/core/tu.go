@@ -51,7 +51,7 @@ func (e *evaluator) fplus(v int32, d int) float64 {
 	} else {
 		for j, i := range e.s.ConsOf[v] {
 			w, av, aw := e.s.Partner(int(i), v)
-			cand := (1 - aw*e.fminus(w, d-1)) / av
+			cand := GPlusCandidate(av, aw, e.fminus(w, d-1))
 			if j == 0 || cand < val {
 				val = cand
 			}
@@ -73,10 +73,7 @@ func (e *evaluator) fminus(v int32, d int) float64 {
 	}
 	sum := 0.0
 	e.s.PeersDo(v, func(w int32) { sum += e.fplus(w, d) })
-	val := 0.0
-	if g := e.omega - sum; g > 0 {
-		val = g
-	}
+	val := HingePos(e.omega - sum)
 	e.minus[slot] = val
 	e.minusSeen[slot] = e.epoch
 	return val
@@ -103,20 +100,7 @@ func (e *evaluator) computeT(u int32, iters int) float64 {
 	for _, w := range e.s.Objs[e.s.ObjOf[u]] {
 		hi += e.s.Caps[w]
 	}
-	if e.feasible(u, hi) {
-		return hi
-	}
-	lo := 0.0
-	for it := 0; it < iters; it++ {
-		mid := lo + (hi-lo)/2
-		if mid <= lo || mid >= hi {
-			break // bracket exhausted at float64 resolution
-		}
-		if e.feasible(u, mid) {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+	return BinarySearch(hi, iters, func(omega float64) bool {
+		return e.feasible(u, omega)
+	})
 }

@@ -1,0 +1,246 @@
+package dist
+
+import (
+	"repro/internal/bipartite"
+	"repro/internal/core"
+)
+
+// The round schedule. With r = R−2, the protocol spends
+//
+//	rounds 1 … 4r+3            view gathering / record gossip,
+//	rounds 4r+4 … 8r+5         smoothing: 2r+1 min-diffusion iterations,
+//	                           each an agent broadcast plus a relay reply,
+//	rounds 8r+6 … 12r+7        the g± recursions: one objective round trip
+//	                           for g−_0, then per depth d = 1…r a
+//	                           constraint round trip for g+_d and an
+//	                           objective round trip for g−_d,
+//	round  12r+8               output: every agent evaluates (18) locally;
+//	                           no messages.
+//
+// The total, 12(R−2)+8, depends only on R — the defining property of a
+// local algorithm. Nodes act on the round counter alone; all control flow
+// below is a function of (round, R), never of the instance.
+type schedule struct {
+	r         int // R−2
+	gather    int // 4r+3
+	smoothEnd int // 8r+5
+	total     int // 12r+8
+}
+
+func newSchedule(r int) schedule {
+	gather := 4*r + 3
+	return schedule{r: r, gather: gather, smoothEnd: gather + 4*r + 2, total: 12*r + 8}
+}
+
+// agentNode is the state of one agent's virtual processor.
+type agentNode struct {
+	e        *engine
+	sch      schedule
+	id       bipartite.Node
+	deg      int
+	objPort  int // the objective is the last port (constraints come first)
+	R        int
+	binIters int
+	gs       *gossip // non-nil in the compact protocol
+
+	t      float64   // t_u from the gathering phase
+	cur    float64   // running smoothing value, ends as s_v
+	cap    float64   // cap_v = g+_{v,0}
+	gp, gm []float64 // g±_{v,d} for d = 0…r
+	x      float64   // the output (18)
+	err    error
+}
+
+func (a *agentNode) step(round int) {
+	if a.err != nil {
+		return
+	}
+	e := a.e
+	switch {
+	case round <= a.sch.gather:
+		if a.gs != nil {
+			e.gossipStep(a.gs, a.id, round)
+		} else {
+			e.viewGatherStep(a.id, round)
+		}
+	case round <= a.sch.smoothEnd:
+		k := round - a.sch.gather
+		if k == 1 {
+			a.computeT()
+			if a.err != nil {
+				return
+			}
+			a.cur = a.t
+		} else if k%2 == 1 {
+			a.foldSmoothing()
+		}
+		if k%2 == 1 {
+			for p := 0; p < a.deg; p++ {
+				e.send(a.id, p, message{kind: mkScalar, val: a.cur})
+			}
+		}
+	default:
+		gk := round - a.sch.smoothEnd
+		switch {
+		case round == a.sch.total:
+			// (13) at depth r, then the output (18); no messages leave.
+			a.gm[a.sch.r] = core.HingePos(a.cur - e.recv(a.id, a.objPort).val)
+			a.x = core.CombineOutput(a.gp, a.gm, a.R)
+		case gk == 1:
+			a.foldSmoothing() // the last smoothing replies: cur is now s_v
+			a.gp[0] = a.cap   // (12)
+			e.send(a.id, a.objPort, message{kind: mkScalar, val: a.gp[0]})
+		case gk%4 == 3: // gk = 4d−1: finish g−_{d−1}, start the g+_d trip
+			d := (gk + 1) / 4
+			a.gm[d-1] = core.HingePos(a.cur - e.recv(a.id, a.objPort).val)
+			for p := 0; p < a.objPort; p++ {
+				e.send(a.id, p, message{kind: mkScalar, val: a.gm[d-1]})
+			}
+		case gk%4 == 1: // gk = 4d+1: finish g+_d, start the g−_d trip
+			d := gk / 4
+			a.gp[d] = a.minCandidates()
+			e.send(a.id, a.objPort, message{kind: mkScalar, val: a.gp[d]})
+		}
+	}
+}
+
+// computeT runs the protocol-specific stage-1 computation at the start of
+// the first post-gathering round.
+func (a *agentNode) computeT() {
+	if a.gs != nil {
+		t, err := a.recComputeT()
+		if err != nil {
+			a.err = err
+			return
+		}
+		// cap_v from the agent's own record and its constraints' records:
+		// the same min over the same port order as structured.FromMMLP.
+		a.cap = a.e.s.Caps[a.id]
+		a.t = t
+		return
+	}
+	rootID := a.e.assembleRootView(a.id, a.sch.gather)
+	ve := newViewEval(a.e.store, rootID, a.sch.r)
+	a.cap = ve.capRoot
+	a.t = ve.computeT(a.binIters)
+}
+
+// foldSmoothing applies one min-diffusion iteration: the constraint
+// replies carry the partners' values, the objective reply the member
+// minimum — together exactly the distance-2 neighbourhood of §5.3.
+func (a *agentNode) foldSmoothing() {
+	m := a.cur
+	for p := 0; p < a.deg; p++ {
+		if v := a.e.recv(a.id, p); v.has && v.val < m {
+			m = v.val
+		}
+	}
+	a.cur = m
+}
+
+// minCandidates evaluates the outer minimisation of (14) over the
+// constraint replies in port order (= the ConsOf row order of the
+// centralised engine).
+func (a *agentNode) minCandidates() float64 {
+	best := 0.0
+	for p := 0; p < a.objPort; p++ {
+		v := a.e.recv(a.id, p).val
+		if p == 0 || v < best {
+			best = v
+		}
+	}
+	return best
+}
+
+// consNode is the state of one constraint's virtual processor: a pure
+// relay that knows its two coefficients.
+type consNode struct {
+	e     *engine
+	sch   schedule
+	id    bipartite.Node
+	coefs [2]float64
+	gs    *gossip
+}
+
+func (c *consNode) step(round int) {
+	e := c.e
+	switch {
+	case round <= c.sch.gather:
+		if c.gs != nil {
+			e.gossipStep(c.gs, c.id, round)
+		} else {
+			e.viewGatherStep(c.id, round)
+		}
+	case round <= c.sch.smoothEnd:
+		if (round-c.sch.gather)%2 == 0 {
+			// Swap the agents' smoothing values.
+			v0, v1 := e.recv(c.id, 0), e.recv(c.id, 1)
+			e.send(c.id, 0, message{kind: mkScalar, val: v1.val})
+			e.send(c.id, 1, message{kind: mkScalar, val: v0.val})
+		}
+	default:
+		gk := round - c.sch.smoothEnd
+		if gk%4 == 0 && gk <= 4*c.sch.r {
+			// The inner expression of (14) for each endpoint: the
+			// constraint knows both coefficients and computes the
+			// candidate its agent will minimise over.
+			gm0, gm1 := e.recv(c.id, 0).val, e.recv(c.id, 1).val
+			e.send(c.id, 0, message{kind: mkScalar, val: core.GPlusCandidate(c.coefs[0], c.coefs[1], gm1)})
+			e.send(c.id, 1, message{kind: mkScalar, val: core.GPlusCandidate(c.coefs[1], c.coefs[0], gm0)})
+		}
+	}
+}
+
+// objNode is the state of one objective's virtual processor: it relays
+// member minima during smoothing and leave-one-out sums during the g±
+// phase.
+type objNode struct {
+	e    *engine
+	sch  schedule
+	id   bipartite.Node
+	deg  int
+	gs   *gossip
+	vals []float64
+}
+
+func (o *objNode) step(round int) {
+	e := o.e
+	switch {
+	case round <= o.sch.gather:
+		if o.gs != nil {
+			e.gossipStep(o.gs, o.id, round)
+		} else {
+			e.viewGatherStep(o.id, round)
+		}
+	case round <= o.sch.smoothEnd:
+		if (round-o.sch.gather)%2 == 0 {
+			m := e.recv(o.id, 0).val
+			for p := 1; p < o.deg; p++ {
+				if v := e.recv(o.id, p).val; v < m {
+					m = v
+				}
+			}
+			for p := 0; p < o.deg; p++ {
+				e.send(o.id, p, message{kind: mkScalar, val: m})
+			}
+		}
+	default:
+		gk := round - o.sch.smoothEnd
+		if gk%4 == 2 {
+			// Leave-one-out peer sums for (13), each in increasing port
+			// order — the PeersDo order of the centralised engine.
+			for p := 0; p < o.deg; p++ {
+				o.vals[p] = e.recv(o.id, p).val
+			}
+			for p := 0; p < o.deg; p++ {
+				sum := 0.0
+				for q := 0; q < o.deg; q++ {
+					if q != p {
+						sum += o.vals[q]
+					}
+				}
+				e.send(o.id, p, message{kind: mkScalar, val: sum})
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package dist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bipartite"
+	"repro/internal/core"
+)
+
+// The compact protocol trades anonymity for polynomial messages: every
+// node carries a unique identifier and gossips *records* — its own local
+// description, keyed by its id — instead of anonymous view trees. An agent
+// record lists the ids of the agent's constraints (in port order) and its
+// objective; a constraint record lists its two agent ids and coefficients;
+// an objective record lists its member ids in port order. A record is
+// forwarded on every port the round after it is first learned, so after
+// 4r+3 rounds a node knows exactly the records of its radius-(4r+3)
+// neighbourhood. Because records carry the original row orderings, the
+// reconstructed neighbourhood is literally the local restriction of the
+// structured instance, and t_u can be computed with the centralised
+// kernel (core.Evaluator) unchanged — outputs are bit-identical to both
+// core.Solve and the anonymous-view protocol.
+//
+// Message sizes are polynomial: a record is O(degree) bytes and each of
+// the O(radius · |E|) record transfers ships a record at most once per
+// edge direction.
+
+// recordBytes is the wire size of one record: kind (1), id (4), neighbour
+// count (2), 4 bytes per neighbour id, plus the two coefficients for
+// constraint records.
+func recordBytes(g *bipartite.Graph, id int32) int {
+	b := 1 + 4 + 2 + 4*g.Degree(bipartite.Node(id))
+	if g.Kind(bipartite.Node(id)) == bipartite.KindConstraint {
+		b += 16
+	}
+	return b
+}
+
+// recordBatchBytes is the wire size of a gossip message: a 2-byte count
+// plus its records.
+func recordBatchBytes(g *bipartite.Graph, recs []int32) int {
+	b := 2
+	for _, id := range recs {
+		b += recordBytes(g, id)
+	}
+	return b
+}
+
+// gossip is the per-node record state.
+type gossip struct {
+	known []bool // by node id
+}
+
+// gossipStep forwards newly learned records on every port. Round 1 seeds
+// the flood with the node's own record; later rounds forward what arrived
+// in the previous round, deduplicated and id-sorted for determinism.
+func (e *engine) gossipStep(gs *gossip, n bipartite.Node, round int) {
+	var fresh []int32
+	if round == 1 {
+		gs.known[n] = true
+		fresh = []int32{int32(n)}
+	} else {
+		fresh = e.collectFresh(gs, n)
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	for p := 0; p < e.g.Degree(n); p++ {
+		e.send(n, p, message{kind: mkRecords, recs: fresh})
+	}
+}
+
+// collectFresh drains the node's inbox and returns the ids not seen
+// before, sorted ascending.
+func (e *engine) collectFresh(gs *gossip, n bipartite.Node) []int32 {
+	var fresh []int32
+	for p := 0; p < e.g.Degree(n); p++ {
+		m := e.recv(n, p)
+		if !m.has || m.kind != mkRecords {
+			continue
+		}
+		for _, id := range m.recs {
+			if !gs.known[id] {
+				gs.known[id] = true
+				fresh = append(fresh, id)
+			}
+		}
+	}
+	sort.Slice(fresh, func(i, j int) bool { return fresh[i] < fresh[j] })
+	return fresh
+}
+
+// checkCoverage verifies the locality contract of the gossip phase: every
+// node within graph distance radius of n — everything the t_u recursion
+// can touch — has delivered its record.
+func (e *engine) checkCoverage(gs *gossip, n bipartite.Node, radius int) error {
+	depth := map[bipartite.Node]int{n: 0}
+	queue := []bipartite.Node{n}
+	for head := 0; head < len(queue); head++ {
+		v := queue[head]
+		if !gs.known[v] {
+			return fmt.Errorf("dist: node %d at distance %d from %d has no record after %d rounds",
+				v, depth[v], n, radius)
+		}
+		if depth[v] == radius {
+			continue
+		}
+		for _, w := range e.g.Neighbors(v) {
+			if _, ok := depth[w]; !ok {
+				depth[w] = depth[v] + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return nil
+}
+
+// recComputeT finishes the gossip (folding the final round's batches),
+// checks coverage, and computes t_u on the reconstructed neighbourhood —
+// which is the local restriction of the structured instance, so the
+// centralised kernel applies verbatim.
+func (a *agentNode) recComputeT() (float64, error) {
+	e := a.e
+	e.collectFresh(a.gs, a.id)
+	if err := e.checkCoverage(a.gs, a.id, a.sch.gather); err != nil {
+		return 0, err
+	}
+	ev, err := core.NewEvaluator(e.s, a.sch.r)
+	if err != nil {
+		return 0, err
+	}
+	return ev.ComputeT(int32(a.id), a.binIters), nil
+}

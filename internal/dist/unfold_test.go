@@ -1,0 +1,103 @@
+package dist_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/bipartite"
+	"repro/internal/dist"
+	"repro/internal/gen"
+	"repro/internal/structured"
+	"repro/internal/unfold"
+)
+
+// encodeUnfolding serialises a truncated unfolding in the canonical
+// port-order format of dist.GatherView: per node, kind, degree, the port
+// toward the parent (−1 at the root), the two coefficients for constraint
+// nodes, then the children in increasing port order.
+func encodeUnfolding(s *structured.Instance, g *bipartite.Graph, t *unfold.Tree) []byte {
+	children := make([][]int, t.Size())
+	for i := 1; i < t.Size(); i++ {
+		p := t.Parent[i]
+		children[p] = append(children[p], i) // BFS order == port order per parent
+	}
+	var out []byte
+	var walk func(node int)
+	walk = func(node int) {
+		v := t.Vertex[node]
+		out = append(out, byte(g.Kind(v)))
+		out = binary.BigEndian.AppendUint16(out, uint16(g.Degree(v)))
+		toParent := -1
+		if p := t.Parent[node]; p != -1 {
+			toParent = g.PortTo(v, t.Vertex[p])
+		}
+		out = binary.BigEndian.AppendUint16(out, uint16(int16(toParent)))
+		if g.Kind(v) == bipartite.KindConstraint {
+			a := s.ConsA[g.Index(v)]
+			out = binary.BigEndian.AppendUint64(out, math.Float64bits(a[0]))
+			out = binary.BigEndian.AppendUint64(out, math.Float64bits(a[1]))
+		}
+		for _, c := range children[node] {
+			walk(c)
+		}
+	}
+	walk(0)
+	return out
+}
+
+// TestDistViewEqualsUnfolding asserts the cross-check of §3: the anonymous
+// view a node gathers in d message-passing rounds is exactly the truncated
+// unfolding unfold.Truncated(g, root, d), byte-for-byte in the canonical
+// port-order encoding — for agent, constraint and objective roots alike.
+func TestDistViewEqualsUnfolding(t *testing.T) {
+	instances := map[string]*structured.Instance{}
+	for name, in := range map[string]func() *structured.Instance{
+		"necklace": func() *structured.Instance {
+			s, err := structured.FromMMLP(gen.TriNecklace(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"structured": func() *structured.Instance {
+			s, err := structured.FromMMLP(gen.RandomStructured(gen.StructuredConfig{
+				Objectives: 6, MaxDegK: 3, ExtraCons: 3,
+			}, 5))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	} {
+		instances[name] = in()
+	}
+	for name, s := range instances {
+		g := bipartite.FromInstance(s.ToMMLP())
+		roots := []bipartite.Node{
+			g.AgentNode(0), g.AgentNode(s.N - 1),
+			g.ConstraintNode(0), g.ObjectiveNode(0),
+		}
+		for _, root := range roots {
+			for _, depth := range []int{0, 1, 3, 7} {
+				t.Run(fmt.Sprintf("%s/root=%d/d=%d", name, root, depth), func(t *testing.T) {
+					got, err := dist.GatherView(s, root, depth)
+					if err != nil {
+						t.Fatal(err)
+					}
+					tree := unfold.Truncated(g, root, depth)
+					if err := tree.Verify(g); err != nil {
+						t.Fatal(err)
+					}
+					want := encodeUnfolding(s, g, tree)
+					if !bytes.Equal(got, want) {
+						t.Fatalf("gathered view differs from the truncated unfolding: %d vs %d bytes",
+							len(got), len(want))
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,112 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// machine-readable benchmark summary the CI pipeline archives as
+// BENCH_ci.json: a map from benchmark name to its measured ns/op, B/op,
+// allocs/op and any custom metrics (e.g. jobs/s). Lines that are not
+// benchmark results are ignored, so the full `go test` output can be piped
+// in unfiltered.
+//
+// Usage:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchjson > BENCH_ci.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is the parsed measurement of one benchmark.
+type Result struct {
+	// Iterations is b.N of the recorded run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp mirror the standard columns
+	// (zero when the benchmark did not report the column).
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Extra collects non-standard metrics by unit, e.g. "jobs/s".
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// parseLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkE1LocalGeneral-8   100   987 ns/op   123 B/op   4 allocs/op
+//
+// and reports ok=false for any other line. The trailing -GOMAXPROCS
+// suffix is stripped from the name so that keys stay comparable across
+// runners with different core counts.
+func parseLine(line string) (name string, r Result, ok bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", Result{}, false
+	}
+	r.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = val
+		case "B/op":
+			r.BytesPerOp = val
+		case "allocs/op":
+			r.AllocsPerOp = val
+		default:
+			if r.Extra == nil {
+				r.Extra = map[string]float64{}
+			}
+			r.Extra[unit] = val
+		}
+	}
+	return stripProcs(fields[0]), r, true
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS marker, if present.
+func stripProcs(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// convert reads bench output from in and writes the JSON summary to out.
+func convert(in io.Reader, out io.Writer) error {
+	results := map[string]Result{}
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		if name, r, ok := parseLine(sc.Text()); ok {
+			results[name] = r
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+func main() {
+	if err := convert(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestParseLine(t *testing.T) {
+	name, r, ok := parseLine("BenchmarkE1LocalGeneral-8   \t 100\t   987.5 ns/op\t  123 B/op\t       4 allocs/op")
+	if !ok || name != "BenchmarkE1LocalGeneral" {
+		t.Fatalf("ok=%v name=%q", ok, name)
+	}
+	if r.Iterations != 100 || r.NsPerOp != 987.5 || r.BytesPerOp != 123 || r.AllocsPerOp != 4 {
+		t.Fatalf("r = %+v", r)
+	}
+
+	name, r, ok = parseLine("BenchmarkBatchThroughput/workers=8-8 1 51234 ns/op 1249.8 jobs/s")
+	if !ok || name != "BenchmarkBatchThroughput/workers=8" || r.Extra["jobs/s"] != 1249.8 {
+		t.Fatalf("ok=%v name=%q r=%+v", ok, name, r)
+	}
+
+	// No GOMAXPROCS suffix (benchmarks run with -cpu flags omit it rarely,
+	// but custom harnesses may): the name passes through untouched.
+	if name, _, ok := parseLine("BenchmarkPlain 3 10 ns/op"); !ok || name != "BenchmarkPlain" {
+		t.Fatalf("ok=%v name=%q", ok, name)
+	}
+
+	for _, line := range []string{
+		"ok  \trepro\t0.1s",
+		"goos: linux",
+		"PASS",
+		"--- BENCH: BenchmarkX",
+		"Benchmark  notanumber  1 ns/op",
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Fatalf("parsed non-result line %q", line)
+		}
+	}
+}
+
+func TestConvert(t *testing.T) {
+	in := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkA-8\t10\t100 ns/op\t32 B/op\t2 allocs/op",
+		"BenchmarkB/R=3-8\t5\t200 ns/op",
+		"PASS",
+	}, "\n")
+	var out bytes.Buffer
+	if err := convert(strings.NewReader(in), &out); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]Result
+	if err := json.Unmarshal(out.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 2 || m["BenchmarkA"].NsPerOp != 100 || m["BenchmarkB/R=3"].Iterations != 5 {
+		t.Fatalf("m = %+v", m)
+	}
+}

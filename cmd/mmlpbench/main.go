@@ -23,9 +23,15 @@ func main() {
 	md := flag.Bool("md", false, "emit markdown tables")
 	flag.Parse()
 
-	scale := expt.Full
-	if *scaleName == "quick" {
+	var scale expt.Scale
+	switch *scaleName {
+	case "quick":
 		scale = expt.Quick
+	case "full":
+		scale = expt.Full
+	default:
+		fmt.Fprintf(os.Stderr, "mmlpbench: unknown scale %q (want quick or full)\n", *scaleName)
+		os.Exit(2)
 	}
 
 	runners := map[string]func(expt.Scale) (*expt.Table, error){

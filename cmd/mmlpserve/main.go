@@ -1,0 +1,86 @@
+// Command mmlpserve serves max-min LP solving over HTTP, backed by the
+// internal/batch worker pool (fixed workers, per-worker scratch reuse,
+// bounded queue with backpressure).
+//
+// Usage:
+//
+//	mmlpserve [-addr :8080] [-workers 0] [-queue 0] [-max-body 8388608] [-job-timeout 0]
+//
+// Endpoints:
+//
+//	POST /v1/solve  — solve one instance; body {"instance": {...}, "engine": "local|dist|dist-compact", "r": 3}
+//	POST /v1/batch  — solve many; body {"jobs": [<solve request>, ...]};
+//	                  the response streams one NDJSON line per job as it
+//	                  completes, each tagged with its request index
+//	GET  /healthz   — liveness
+//	GET  /statsz    — throughput, latency quantiles, allocs/job
+//
+// SIGINT/SIGTERM shut down gracefully: in-flight requests finish, then the
+// pool drains and the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/batch"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "pending-job queue bound (0 = 2×workers)")
+	maxBody := flag.Int64("max-body", 8<<20, "largest accepted request body in bytes")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-job solve deadline (0 = none)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window")
+	flag.Parse()
+
+	if *maxBody <= 0 {
+		fmt.Fprintf(os.Stderr, "mmlpserve: -max-body must be positive, got %d\n", *maxBody)
+		os.Exit(2)
+	}
+	if *workers < 0 || *queue < 0 {
+		fmt.Fprintf(os.Stderr, "mmlpserve: -workers and -queue must be ≥ 0 (0 = default), got %d and %d\n", *workers, *queue)
+		os.Exit(2)
+	}
+
+	pool := batch.NewPool(batch.Options{Workers: *workers, Queue: *queue, JobTimeout: *jobTimeout})
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(pool, *maxBody),
+		// Bound slow/idle clients so they cannot pin connections forever;
+		// WriteTimeout stays 0 because batch NDJSON responses stream for as
+		// long as the solves take.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("mmlpserve: listening on %s (workers=%d)", *addr, pool.Workers())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("mmlpserve: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("mmlpserve: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("mmlpserve: shutdown: %v", err)
+	}
+	pool.Close()
+}

@@ -1,0 +1,227 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	maxminlp "repro"
+	"repro/internal/batch"
+	"repro/internal/gen"
+	"repro/internal/mmlp"
+)
+
+// testServer builds a handler on a small pool.
+func testServer(t *testing.T, maxBody int64) *server {
+	t.Helper()
+	pool := batch.NewPool(batch.Options{Workers: 2, Queue: 2})
+	t.Cleanup(pool.Close)
+	return newServer(pool, maxBody)
+}
+
+func post(h http.Handler, path, body string) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func solveBody(t *testing.T, in *mmlp.Instance, extra string) string {
+	t.Helper()
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return `{"instance":` + string(raw) + extra + `}`
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	h := testServer(t, 1<<20)
+	in := gen.Random(gen.RandomConfig{Agents: 12, MaxDegI: 3, MaxDegK: 3, ExtraCons: 4, ExtraObjs: 2}, 1)
+
+	w := post(h, "/v1/solve", solveBody(t, in, `,"r":3,"disable_special_cases":true`))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp mmlp.SolveResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	want, err := maxminlp.SolveLocal(in, maxminlp.LocalOptions{R: 3, DisableSpecialCases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != want.Status.String() || resp.Utility != want.Utility || resp.UpperBound != want.UpperBound {
+		t.Fatalf("resp = %+v, want status=%v utility=%v ub=%v", resp, want.Status, want.Utility, want.UpperBound)
+	}
+	for v := range want.X {
+		if resp.X[v] != want.X[v] {
+			t.Fatalf("X[%d] = %v, want %v", v, resp.X[v], want.X[v])
+		}
+	}
+}
+
+func TestSolveEndpointDistributed(t *testing.T) {
+	h := testServer(t, 1<<20)
+	in := gen.TriNecklace(4)
+	w := post(h, "/v1/solve", solveBody(t, in, `,"engine":"dist"`))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	var resp mmlp.SolveResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rounds == 0 || resp.Messages == 0 {
+		t.Fatalf("distributed response missing traffic stats: %+v", resp)
+	}
+}
+
+func TestSolveEndpointErrors(t *testing.T) {
+	h := testServer(t, 256)
+	cases := []struct {
+		name, body string
+		code       int
+	}{
+		{"malformed JSON", `{"instance": nope}`, http.StatusBadRequest},
+		{"missing instance", `{}`, http.StatusBadRequest},
+		{"unknown engine", `{"instance":{"num_agents":0},"engine":"simplex"}`, http.StatusBadRequest},
+		{"oversized r", `{"instance":{"num_agents":0},"r":2000000000}`, http.StatusBadRequest},
+		{"oversized num_agents", `{"instance":{"num_agents":2000000000}}`, http.StatusBadRequest},
+		{"invalid instance", `{"instance":{"num_agents":1,"constraints":[{"terms":[{"agent":0,"coef":-1}]}]}}`, http.StatusBadRequest},
+		{"oversized body", `{"instance":{"num_agents":1,"objectives":[` + strings.Repeat(`{"terms":[]},`, 64) + `{"terms":[]}]}}`, http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		w := post(h, "/v1/solve", c.body)
+		if w.Code != c.code {
+			t.Fatalf("%s: status %d, want %d (body %s)", c.name, w.Code, c.code, w.Body)
+		}
+		var er mmlp.ErrorResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+			t.Fatalf("%s: error body %q (%v)", c.name, w.Body, err)
+		}
+	}
+}
+
+// TestBatchEndpoint checks the NDJSON stream: one line per job, every
+// index present exactly once, and each payload bit-identical to the
+// sequential solve of that job.
+func TestBatchEndpoint(t *testing.T) {
+	h := testServer(t, 1<<20)
+	const n = 9
+	ins := make([]*mmlp.Instance, n)
+	reqs := make([]mmlp.SolveRequest, n)
+	for i := range reqs {
+		ins[i] = gen.Random(gen.RandomConfig{Agents: 8 + i, MaxDegI: 3, MaxDegK: 3, ExtraCons: 3, ExtraObjs: 1}, int64(i+1))
+		reqs[i] = mmlp.SolveRequest{Instance: ins[i], R: 3, DisableSpecialCases: true}
+	}
+	body, err := json.Marshal(mmlp.BatchRequest{Jobs: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := post(h, "/v1/batch", string(body))
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	seen := make(map[int]bool)
+	sc := bufio.NewScanner(bytes.NewReader(w.Body.Bytes()))
+	for sc.Scan() {
+		var item mmlp.BatchItem
+		if err := json.Unmarshal(sc.Bytes(), &item); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if item.Error != "" {
+			t.Fatalf("job %d failed: %s", item.Index, item.Error)
+		}
+		if seen[item.Index] {
+			t.Fatalf("index %d emitted twice", item.Index)
+		}
+		seen[item.Index] = true
+		want, err := maxminlp.SolveLocal(ins[item.Index], maxminlp.LocalOptions{R: 3, DisableSpecialCases: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range want.X {
+			if item.X[v] != want.X[v] {
+				t.Fatalf("job %d: X[%d] = %v, want %v", item.Index, v, item.X[v], want.X[v])
+			}
+		}
+	}
+	if len(seen) != n {
+		t.Fatalf("got %d lines, want %d", len(seen), n)
+	}
+}
+
+func TestBatchEndpointErrors(t *testing.T) {
+	h := testServer(t, 1<<20)
+	if w := post(h, "/v1/batch", `{"jobs":[]}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: status %d", w.Code)
+	}
+	if w := post(h, "/v1/batch", `{"jobs":[{"instance":{"num_agents":0},"r":1}]}`); w.Code != http.StatusBadRequest {
+		t.Fatalf("bad job: status %d", w.Code)
+	}
+	// Invalid instance *contents* surface as a per-job error line, not a
+	// request-level failure: one bad job must not kill the batch.
+	body := `{"jobs":[{"instance":{"num_agents":1,"constraints":[{"terms":[{"agent":0,"coef":-1}]}]}}]}`
+	w := post(h, "/v1/batch", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("invalid-instance job: status %d", w.Code)
+	}
+	var item mmlp.BatchItem
+	if err := json.Unmarshal(bytes.TrimSpace(w.Body.Bytes()), &item); err != nil {
+		t.Fatal(err)
+	}
+	if item.Index != 0 || item.Error == "" {
+		t.Fatalf("item = %+v, want index 0 with error", item)
+	}
+}
+
+func TestHealthAndStats(t *testing.T) {
+	h := testServer(t, 1<<20)
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK || !strings.Contains(w.Body.String(), `"ok"`) {
+		t.Fatalf("healthz: %d %s", w.Code, w.Body)
+	}
+
+	// Solve once so the stats move.
+	in := gen.TriNecklace(3)
+	if w := post(h, "/v1/solve", solveBody(t, in, ``)); w.Code != http.StatusOK {
+		t.Fatalf("solve: %d %s", w.Code, w.Body)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/statsz", nil)
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("statsz: %d", w.Code)
+	}
+	var st struct {
+		Workers int   `json:"workers"`
+		Jobs    int64 `json:"jobs"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Workers != 2 || st.Jobs < 1 {
+		t.Fatalf("statsz = %s", w.Body)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	h := testServer(t, 1<<20)
+	req := httptest.NewRequest(http.MethodGet, "/v1/solve", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	if w.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/solve: status %d", w.Code)
+	}
+}

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"repro/internal/batch"
+	"repro/internal/mmlp"
+)
+
+// server routes HTTP traffic onto a batch.Pool.
+type server struct {
+	pool    *batch.Pool
+	maxBody int64
+	mux     *http.ServeMux
+}
+
+// newServer wires the endpoints. maxBody bounds every request body; bodies
+// beyond it are rejected with 413.
+func newServer(pool *batch.Pool, maxBody int64) *server {
+	s := &server{pool: pool, maxBody: maxBody, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	return s
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// writeError emits the uniform error body.
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(mmlp.ErrorResponse{Error: err.Error()})
+}
+
+// decode reads one JSON body into dst, mapping oversized bodies to 413 and
+// malformed JSON to 400 via the returned status code.
+func (s *server) decode(w http.ResponseWriter, r *http.Request, dst any) (int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	if err := json.NewDecoder(r.Body).Decode(dst); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return http.StatusBadRequest, fmt.Errorf("malformed JSON: %w", err)
+	}
+	return 0, nil
+}
+
+// handleSolve solves one instance synchronously.
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req mmlp.SolveRequest
+	if code, err := s.decode(w, r, &req); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	job, err := batch.JobFromRequest(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res := s.pool.Do(r.Context(), job)
+	if res.Err != nil {
+		code := http.StatusInternalServerError
+		switch {
+		case errors.Is(res.Err, mmlp.ErrInvalid):
+			code = http.StatusBadRequest
+		case errors.Is(res.Err, context.Canceled), errors.Is(res.Err, context.DeadlineExceeded):
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, res.Err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(batch.ResponseFromResult(res))
+}
+
+// handleBatch solves many instances and streams one NDJSON line per job as
+// it completes. Lines carry the job's request index; they arrive in
+// completion order, not request order.
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req mmlp.BatchRequest
+	if code, err := s.decode(w, r, &req); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("batch has no jobs"))
+		return
+	}
+	jobs := make([]batch.Job, len(req.Jobs))
+	for i := range req.Jobs {
+		job, err := batch.JobFromRequest(&req.Jobs[i])
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
+			return
+		}
+		jobs[i] = job
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	// Submission runs on its own goroutine so the pool's backpressure never
+	// stalls the response: completed results stream out while later jobs
+	// are still waiting for a queue slot.
+	results := make(chan batch.Result, len(jobs))
+	type submitOutcome struct {
+		submitted int
+		err       error
+	}
+	submitDone := make(chan submitOutcome, 1)
+	go func() {
+		n := 0
+		for i := range jobs {
+			if err := s.pool.Submit(r.Context(), i, jobs[i], func(res batch.Result) { results <- res }); err != nil {
+				submitDone <- submitOutcome{n, err} // client gone or pool closing
+				return
+			}
+			n++
+		}
+		submitDone <- submitOutcome{n, nil}
+	}()
+
+	submitted := -1 // unknown until the submitter finishes
+	var submitErr error
+	for emitted := 0; submitted == -1 || emitted < submitted; {
+		select {
+		case res := <-results:
+			enc.Encode(batch.ItemFromResult(res))
+			if flusher != nil {
+				flusher.Flush()
+			}
+			emitted++
+		case out := <-submitDone:
+			submitted, submitErr = out.submitted, out.err
+			submitDone = nil // disable this case; drain the rest of results
+		}
+	}
+	// The contract is one line per job: jobs that never made it into the
+	// pool still get an error item, so clients keying on index can tell a
+	// dropped job from a lost response.
+	for i := submitted; i < len(jobs); i++ {
+		enc.Encode(batch.ItemFromResult(batch.Result{Index: i, Err: submitErr}))
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// handleHealth reports liveness.
+func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"workers\":%d}\n", s.pool.Workers())
+}
+
+// handleStats reports the pool's aggregate activity.
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.pool.Stats()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"workers":        st.Workers,
+		"jobs":           st.Jobs,
+		"errors":         st.Errors,
+		"jobs_per_sec":   st.JobsPerSec,
+		"p50_ms":         float64(st.P50.Microseconds()) / 1e3,
+		"p99_ms":         float64(st.P99.Microseconds()) / 1e3,
+		"max_ms":         float64(st.Max.Microseconds()) / 1e3,
+		"allocs_per_job": st.AllocsPerJob,
+		"uptime_sec":     st.Elapsed.Seconds(),
+	})
+}

@@ -1,0 +1,66 @@
+package batch
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mmlp"
+)
+
+// JobFromRequest converts a validated wire request into a solver job.
+func JobFromRequest(req *mmlp.SolveRequest) (Job, error) {
+	if err := req.Validate(); err != nil {
+		return Job{}, err
+	}
+	var kind engine.Kind
+	switch req.Engine {
+	case "", mmlp.EngineLocal:
+		kind = engine.Central
+	case mmlp.EngineDist:
+		kind = engine.Distributed
+	case mmlp.EngineDistCompact:
+		kind = engine.DistributedCompact
+	default: // unreachable after Validate
+		return Job{}, fmt.Errorf("%w: unknown engine %q", mmlp.ErrInvalid, req.Engine)
+	}
+	return Job{
+		In: req.Instance,
+		Opts: engine.Options{
+			Engine:              kind,
+			R:                   req.R,
+			BinIters:            req.BinIters,
+			DisableSpecialCases: req.DisableSpecialCases,
+			SelfCheck:           req.SelfCheck,
+		},
+	}, nil
+}
+
+// ResponseFromResult renders a successful result on the wire. The caller
+// must not pass a failed result (nil Sol).
+func ResponseFromResult(r Result) mmlp.SolveResponse {
+	resp := mmlp.SolveResponse{
+		Status:     r.Sol.Status.String(),
+		X:          r.Sol.X,
+		Utility:    r.Sol.Utility,
+		UpperBound: r.Sol.UpperBound,
+		LatencyMS:  float64(r.Latency) / float64(time.Millisecond),
+	}
+	if r.Dist != nil {
+		resp.Rounds = r.Dist.Rounds
+		resp.Messages = r.Dist.Messages
+		resp.Bytes = r.Dist.Bytes
+	}
+	return resp
+}
+
+// ItemFromResult renders one batch NDJSON line.
+func ItemFromResult(r Result) mmlp.BatchItem {
+	item := mmlp.BatchItem{Index: r.Index}
+	if r.Err != nil {
+		item.Error = r.Err.Error()
+		return item
+	}
+	item.SolveResponse = ResponseFromResult(r)
+	return item
+}

@@ -1,0 +1,127 @@
+// Package batch is the throughput layer of the library: it solves many
+// independent max-min LP instances concurrently on a fixed pool of workers,
+// each owning reusable solver scratch (engine.Scratch) so steady-state
+// solving stays allocation-light. Two entry points share one job runner:
+//
+//   - Solve takes a slice of jobs and returns positional results — the
+//     shape SolveBatch exposes on the public surface;
+//   - Pool is a long-lived worker pool with a bounded queue and
+//     backpressure, the shape cmd/mmlpserve serves HTTP traffic from.
+//
+// Every job is solved by the full engine pipeline, so batch results are
+// bit-identical to the corresponding sequential solves.
+package batch
+
+import (
+	"context"
+	"runtime"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/mmlp"
+	"repro/internal/par"
+)
+
+// Job is one instance to solve with its per-job configuration. Engines may
+// be mixed freely within a batch (Opts.Engine selects per job).
+type Job struct {
+	In   *mmlp.Instance
+	Opts engine.Options
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	// Index is the job's position in the submitted batch.
+	Index int
+	// Sol is the solution (nil when Err is set).
+	Sol *engine.Solution
+	// Dist carries traffic statistics for message-passing jobs.
+	Dist *engine.DistInfo
+	// Err reports a failed or cancelled job.
+	Err error
+	// Latency is the wall-clock solve time (zero when the job was cancelled
+	// before it started).
+	Latency time.Duration
+}
+
+// Options configures a pool or a one-shot batch.
+type Options struct {
+	// Workers is the fixed pool size (0 = GOMAXPROCS).
+	Workers int
+	// Queue bounds the pending-task queue of a Pool (0 = 2×Workers);
+	// Submit blocks — backpressure — while the queue is full. Ignored by
+	// Solve, which bounds work by the slice itself.
+	Queue int
+	// JobTimeout, when positive, is a per-job deadline. The solve pipeline
+	// checks its context between stages, so an expired job stops at the
+	// next stage boundary and reports context.DeadlineExceeded.
+	JobTimeout time.Duration
+}
+
+// normalizedWorkers resolves the pool size.
+func (o Options) normalizedWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// runJob executes one job on a worker's scratch and records it with col.
+func runJob(ctx context.Context, index int, job Job, timeout time.Duration, sc *engine.Scratch, col *collector) Result {
+	res := Result{Index: index}
+	if err := ctx.Err(); err != nil {
+		res.Err = err
+		col.record(0, true)
+		return res
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	res.Sol, res.Dist, res.Err = engine.SolveScratch(ctx, job.In, job.Opts, sc)
+	res.Latency = time.Since(start)
+	col.record(res.Latency, res.Err != nil)
+	return res
+}
+
+// Solve runs every job on a fixed pool of workers and returns positional
+// results (result i belongs to jobs[i]) plus aggregate statistics. Jobs are
+// handed to workers dynamically, so heterogeneous instance sizes stay
+// load-balanced. Cancelling ctx stops unstarted jobs — their results carry
+// the context error, which Solve also returns — while running jobs stop at
+// their next pipeline-stage boundary and report the context error.
+func Solve(ctx context.Context, jobs []Job, o Options) ([]Result, *Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := o.normalizedWorkers()
+	var col collector
+	col.start(workers)
+
+	scratch := make([]*engine.Scratch, workers)
+	results := make([]Result, len(jobs))
+	err := par.ForEachCtx(ctx, len(jobs), workers, func(w, i int) {
+		if scratch[w] == nil {
+			scratch[w] = engine.NewScratch()
+		}
+		results[i] = runJob(ctx, i, jobs[i], o.JobTimeout, scratch[w], &col)
+	})
+	if err == nil {
+		// Every job was handed out, but ForEachCtx cannot tell whether the
+		// last ones aborted at a pipeline-stage boundary after a late
+		// cancellation; honour the documented contract that a cancelled
+		// batch returns the context error.
+		err = ctx.Err()
+	}
+	if err != nil {
+		for i := range results {
+			if results[i].Sol == nil && results[i].Err == nil {
+				results[i] = Result{Index: i, Err: err}
+				col.record(0, true) // never handed out: count it like a cancelled job
+			}
+		}
+	}
+	return results, col.snapshot(), err
+}

@@ -1,0 +1,222 @@
+package batch_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	maxminlp "repro"
+	"repro/internal/batch"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/mmlp"
+)
+
+// conformanceJobs builds a mixed-engine workload of varied shapes.
+func conformanceJobs(t *testing.T) []batch.Job {
+	t.Helper()
+	var jobs []batch.Job
+	for seed := int64(1); seed <= 6; seed++ {
+		in := gen.Random(gen.RandomConfig{Agents: 12 + 2*int(seed), MaxDegI: 3, MaxDegK: 3, ExtraCons: 4, ExtraObjs: 2}, seed)
+		jobs = append(jobs, batch.Job{In: in, Opts: engine.Options{R: 2 + int(seed%3), DisableSpecialCases: true}})
+	}
+	neck := gen.TriNecklace(6)
+	jobs = append(jobs,
+		batch.Job{In: neck, Opts: engine.Options{Engine: engine.Distributed, R: 3}},
+		batch.Job{In: neck, Opts: engine.Options{Engine: engine.DistributedCompact, R: 3}},
+		// Trivial shape: exercises the ΔK=1 special-case dispatch.
+		batch.Job{In: gen.Random(gen.RandomConfig{Agents: 6, MaxDegI: 2, MaxDegK: 1}, 9), Opts: engine.Options{R: 3}},
+	)
+	return jobs
+}
+
+// TestBatchMatchesSequential is the conformance suite of the acceptance
+// criteria: for every job, the pooled solve must return bit-identical
+// T (upper bound) and X to the sequential public-API call.
+func TestBatchMatchesSequential(t *testing.T) {
+	jobs := conformanceJobs(t)
+	for _, workers := range []int{1, 3, 8} {
+		res, stats, err := batch.Solve(context.Background(), jobs, batch.Options{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if stats.Jobs != int64(len(jobs)) || stats.Errors != 0 {
+			t.Fatalf("workers=%d: stats = %+v", workers, stats)
+		}
+		for i, r := range res {
+			if r.Err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, i, r.Err)
+			}
+			if r.Index != i {
+				t.Fatalf("workers=%d: result %d has index %d", workers, i, r.Index)
+			}
+			want := sequential(t, jobs[i])
+			if r.Sol.Status != want.Status || r.Sol.Utility != want.Utility || r.Sol.UpperBound != want.UpperBound {
+				t.Fatalf("workers=%d job %d: got (%v, %v, %v), want (%v, %v, %v)",
+					workers, i, r.Sol.Status, r.Sol.Utility, r.Sol.UpperBound,
+					want.Status, want.Utility, want.UpperBound)
+			}
+			for v := range want.X {
+				if r.Sol.X[v] != want.X[v] {
+					t.Fatalf("workers=%d job %d: X[%d] = %v, want %v", workers, i, v, r.Sol.X[v], want.X[v])
+				}
+			}
+		}
+	}
+}
+
+// sequential solves one job through the public sequential surface.
+func sequential(t *testing.T, j batch.Job) *maxminlp.Solution {
+	t.Helper()
+	opts := maxminlp.LocalOptions{
+		R: j.Opts.R, BinIters: j.Opts.BinIters,
+		DisableSpecialCases: j.Opts.DisableSpecialCases,
+		CompactProtocol:     j.Opts.Engine == engine.DistributedCompact,
+	}
+	if j.Opts.Engine == engine.Central {
+		sol, err := maxminlp.SolveLocal(j.In, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol
+	}
+	sol, _, err := maxminlp.SolveLocalDistributed(j.In, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sol
+}
+
+// TestPoolMatchesSequential pushes jobs of different shapes through one
+// pool so each worker's scratch is re-targeted across instances, and
+// checks bit-identity against the sequential solve.
+func TestPoolMatchesSequential(t *testing.T) {
+	jobs := conformanceJobs(t)
+	p := batch.NewPool(batch.Options{Workers: 2, Queue: 1})
+	defer p.Close()
+	for round := 0; round < 3; round++ {
+		results := make([]batch.Result, len(jobs))
+		var wg sync.WaitGroup
+		for i, j := range jobs {
+			wg.Add(1)
+			i := i
+			if err := p.Submit(context.Background(), i, j, func(r batch.Result) {
+				results[i] = r
+				wg.Done()
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		wg.Wait()
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("round %d job %d: %v", round, i, r.Err)
+			}
+			want := sequential(t, jobs[i])
+			for v := range want.X {
+				if r.Sol.X[v] != want.X[v] {
+					t.Fatalf("round %d job %d: X[%d] = %v, want %v", round, i, v, r.Sol.X[v], want.X[v])
+				}
+			}
+		}
+	}
+	st := p.Stats()
+	if st.Jobs != int64(3*len(conformanceJobs(t))) || st.P50 <= 0 || st.JobsPerSec <= 0 {
+		t.Fatalf("pool stats = %+v", st)
+	}
+}
+
+// TestPoolCloseDuringSubmit closes the pool while submitters are applying
+// backpressure on a full queue: no send may panic, every accepted
+// submission must complete, and later submissions must see ErrPoolClosed.
+func TestPoolCloseDuringSubmit(t *testing.T) {
+	p := batch.NewPool(batch.Options{Workers: 1, Queue: 1})
+	job := batch.Job{In: gen.TriNecklace(3), Opts: engine.Options{R: 3}}
+	var accepted, completed atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				err := p.Submit(context.Background(), i, job, func(batch.Result) { completed.Add(1) })
+				if errors.Is(err, batch.ErrPoolClosed) {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				accepted.Add(1)
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	p.Close()
+	wg.Wait()
+	if completed.Load() != accepted.Load() {
+		t.Fatalf("accepted %d submissions but completed %d", accepted.Load(), completed.Load())
+	}
+	if err := p.Submit(context.Background(), 0, job, func(batch.Result) {}); !errors.Is(err, batch.ErrPoolClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrPoolClosed", err)
+	}
+}
+
+// TestSolveCancellation cancels mid-batch: Solve must return the context
+// error, every skipped job must carry it, and no result may be lost.
+func TestSolveCancellation(t *testing.T) {
+	in := gen.Random(gen.RandomConfig{Agents: 20, MaxDegI: 3, MaxDegK: 3, ExtraCons: 5, ExtraObjs: 2}, 1)
+	jobs := make([]batch.Job, 200)
+	for i := range jobs {
+		jobs[i] = batch.Job{In: in, Opts: engine.Options{R: 3, DisableSpecialCases: true}}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, _, err := batch.Solve(ctx, jobs, batch.Options{Workers: 4})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for i, r := range res {
+		if r.Sol == nil && !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("job %d: Sol=nil Err=%v", i, r.Err)
+		}
+	}
+}
+
+// TestJobTimeout gives jobs an expired deadline; the pipeline must stop at
+// a stage boundary and report context.DeadlineExceeded.
+func TestJobTimeout(t *testing.T) {
+	in := gen.Random(gen.RandomConfig{Agents: 24, MaxDegI: 3, MaxDegK: 3, ExtraCons: 6, ExtraObjs: 3}, 1)
+	jobs := []batch.Job{{In: in, Opts: engine.Options{R: 3, DisableSpecialCases: true}}}
+	res, _, err := batch.Solve(context.Background(), jobs, batch.Options{Workers: 1, JobTimeout: time.Nanosecond})
+	if err != nil {
+		t.Fatalf("Solve err = %v (per-job deadlines must not fail the batch)", err)
+	}
+	if !errors.Is(res[0].Err, context.DeadlineExceeded) {
+		t.Fatalf("job err = %v, want context.DeadlineExceeded", res[0].Err)
+	}
+}
+
+// TestJobFromRequest covers the wire conversions.
+func TestJobFromRequest(t *testing.T) {
+	in := gen.TriNecklace(4)
+	job, err := batch.JobFromRequest(&mmlp.SolveRequest{Instance: in, Engine: mmlp.EngineDistCompact, R: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.Opts.Engine != engine.DistributedCompact || job.Opts.R != 4 {
+		t.Fatalf("job opts = %+v", job.Opts)
+	}
+	if _, err := batch.JobFromRequest(&mmlp.SolveRequest{Instance: in, Engine: "simplex"}); !errors.Is(err, mmlp.ErrInvalid) {
+		t.Fatalf("unknown engine err = %v", err)
+	}
+	if _, err := batch.JobFromRequest(&mmlp.SolveRequest{}); !errors.Is(err, mmlp.ErrInvalid) {
+		t.Fatalf("missing instance err = %v", err)
+	}
+	if _, err := batch.JobFromRequest(&mmlp.SolveRequest{Instance: in, R: 1}); !errors.Is(err, mmlp.ErrInvalid) {
+		t.Fatalf("bad R err = %v", err)
+	}
+}

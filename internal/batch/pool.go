@@ -1,0 +1,112 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/engine"
+)
+
+// ErrPoolClosed is returned by Submit and Do once Close has begun.
+var ErrPoolClosed = errors.New("batch: pool is closed")
+
+// task is one queued unit of pool work.
+type task struct {
+	ctx   context.Context
+	job   Job
+	index int
+	done  func(Result)
+}
+
+// Pool is a long-lived sharded solver: a fixed set of worker goroutines,
+// each owning reusable scratch, pulling from a bounded queue. Create one
+// with NewPool, feed it with Submit (which applies backpressure when the
+// queue is full) and stop it with Close.
+type Pool struct {
+	opts  Options
+	tasks chan task
+	wg    sync.WaitGroup
+	col   collector
+
+	// mu guards closed and orders Submit's channel send before Close's
+	// close(tasks): Submit holds the read side across the send, so Close
+	// cannot close the channel under a blocked submitter.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewPool starts the workers and returns the running pool.
+func NewPool(o Options) *Pool {
+	workers := o.normalizedWorkers()
+	queue := o.Queue
+	if queue <= 0 {
+		queue = 2 * workers
+	}
+	p := &Pool{opts: o, tasks: make(chan task, queue)}
+	p.col.start(workers)
+	for w := 0; w < workers; w++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+// worker drains the queue with its own scratch until Close.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	sc := engine.NewScratch()
+	for t := range p.tasks {
+		t.done(runJob(t.ctx, t.index, t.job, p.opts.JobTimeout, sc, &p.col))
+	}
+}
+
+// Submit enqueues one job; done is invoked exactly once, on a worker
+// goroutine, with the job's result. Submit blocks while the queue is full
+// (backpressure) and returns ctx's error — without invoking done — when
+// the context expires first. A job whose context expires while it is still
+// queued is not solved; its result carries the context error. Once Close
+// has begun, Submit returns ErrPoolClosed.
+func (p *Pool) Submit(ctx context.Context, index int, job Job, done func(Result)) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	select {
+	case p.tasks <- task{ctx: ctx, job: job, index: index, done: done}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Do solves one job synchronously on the pool and returns its result.
+func (p *Pool) Do(ctx context.Context, job Job) Result {
+	ch := make(chan Result, 1)
+	if err := p.Submit(ctx, 0, job, func(r Result) { ch <- r }); err != nil {
+		return Result{Err: err}
+	}
+	return <-ch
+}
+
+// Stats snapshots the pool's aggregate activity.
+func (p *Pool) Stats() *Stats { return p.col.snapshot() }
+
+// Workers returns the fixed pool size.
+func (p *Pool) Workers() int { return p.col.workers }
+
+// Close stops accepting work, waits for in-flight submissions and queued
+// jobs to finish and returns. Safe to call more than once. Close never
+// deadlocks against blocked submitters: the workers keep draining the
+// queue until Close acquires the lock, at which point no submitter holds
+// it.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+	p.mu.Unlock()
+	p.wg.Wait()
+}

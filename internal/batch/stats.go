@@ -1,0 +1,127 @@
+package batch
+
+import (
+	"runtime/metrics"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ringSize bounds the latency samples kept for the quantile estimates; the
+// newest samples overwrite the oldest, so the quantiles describe recent
+// traffic on a long-lived pool and the whole run on a one-shot batch.
+const ringSize = 4096
+
+// Stats aggregates a pool's (or a one-shot batch's) solving activity.
+type Stats struct {
+	// Workers is the fixed pool size.
+	Workers int
+	// Jobs counts completed jobs, Errors the subset that returned an error
+	// (including jobs cancelled before they started).
+	Jobs, Errors int64
+	// Elapsed is the wall-clock time since the pool started; JobsPerSec is
+	// Jobs/Elapsed.
+	Elapsed    time.Duration
+	JobsPerSec float64
+	// P50 and P99 describe the solve latency of successful jobs over the
+	// most recent samples (at most 4096); Max is the all-time worst. Failed
+	// jobs are excluded: timeouts abort in microseconds and would drag the
+	// quantiles toward zero exactly when the service is struggling.
+	P50, P99, Max time.Duration
+	// AllocsPerJob is the number of heap allocations per completed job,
+	// measured process-wide (runtime mallocs delta / jobs); it is meaningful
+	// when the pool dominates the process's activity.
+	AllocsPerJob float64
+}
+
+// collector accumulates stats concurrently.
+type collector struct {
+	workers int
+
+	mu      sync.Mutex
+	jobs    int64
+	errors  int64
+	max     time.Duration
+	ring    [ringSize]time.Duration
+	samples int64 // total latency samples ever recorded
+
+	started      time.Time
+	startMallocs uint64
+}
+
+// start stamps the baseline for throughput and allocation accounting.
+func (c *collector) start(workers int) {
+	c.workers = workers
+	c.started = time.Now()
+	c.startMallocs = readMallocs()
+}
+
+// readMallocs counts heap allocations via runtime/metrics, which reads a
+// ready-made counter without the stop-the-world pause of ReadMemStats —
+// snapshot runs on every /statsz scrape, so it must not stall the workers.
+func readMallocs() uint64 {
+	sample := []metrics.Sample{{Name: "/gc/heap/allocs:objects"}}
+	metrics.Read(sample)
+	if sample[0].Value.Kind() != metrics.KindUint64 {
+		return 0
+	}
+	return sample[0].Value.Uint64()
+}
+
+// record notes one completed job. Only successful solves become latency
+// samples; failures and cancellations count toward Jobs/Errors alone.
+func (c *collector) record(latency time.Duration, failed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.jobs++
+	if failed {
+		c.errors++
+		return
+	}
+	if latency <= 0 {
+		return
+	}
+	c.ring[c.samples%ringSize] = latency
+	c.samples++
+	if latency > c.max {
+		c.max = latency
+	}
+}
+
+// snapshot renders the current totals.
+func (c *collector) snapshot() *Stats {
+	c.mu.Lock()
+	n := c.samples
+	if n > ringSize {
+		n = ringSize
+	}
+	lat := make([]time.Duration, n)
+	copy(lat, c.ring[:n])
+	st := &Stats{
+		Workers: c.workers,
+		Jobs:    c.jobs,
+		Errors:  c.errors,
+		Max:     c.max,
+		Elapsed: time.Since(c.started),
+	}
+	c.mu.Unlock()
+
+	if st.Elapsed > 0 {
+		st.JobsPerSec = float64(st.Jobs) / st.Elapsed.Seconds()
+	}
+	if len(lat) > 0 {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		st.P50 = quantile(lat, 0.50)
+		st.P99 = quantile(lat, 0.99)
+	}
+	if st.Jobs > 0 {
+		st.AllocsPerJob = float64(readMallocs()-c.startMallocs) / float64(st.Jobs)
+	}
+	return st
+}
+
+// quantile reads the q-quantile from an ascending sample (nearest-rank).
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

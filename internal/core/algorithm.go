@@ -116,6 +116,15 @@ func computeG(s *structured.Instance, sv []float64, r int) (gp, gm [][]float64) 
 	for d := 0; d <= r; d++ {
 		gp[d] = make([]float64, s.N)
 		gm[d] = make([]float64, s.N)
+	}
+	computeGInto(s, sv, r, gp, gm)
+	return gp, gm
+}
+
+// computeGInto is computeG writing into caller-provided matrices with r+1
+// rows of length s.N each.
+func computeGInto(s *structured.Instance, sv []float64, r int, gp, gm [][]float64) {
+	for d := 0; d <= r; d++ {
 		for v := 0; v < s.N; v++ {
 			if d == 0 {
 				gp[d][v] = s.Caps[v] // (12)
@@ -139,21 +148,24 @@ func computeG(s *structured.Instance, sv []float64, r int) (gp, gm [][]float64) 
 			gm[d][v] = HingePos(sv[v] - sum)
 		}
 	}
-	return gp, gm
 }
 
 // output evaluates (18).
 func output(s *structured.Instance, gp, gm [][]float64, R int) []float64 {
 	x := make([]float64, s.N)
-	gps := make([]float64, len(gp))
-	gms := make([]float64, len(gm))
+	outputInto(s, gp, gm, R, x, make([]float64, len(gp)), make([]float64, len(gm)))
+	return x
+}
+
+// outputInto is output writing into x, with gps/gms as per-agent column
+// scratch of length len(gp).
+func outputInto(s *structured.Instance, gp, gm [][]float64, R int, x, gps, gms []float64) {
 	for v := range x {
 		for d := range gp {
 			gps[d], gms[d] = gp[d][v], gm[d][v]
 		}
 		x[v] = CombineOutput(gps, gms, R)
 	}
-	return x
 }
 
 // smooth computes s_v = min over agents within distance 4r+2 of v, via
@@ -162,8 +174,13 @@ func output(s *structured.Instance, gp, gm [][]float64, R int) []float64 {
 // (peers), and every shortest agent-to-agent path passes an agent at each
 // even position.
 func smooth(s *structured.Instance, t []float64, r int) []float64 {
-	cur := append([]float64(nil), t...)
-	next := make([]float64, s.N)
+	return smoothInto(s, r, append([]float64(nil), t...), make([]float64, s.N))
+}
+
+// smoothInto is smooth operating on caller-provided buffers: cur must hold a
+// copy of t on entry, next is overwritten. The returned slice is one of the
+// two buffers.
+func smoothInto(s *structured.Instance, r int, cur, next []float64) []float64 {
 	for round := 0; round < 2*r+1; round++ {
 		for v := 0; v < s.N; v++ {
 			m := cur[v]

@@ -1,0 +1,82 @@
+package core
+
+import "repro/internal/structured"
+
+// Scratch is the reusable working memory of one solver worker: the
+// evaluator memo tables of stage 1 and the float buffers of stages 2–3.
+// Buffers grow on demand and are retained between solves, so a worker that
+// solves a steady stream of similarly-sized instances stops allocating in
+// the kernel after warm-up. A Scratch is not safe for concurrent use; the
+// zero value is ready.
+type Scratch struct {
+	ev       evaluator
+	t        []float64
+	sA, sB   []float64
+	gp, gm   [][]float64
+	gpB, gmB []float64
+	x        []float64
+	gps, gms []float64
+}
+
+// grow returns *buf resized to n, reallocating only when capacity is short.
+func grow(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growMatrix shapes rows/backing into a matrix with rows of length n each,
+// reusing the backing array across calls.
+func growMatrix(rows *[][]float64, backing *[]float64, r, n int) [][]float64 {
+	b := grow(backing, r*n)
+	if cap(*rows) < r {
+		*rows = make([][]float64, r)
+	}
+	*rows = (*rows)[:r]
+	for d := 0; d < r; d++ {
+		(*rows)[d] = b[d*n : (d+1)*n : (d+1)*n]
+	}
+	return *rows
+}
+
+// SolveScratch is Solve executed by a single worker that reuses sc's
+// buffers. The arithmetic — and hence every output bit — is identical to
+// Solve's; only the allocation behaviour differs. The returned Trace
+// aliases sc and is valid only until the next SolveScratch call on the
+// same scratch; callers that keep a field beyond that must copy it.
+func SolveScratch(s *structured.Instance, opt Options, sc *Scratch) (*Trace, error) {
+	opt, err := opt.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	r := opt.R - 2
+	tr := &Trace{R: opt.R, SmallR: r}
+
+	sc.ev.reset(s, r)
+	tr.T = grow(&sc.t, s.N)
+	for u := 0; u < s.N; u++ {
+		tr.T[u] = sc.ev.computeT(int32(u), opt.BinIters)
+	}
+
+	cur, next := grow(&sc.sA, s.N), grow(&sc.sB, s.N)
+	copy(cur, tr.T)
+	tr.S = smoothInto(s, r, cur, next)
+
+	tr.GPlus = growMatrix(&sc.gp, &sc.gpB, r+1, s.N)
+	tr.GMinus = growMatrix(&sc.gm, &sc.gmB, r+1, s.N)
+	computeGInto(s, tr.S, r, tr.GPlus, tr.GMinus)
+
+	tr.X = grow(&sc.x, s.N)
+	outputInto(s, tr.GPlus, tr.GMinus, opt.R, tr.X, grow(&sc.gps, r+1), grow(&sc.gms, r+1))
+
+	ub := 0.0
+	for u, t := range tr.T {
+		if u == 0 || t < ub {
+			ub = t
+		}
+	}
+	tr.UpperBound = ub
+	return tr, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/structured"
+)
+
+// TestSolveScratchMatchesSolve reuses one Scratch across instances of
+// different sizes and radii and requires bit-identical traces throughout —
+// a stale buffer or memo slot surviving a reset would show up here.
+func TestSolveScratchMatchesSolve(t *testing.T) {
+	sc := &Scratch{}
+	cases := []struct {
+		objs, extra int
+		R           int
+		seed        int64
+	}{
+		{40, 20, 3, 1},
+		{8, 4, 2, 2},
+		{25, 12, 4, 3},
+		{40, 20, 3, 1}, // repeat of the first: exercises shrink-then-grow
+		{3, 2, 6, 4},
+	}
+	for _, c := range cases {
+		in := gen.RandomStructured(gen.StructuredConfig{Objectives: c.objs, MaxDegK: 3, ExtraCons: c.extra}, c.seed)
+		s, err := structured.FromMMLP(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Solve(s, Options{R: c.R})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveScratch(s, Options{R: c.R}, sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.UpperBound != want.UpperBound {
+			t.Fatalf("objs=%d R=%d: UpperBound %v != %v", c.objs, c.R, got.UpperBound, want.UpperBound)
+		}
+		for v := range want.X {
+			if got.X[v] != want.X[v] {
+				t.Fatalf("objs=%d R=%d: X[%d] = %v != %v", c.objs, c.R, v, got.X[v], want.X[v])
+			}
+			if got.T[v] != want.T[v] || got.S[v] != want.S[v] {
+				t.Fatalf("objs=%d R=%d: T/S mismatch at agent %d", c.objs, c.R, v)
+			}
+		}
+		for d := range want.GPlus {
+			for v := range want.GPlus[d] {
+				if got.GPlus[d][v] != want.GPlus[d][v] || got.GMinus[d][v] != want.GMinus[d][v] {
+					t.Fatalf("objs=%d R=%d: g± mismatch at d=%d v=%d", c.objs, c.R, d, v)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveScratchSteadyStateAllocs verifies the warm scratch path stops
+// allocating in the kernel: after one warm-up solve, repeat solves of the
+// same shape allocate only the Trace header.
+func TestSolveScratchSteadyStateAllocs(t *testing.T) {
+	in := gen.RandomStructured(gen.StructuredConfig{Objectives: 30, MaxDegK: 3, ExtraCons: 15}, 7)
+	s, err := structured.FromMMLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &Scratch{}
+	if _, err := SolveScratch(s, Options{R: 3}, sc); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := SolveScratch(s, Options{R: 3}, sc); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 2 { // the *Trace itself
+		t.Fatalf("steady-state SolveScratch allocates %.1f objects per run", allocs)
+	}
+}

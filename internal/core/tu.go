@@ -28,15 +28,29 @@ type evaluator struct {
 
 // newEvaluator allocates the memo tables for one worker.
 func newEvaluator(s *structured.Instance, r int) *evaluator {
+	e := &evaluator{}
+	e.reset(s, r)
+	return e
+}
+
+// reset retargets the evaluator at a new instance and radius, reusing the
+// memo tables when they are large enough. Stale Seen entries are harmless:
+// the epoch counter is monotone across resets, so slots written by earlier
+// runs never match a future epoch.
+func (e *evaluator) reset(s *structured.Instance, r int) {
+	e.s, e.r = s, r
 	n := s.N * (r + 1)
-	return &evaluator{
-		s:         s,
-		r:         r,
-		plus:      make([]float64, n),
-		minus:     make([]float64, n),
-		plusSeen:  make([]uint64, n),
-		minusSeen: make([]uint64, n),
+	if cap(e.plus) < n {
+		e.plus = make([]float64, n)
+		e.minus = make([]float64, n)
+		e.plusSeen = make([]uint64, n)
+		e.minusSeen = make([]uint64, n)
+		return
 	}
+	e.plus = e.plus[:n]
+	e.minus = e.minus[:n]
+	e.plusSeen = e.plusSeen[:n]
+	e.minusSeen = e.minusSeen[:n]
 }
 
 // fplus returns f+_{u,v,d}(ω) per (5)/(7) and records condition (8).

@@ -1,0 +1,273 @@
+// Package engine hosts the end-to-end solve pipeline behind the public
+// maxminlp surface: validation, the §4 preamble and transformations, the
+// trivial-case dispatch, the structured solve on a selectable engine
+// (centralised or message-passing), and the back-mappings to the input
+// instance. Factoring the pipeline out of the root package lets the batch
+// and serving layers drive it directly — with per-worker scratch reuse and
+// cooperative cancellation — without an import cycle through the public
+// API.
+//
+// Error strings keep the "maxminlp:" prefix because every error escapes
+// through the public surface.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/mmlp"
+	"repro/internal/structured"
+	"repro/internal/transform"
+)
+
+// Kind selects the execution engine for the structured solve.
+type Kind int
+
+// Engines.
+const (
+	// Central is the fast centralised engine (core.Solve).
+	Central Kind = iota
+	// Distributed is the honest synchronous message-passing protocol with
+	// anonymous view gathering (dist.SolveDistributed).
+	Distributed
+	// DistributedCompact is the identifier-based record-gossip protocol
+	// with polynomial message sizes (dist.SolveDistributedCompact).
+	DistributedCompact
+)
+
+// String names the engine kind; the names are the wire identifiers of the
+// serving layer (mmlp.EngineLocal etc.).
+func (k Kind) String() string {
+	switch k {
+	case Central:
+		return mmlp.EngineLocal
+	case Distributed:
+		return mmlp.EngineDist
+	case DistributedCompact:
+		return mmlp.EngineDistCompact
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Options configures one solve.
+type Options struct {
+	// Engine selects the execution engine.
+	Engine Kind
+	// R is the shifting parameter (≥ 2, 0 means the default 3).
+	R int
+	// Workers bounds the parallelism of the centralised engine
+	// (0 = GOMAXPROCS). Ignored when a Scratch is supplied: scratch solving
+	// is single-worker by construction.
+	Workers int
+	// BinIters caps the per-agent binary search (0 = 100).
+	BinIters int
+	// DisableSpecialCases skips the optimal ΔI=1 / ΔK=1 dispatch.
+	DisableSpecialCases bool
+	// SelfCheck re-verifies the lemma-level invariants of a centralised run
+	// before returning.
+	SelfCheck bool
+}
+
+// Status classifies a Solution.
+type Status int
+
+// Solution statuses.
+const (
+	// StatusApproximate: the solution satisfies the local approximation
+	// guarantee ΔI(1−1/ΔK)(1+1/(R−1)) but need not be optimal.
+	StatusApproximate Status = iota
+	// StatusOptimal: the solution is optimal (exact solver, or a trivial
+	// case dispatched to the optimal local algorithms of [17]).
+	StatusOptimal
+	// StatusUnbounded: the utility can be made arbitrarily large.
+	StatusUnbounded
+	// StatusZeroOptimum: some objective is empty, so the optimum is 0.
+	StatusZeroOptimum
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusApproximate:
+		return "approximate"
+	case StatusOptimal:
+		return "optimal"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusZeroOptimum:
+		return "zero-optimum"
+	}
+	return fmt.Sprintf("Status(%d)", int(s))
+}
+
+// Solution is the result of any solver in the library.
+type Solution struct {
+	// Status classifies the outcome; X and Utility are meaningful for
+	// StatusApproximate, StatusOptimal and StatusZeroOptimum.
+	Status Status
+	// X is a feasible assignment (length = NumAgents).
+	X []float64
+	// Utility is ω(X) on the input instance.
+	Utility float64
+	// UpperBound, when positive, certifies optimum ≤ UpperBound. The local
+	// algorithm derives it from the per-agent tree optima t_v (Lemma 2);
+	// exact solvers set it to the optimum.
+	UpperBound float64
+}
+
+// DistInfo reports the traffic of a distributed run.
+type DistInfo struct {
+	// Rounds is the number of synchronous rounds (12(R−2)+8; the final
+	// round carries no messages).
+	Rounds int
+	// Messages and Bytes total the traffic; MaxMessageBytes is the largest
+	// single message (dominated by the view-gathering phase);
+	// CompressedBytes re-counts view messages at their DAG-compressed size.
+	Messages, Bytes, MaxMessageBytes, CompressedBytes int
+}
+
+// Scratch is the reusable per-worker working memory of the pipeline. The
+// zero value is ready; see NewScratch. Not safe for concurrent use.
+type Scratch struct {
+	core core.Scratch
+}
+
+// NewScratch returns an empty scratch for one worker.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// Solve runs the full pipeline on one instance. The DistInfo result is nil
+// for the centralised engine and populated for the message-passing engines
+// (zero-valued when a trivial case was dispatched before any protocol ran).
+//
+// ctx is checked between pipeline stages: a solve whose context expires
+// returns ctx's error without starting the next stage. A stage already
+// running is not preempted.
+func Solve(ctx context.Context, in *mmlp.Instance, o Options) (*Solution, *DistInfo, error) {
+	return SolveScratch(ctx, in, o, nil)
+}
+
+// SolveScratch is Solve reusing sc's buffers for the centralised kernel
+// (sc may be nil; the message-passing engines allocate their node state
+// regardless). The returned solution owns its memory — it never aliases sc.
+func SolveScratch(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch) (*Solution, *DistInfo, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var info *DistInfo
+	if o.Engine != Central {
+		info = &DistInfo{}
+	}
+
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if o.R == 0 {
+		o.R = 3
+	}
+	if o.R < 2 {
+		return nil, nil, fmt.Errorf("maxminlp: R must be ≥ 2, got %d", o.R)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	pp := transform.Preprocess(in)
+	switch pp.Outcome {
+	case transform.ZeroOptimum:
+		return &Solution{Status: StatusZeroOptimum, X: pp.Lift(nil), Utility: 0, UpperBound: 0}, info, nil
+	case transform.UnboundedOptimum:
+		return &Solution{Status: StatusUnbounded}, info, nil
+	}
+	red := pp.Out
+
+	// Trivial cases: the optimal local algorithms of [17].
+	if !o.DisableSpecialCases {
+		if red.DegreeI() <= 1 {
+			x := in.Strictify(pp.Lift(baseline.SolveSingletonConstraints(red)))
+			return &Solution{Status: StatusOptimal, X: x, Utility: in.Utility(x), UpperBound: in.Utility(x)}, info, nil
+		}
+		if red.DegreeK() <= 1 {
+			x := in.Strictify(pp.Lift(baseline.SolveSingletonObjectives(red)))
+			return &Solution{Status: StatusOptimal, X: x, Utility: in.Utility(x), UpperBound: in.Utility(x)}, info, nil
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	pipe, err := transform.Structure(red)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := structured.FromMMLP(pipe.Final())
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	copts := core.Options{R: o.R, Workers: o.Workers, BinIters: o.BinIters}
+	var xs []float64
+	var ub float64
+	switch o.Engine {
+	case Central:
+		var tr *core.Trace
+		if sc != nil {
+			tr, err = core.SolveScratch(s, copts, &sc.core)
+		} else {
+			tr, err = core.Solve(s, copts)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if o.SelfCheck {
+			if err := core.VerifyTrace(s, tr, 1e-9); err != nil {
+				return nil, nil, fmt.Errorf("maxminlp: self-check failed: %w", err)
+			}
+		}
+		xs, ub = tr.X, tr.UpperBound
+	case Distributed, DistributedCompact:
+		solver := dist.SolveDistributed
+		if o.Engine == DistributedCompact {
+			solver = dist.SolveDistributedCompact
+		}
+		res, err := solver(s, copts)
+		if err != nil {
+			return nil, nil, err
+		}
+		info.Rounds = res.Rounds
+		info.Messages = res.Stats.Messages
+		info.Bytes = res.Stats.Bytes
+		info.MaxMessageBytes = res.Stats.MaxMessageBytes
+		info.CompressedBytes = res.Stats.CompressedBytes
+		ub = math.Inf(1)
+		for _, t := range res.T {
+			if t < ub {
+				ub = t
+			}
+		}
+		xs = res.X
+	default:
+		return nil, nil, fmt.Errorf("maxminlp: unknown engine %v", o.Engine)
+	}
+
+	// The solve stage itself is not preempted, so a deadline that expired
+	// while it ran is detected here: better a late error than reporting
+	// success long past the job's deadline.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	x := in.Strictify(pp.Lift(pipe.Back(xs)))
+	return &Solution{
+		Status:     StatusApproximate,
+		X:          x,
+		Utility:    in.Utility(x),
+		UpperBound: ub,
+	}, info, nil
+}

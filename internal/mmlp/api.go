@@ -1,0 +1,124 @@
+package mmlp
+
+import "fmt"
+
+// This file defines the wire format of the serving layer (cmd/mmlpserve).
+// The types are purely syntactic — engine names and statuses travel as
+// strings — so the package stays free of solver dependencies; the batch
+// package converts them to solver inputs and outputs.
+
+// Engine names accepted on the wire.
+const (
+	// EngineLocal is the fast centralised engine (the default).
+	EngineLocal = "local"
+	// EngineDist is the synchronous message-passing protocol with
+	// anonymous view gathering.
+	EngineDist = "dist"
+	// EngineDistCompact is the identifier-based record-gossip protocol.
+	EngineDistCompact = "dist-compact"
+)
+
+// SolveRequest is the body of POST /v1/solve and one element of a
+// BatchRequest.
+type SolveRequest struct {
+	// Instance is the max-min LP to solve.
+	Instance *Instance `json:"instance"`
+	// Engine selects the execution engine ("" means EngineLocal).
+	Engine string `json:"engine,omitempty"`
+	// R is the shifting parameter (0 means the default 3). The wire layer
+	// caps it at MaxWireR: solver memory and rounds grow with R, so an
+	// unbounded value in a small request could exhaust the server.
+	R int `json:"r,omitempty"`
+	// BinIters caps the per-agent binary search (0 means the default 100).
+	BinIters int `json:"bin_iters,omitempty"`
+	// DisableSpecialCases skips the optimal ΔI=1 / ΔK=1 dispatch.
+	DisableSpecialCases bool `json:"disable_special_cases,omitempty"`
+	// SelfCheck re-verifies the lemma-level invariants before responding.
+	// Only the centralised engine supports it; it is a no-op for the dist
+	// engines (their conformance is asserted by the test suite instead).
+	SelfCheck bool `json:"self_check,omitempty"`
+}
+
+// MaxWireR bounds the shifting parameter accepted over HTTP. R=64 already
+// gives a guarantee within 1.6% of the locality threshold — far beyond any
+// practical setting (the experiments use R ≤ 6) — while keeping the Θ(R)
+// per-request memory and rounds small.
+const MaxWireR = 64
+
+// MaxWireAgents bounds num_agents accepted over HTTP. The solver allocates
+// several O(NumAgents) slices before any row is read, so the count must be
+// capped independently of the body size: a ~100-byte request could
+// otherwise declare billions of agents. Useful agents appear in rows (the
+// rest are preprocessed away), and the body limit keeps row counts far
+// below this.
+const MaxWireAgents = 1 << 20
+
+// Validate vets the request envelope: the instance must be present, the
+// engine name known, and the parameters in range. Instance contents are
+// deliberately not checked here — the solve pipeline validates them
+// exactly once, and its failures also wrap ErrInvalid.
+func (r *SolveRequest) Validate() error {
+	if r.Instance == nil {
+		return fmt.Errorf("%w: missing instance", ErrInvalid)
+	}
+	if r.Instance.NumAgents > MaxWireAgents {
+		return fmt.Errorf("%w: num_agents %d exceeds the serving limit %d",
+			ErrInvalid, r.Instance.NumAgents, MaxWireAgents)
+	}
+	switch r.Engine {
+	case "", EngineLocal, EngineDist, EngineDistCompact:
+	default:
+		return fmt.Errorf("%w: unknown engine %q (want %q, %q or %q)",
+			ErrInvalid, r.Engine, EngineLocal, EngineDist, EngineDistCompact)
+	}
+	if r.R != 0 && (r.R < 2 || r.R > MaxWireR) {
+		return fmt.Errorf("%w: r must be in [2, %d], got %d", ErrInvalid, MaxWireR, r.R)
+	}
+	if r.BinIters < 0 {
+		return fmt.Errorf("%w: bin_iters must be ≥ 0, got %d", ErrInvalid, r.BinIters)
+	}
+	return nil
+}
+
+// SolveResponse is the body of a successful POST /v1/solve and the payload
+// of one batch NDJSON line.
+type SolveResponse struct {
+	// Status is the solution status ("approximate", "optimal", "unbounded",
+	// "zero-optimum").
+	Status string `json:"status"`
+	// X is the feasible assignment (omitted for unbounded instances).
+	X []float64 `json:"x,omitempty"`
+	// Utility is ω(X) on the input instance.
+	Utility float64 `json:"utility"`
+	// UpperBound certifies optimum ≤ UpperBound when positive.
+	UpperBound float64 `json:"upper_bound"`
+	// Rounds/Messages/Bytes report the traffic of a distributed run and are
+	// omitted for the centralised engine.
+	Rounds   int `json:"rounds,omitempty"`
+	Messages int `json:"messages,omitempty"`
+	Bytes    int `json:"bytes,omitempty"`
+	// LatencyMS is the server-side solve time in milliseconds.
+	LatencyMS float64 `json:"latency_ms"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	// Jobs lists the instances to solve; engines may be mixed.
+	Jobs []SolveRequest `json:"jobs"`
+}
+
+// BatchItem is one NDJSON line of the POST /v1/batch response stream.
+// Lines are emitted as jobs complete, so they arrive in completion order;
+// Index ties each line back to its position in the request.
+type BatchItem struct {
+	// Index is the job's position in BatchRequest.Jobs.
+	Index int `json:"index"`
+	// Error is set when this job failed; the other fields are then zero.
+	Error string `json:"error,omitempty"`
+	SolveResponse
+}
+
+// ErrorResponse is the body of every non-2xx serving response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -4,8 +4,10 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // ForEach invokes fn(i) for every i in [0, n) using up to workers
@@ -33,6 +35,47 @@ func ForEach(n, workers int, fn func(i int)) {
 			fn(i)
 		}
 	})
+}
+
+// ForEachCtx invokes fn(worker, i) for indices in [0, n) on a fixed pool of
+// `workers` goroutines (GOMAXPROCS when workers ≤ 0, capped at n). Unlike
+// ForEachChunk, indices are handed out dynamically from a shared counter, so
+// items of wildly different cost stay load-balanced; `worker` identifies the
+// goroutine (0 ≤ worker < pool size) so callers can keep per-worker scratch.
+//
+// Cancelling ctx stops workers from picking up further indices; calls
+// already in flight run to completion. ForEachCtx returns ctx.Err() when it
+// stopped early and nil when every index was processed.
+func ForEachCtx(ctx context.Context, n, workers int, fn func(worker, i int)) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	var nextIdx atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(nextIdx.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if int(nextIdx.Load()) < n { // at least one index was never handed out
+		return ctx.Err()
+	}
+	return nil
 }
 
 // ForEachChunk splits [0, n) into at most `workers` contiguous chunks and

@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"sync/atomic"
 	"testing"
 )
@@ -42,5 +43,57 @@ func TestForEachMoreWorkersThanItems(t *testing.T) {
 	ForEach(3, 64, func(int) { atomic.AddInt64(&count, 1) })
 	if count != 3 {
 		t.Fatalf("count = %d, want 3", count)
+	}
+}
+
+func TestForEachCtxCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 100} {
+		n := 53
+		hits := make([]int32, n)
+		maxWorker := int32(-1)
+		err := ForEachCtx(context.Background(), n, workers, func(w, i int) {
+			atomic.AddInt32(&hits[i], 1)
+			for {
+				old := atomic.LoadInt32(&maxWorker)
+				if int32(w) <= old || atomic.CompareAndSwapInt32(&maxWorker, old, int32(w)) {
+					break
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: err = %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+		if workers >= 1 && int(maxWorker) >= workers {
+			t.Fatalf("workers=%d: saw worker id %d", workers, maxWorker)
+		}
+	}
+}
+
+func TestForEachCtxCancelStopsEarly(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var count int64
+	err := ForEachCtx(ctx, 1000, 2, func(_, i int) {
+		if atomic.AddInt64(&count, 1) == 10 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c := atomic.LoadInt64(&count); c >= 1000 {
+		t.Fatalf("processed %d items after cancellation", c)
+	}
+}
+
+func TestForEachCtxEmpty(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := ForEachCtx(ctx, 0, 4, func(int, int) { t.Fatal("fn called") }); err != nil {
+		t.Fatalf("err = %v for empty range", err)
 	}
 }

@@ -23,26 +23,30 @@
 //   - SolveLocalDistributed — the identical algorithm executed as an honest
 //     synchronous message-passing protocol (one goroutine per network
 //     node), returning traffic statistics,
+//   - SolveBatch — many independent instances solved concurrently on a
+//     fixed worker pool with per-worker scratch reuse,
 //   - SolveExact / SolveExactRational — the built-in simplex reference
 //     (float64 / exact rational arithmetic),
 //   - SolveSafe — the factor-ΔI safe algorithm of prior work [8, 16].
 //
 // SolveLocal automatically dispatches the trivial cases ΔI = 1 and
 // ΔK = 1 to the optimal local algorithms of [17].
+//
+// The solve pipeline itself lives in internal/engine; this package is the
+// stable public surface over it.
 package maxminlp
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"math"
+	"time"
 
 	"repro/internal/baseline"
-	"repro/internal/core"
-	"repro/internal/dist"
+	"repro/internal/batch"
+	"repro/internal/engine"
 	"repro/internal/mmlp"
 	"repro/internal/simplex"
-	"repro/internal/structured"
-	"repro/internal/transform"
 )
 
 // Instance is a max-min linear program; see the mmlp package for the row
@@ -63,52 +67,28 @@ func NewInstance(n int) *Instance { return mmlp.New(n) }
 // ReadInstanceFile loads a JSON instance.
 func ReadInstanceFile(path string) (*Instance, error) { return mmlp.ReadFile(path) }
 
-// Status classifies a Solution.
-type Status int
+// Status classifies a Solution; see the engine package for the String
+// method.
+type Status = engine.Status
 
 // Solution statuses.
 const (
 	// StatusApproximate: the solution satisfies the local approximation
 	// guarantee ΔI(1−1/ΔK)(1+1/(R−1)) but need not be optimal.
-	StatusApproximate Status = iota
+	StatusApproximate = engine.StatusApproximate
 	// StatusOptimal: the solution is optimal (exact solver, or a trivial
 	// case dispatched to the optimal local algorithms of [17]).
-	StatusOptimal
+	StatusOptimal = engine.StatusOptimal
 	// StatusUnbounded: the utility can be made arbitrarily large.
-	StatusUnbounded
+	StatusUnbounded = engine.StatusUnbounded
 	// StatusZeroOptimum: some objective is empty, so the optimum is 0.
-	StatusZeroOptimum
+	StatusZeroOptimum = engine.StatusZeroOptimum
 )
 
-// String names the status.
-func (s Status) String() string {
-	switch s {
-	case StatusApproximate:
-		return "approximate"
-	case StatusOptimal:
-		return "optimal"
-	case StatusUnbounded:
-		return "unbounded"
-	case StatusZeroOptimum:
-		return "zero-optimum"
-	}
-	return fmt.Sprintf("Status(%d)", int(s))
-}
-
-// Solution is the result of any solver in this package.
-type Solution struct {
-	// Status classifies the outcome; X and Utility are meaningful for
-	// StatusApproximate, StatusOptimal and StatusZeroOptimum.
-	Status Status
-	// X is a feasible assignment (length = NumAgents).
-	X []float64
-	// Utility is ω(X) on the input instance.
-	Utility float64
-	// UpperBound, when positive, certifies optimum ≤ UpperBound. The local
-	// algorithm derives it from the per-agent tree optima t_v (Lemma 2);
-	// exact solvers set it to the optimum.
-	UpperBound float64
-}
+// Solution is the result of any solver in this package: a status, a
+// feasible assignment X with its utility, and (when available) a certified
+// upper bound on the optimum.
+type Solution = engine.Solution
 
 // LocalOptions configures SolveLocal and SolveLocalDistributed.
 type LocalOptions struct {
@@ -134,19 +114,32 @@ type LocalOptions struct {
 	SelfCheck bool
 }
 
+// engineOptions converts the public options for the given engine kind.
+func (o LocalOptions) engineOptions(kind engine.Kind) engine.Options {
+	return engine.Options{
+		Engine:              kind,
+		R:                   o.R,
+		Workers:             o.Workers,
+		BinIters:            o.BinIters,
+		DisableSpecialCases: o.DisableSpecialCases,
+		SelfCheck:           o.SelfCheck,
+	}
+}
+
+// distKind picks the message-passing engine selected by the options.
+func (o LocalOptions) distKind() engine.Kind {
+	if o.CompactProtocol {
+		return engine.DistributedCompact
+	}
+	return engine.Distributed
+}
+
 // ErrInvalid wraps instance validation failures.
 var ErrInvalid = mmlp.ErrInvalid
 
-// DistInfo reports the traffic of a distributed run.
-type DistInfo struct {
-	// Rounds is the number of synchronous rounds (12(R−2)+8; the final
-	// round carries no messages).
-	Rounds int
-	// Messages and Bytes total the traffic; MaxMessageBytes is the largest
-	// single message (dominated by the view-gathering phase);
-	// CompressedBytes re-counts view messages at their DAG-compressed size.
-	Messages, Bytes, MaxMessageBytes, CompressedBytes int
-}
+// DistInfo reports the traffic of a distributed run: the synchronous round
+// count 12(R−2)+8 and the message/byte volume of the protocol.
+type DistInfo = engine.DistInfo
 
 // SolveLocal runs the paper's local approximation algorithm: degenerate
 // structures are stripped (§4 preamble), the §4.2–§4.6 transformations
@@ -154,110 +147,82 @@ type DistInfo struct {
 // the back-mappings lift it to the input instance. The result is feasible
 // and within factor max(2,ΔI)·(1−1/max(2,ΔK))·(1+1/(R−1)) of the optimum.
 func SolveLocal(in *Instance, opts LocalOptions) (*Solution, error) {
-	run := func(s *structured.Instance, o core.Options) ([]float64, float64, error) {
-		tr, err := core.Solve(s, o)
-		if err != nil {
-			return nil, 0, err
-		}
-		if opts.SelfCheck {
-			if err := core.VerifyTrace(s, tr, 1e-9); err != nil {
-				return nil, 0, fmt.Errorf("maxminlp: self-check failed: %w", err)
-			}
-		}
-		return tr.X, tr.UpperBound, nil
-	}
-	return solveLocalWith(in, opts, run)
+	sol, _, err := engine.Solve(context.Background(), in, opts.engineOptions(engine.Central))
+	return sol, err
 }
 
 // SolveLocalDistributed is SolveLocal executed as the synchronous
 // message-passing protocol of the dist package. The solution is identical
 // to SolveLocal's; the second result reports the communication volume.
 func SolveLocalDistributed(in *Instance, opts LocalOptions) (*Solution, *DistInfo, error) {
-	info := &DistInfo{}
-	run := func(s *structured.Instance, o core.Options) ([]float64, float64, error) {
-		solver := dist.SolveDistributed
-		if opts.CompactProtocol {
-			solver = dist.SolveDistributedCompact
-		}
-		res, err := solver(s, o)
-		if err != nil {
-			return nil, 0, err
-		}
-		info.Rounds = res.Rounds
-		info.Messages = res.Stats.Messages
-		info.Bytes = res.Stats.Bytes
-		info.MaxMessageBytes = res.Stats.MaxMessageBytes
-		info.CompressedBytes = res.Stats.CompressedBytes
-		ub := math.Inf(1)
-		for _, t := range res.T {
-			if t < ub {
-				ub = t
-			}
-		}
-		return res.X, ub, nil
-	}
-	sol, err := solveLocalWith(in, opts, run)
-	if err != nil {
-		return nil, nil, err
-	}
-	return sol, info, nil
+	return engine.Solve(context.Background(), in, opts.engineOptions(opts.distKind()))
 }
 
-// solveLocalWith factors the shared pipeline around the structured-solver
-// callback.
-func solveLocalWith(in *Instance, opts LocalOptions,
-	run func(*structured.Instance, core.Options) ([]float64, float64, error)) (*Solution, error) {
+// BatchJob is one unit of work for SolveBatch.
+type BatchJob struct {
+	// In is the instance to solve.
+	In *Instance
+	// Opts configures the solve exactly as for SolveLocal /
+	// SolveLocalDistributed (CompactProtocol selects the record protocol
+	// when Distributed is set). Workers is ignored: a centralised job runs
+	// single-threaded on its pool worker, and a distributed job spawns the
+	// simulator's goroutine-per-node regardless.
+	Opts LocalOptions
+	// Distributed runs this job on the message-passing engine instead of
+	// the centralised one. Engines may be mixed freely within a batch.
+	Distributed bool
+}
 
-	if err := in.Validate(); err != nil {
-		return nil, err
-	}
-	if opts.R == 0 {
-		opts.R = 3
-	}
-	if opts.R < 2 {
-		return nil, fmt.Errorf("maxminlp: R must be ≥ 2, got %d", opts.R)
-	}
+// BatchResult is the outcome of one BatchJob.
+type BatchResult struct {
+	// Sol is the solution (nil when Err is set).
+	Sol *Solution
+	// Dist carries the traffic statistics of a distributed job (nil for
+	// centralised jobs).
+	Dist *DistInfo
+	// Err reports a failed or cancelled job; jobs never fail each other.
+	Err error
+	// Latency is the wall-clock solve time of this job (zero when the job
+	// was cancelled before it started).
+	Latency time.Duration
+}
 
-	pp := transform.Preprocess(in)
-	switch pp.Outcome {
-	case transform.ZeroOptimum:
-		return &Solution{Status: StatusZeroOptimum, X: pp.Lift(nil), Utility: 0, UpperBound: 0}, nil
-	case transform.UnboundedOptimum:
-		return &Solution{Status: StatusUnbounded}, nil
-	}
-	red := pp.Out
+// BatchOptions configures SolveBatch.
+type BatchOptions struct {
+	// Workers is the fixed pool size (0 = GOMAXPROCS). Each worker owns
+	// reusable scratch, so steady-state solving stays allocation-light.
+	Workers int
+	// JobTimeout, when positive, bounds each job individually; a job whose
+	// deadline expires reports context.DeadlineExceeded in its result.
+	JobTimeout time.Duration
+}
 
-	// Trivial cases: the optimal local algorithms of [17].
-	if !opts.DisableSpecialCases {
-		if red.DegreeI() <= 1 {
-			x := in.Strictify(pp.Lift(baseline.SolveSingletonConstraints(red)))
-			return &Solution{Status: StatusOptimal, X: x, Utility: in.Utility(x), UpperBound: in.Utility(x)}, nil
+// BatchStats aggregates throughput and latency over a batch or a serving
+// pool.
+type BatchStats = batch.Stats
+
+// SolveBatch solves many independent instances concurrently on a fixed
+// worker pool. Results are positional: result i belongs to jobs[i], and
+// each is bit-identical to the corresponding sequential SolveLocal /
+// SolveLocalDistributed call. Cancelling ctx stops unstarted jobs (their
+// results carry the context error) and returns the context error; jobs
+// already running stop at their next pipeline-stage boundary and report
+// the context error in their result.
+func SolveBatch(ctx context.Context, jobs []BatchJob, o BatchOptions) ([]BatchResult, *BatchStats, error) {
+	bjobs := make([]batch.Job, len(jobs))
+	for i, j := range jobs {
+		kind := engine.Central
+		if j.Distributed {
+			kind = j.Opts.distKind()
 		}
-		if red.DegreeK() <= 1 {
-			x := in.Strictify(pp.Lift(baseline.SolveSingletonObjectives(red)))
-			return &Solution{Status: StatusOptimal, X: x, Utility: in.Utility(x), UpperBound: in.Utility(x)}, nil
-		}
+		bjobs[i] = batch.Job{In: j.In, Opts: j.Opts.engineOptions(kind)}
 	}
-
-	pipe, err := transform.Structure(red)
-	if err != nil {
-		return nil, err
+	res, stats, err := batch.Solve(ctx, bjobs, batch.Options{Workers: o.Workers, JobTimeout: o.JobTimeout})
+	out := make([]BatchResult, len(res))
+	for i, r := range res {
+		out[i] = BatchResult{Sol: r.Sol, Dist: r.Dist, Err: r.Err, Latency: r.Latency}
 	}
-	s, err := structured.FromMMLP(pipe.Final())
-	if err != nil {
-		return nil, err
-	}
-	xs, ub, err := run(s, core.Options{R: opts.R, Workers: opts.Workers, BinIters: opts.BinIters})
-	if err != nil {
-		return nil, err
-	}
-	x := in.Strictify(pp.Lift(pipe.Back(xs)))
-	return &Solution{
-		Status:     StatusApproximate,
-		X:          x,
-		Utility:    in.Utility(x),
-		UpperBound: ub,
-	}, nil
+	return out, stats, err
 }
 
 // SolveExact computes an optimal solution with the built-in float64

@@ -5,6 +5,12 @@
 // Usage:
 //
 //	mmlpserve [-addr :8080] [-workers 0] [-queue 0] [-max-body 8388608] [-job-timeout 0]
+//	          [-cache-bytes 67108864] [-cache-shards 0]
+//
+// The solver is deterministic, so results are cached under the canonical
+// (instance, options) hash: repeat solves of a slowly-changing topology
+// are answered from memory, bit-identically to a fresh solve, and tagged
+// "cached": true. -cache-bytes 0 disables caching.
 //
 // Endpoints:
 //
@@ -13,7 +19,9 @@
 //	                  the response streams one NDJSON line per job as it
 //	                  completes, each tagged with its request index
 //	GET  /healthz   — liveness
-//	GET  /statsz    — throughput, latency quantiles, allocs/job
+//	GET  /statsz    — throughput, latency quantiles, allocs/job, and a
+//	                  "cache" block (hits/misses/evictions/coalesced,
+//	                  entries, bytes) when caching is enabled
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish, then the
 // pool drains and the process exits.
@@ -40,6 +48,8 @@ func main() {
 	queue := flag.Int("queue", 0, "pending-job queue bound (0 = 2×workers)")
 	maxBody := flag.Int64("max-body", 8<<20, "largest accepted request body in bytes")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-job solve deadline (0 = none)")
+	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache byte budget (0 disables caching)")
+	cacheShards := flag.Int("cache-shards", 0, "result-cache shard count, rounded up to a power of two (0 = default)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window")
 	flag.Parse()
 
@@ -51,8 +61,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mmlpserve: -workers and -queue must be ≥ 0 (0 = default), got %d and %d\n", *workers, *queue)
 		os.Exit(2)
 	}
+	if *cacheBytes < 0 || *cacheShards < 0 {
+		fmt.Fprintf(os.Stderr, "mmlpserve: -cache-bytes and -cache-shards must be ≥ 0, got %d and %d\n", *cacheBytes, *cacheShards)
+		os.Exit(2)
+	}
 
-	pool := batch.NewPool(batch.Options{Workers: *workers, Queue: *queue, JobTimeout: *jobTimeout})
+	pool := batch.NewPool(batch.Options{
+		Workers: *workers, Queue: *queue, JobTimeout: *jobTimeout,
+		CacheBytes: *cacheBytes, CacheShards: *cacheShards,
+	})
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: newServer(pool, *maxBody),

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	maxminlp "repro"
@@ -15,10 +16,16 @@ import (
 	"repro/internal/mmlp"
 )
 
-// testServer builds a handler on a small pool.
+// testServer builds a handler on a small pool (no result cache).
 func testServer(t *testing.T, maxBody int64) *server {
 	t.Helper()
-	pool := batch.NewPool(batch.Options{Workers: 2, Queue: 2})
+	return testServerOpts(t, maxBody, batch.Options{Workers: 2, Queue: 2})
+}
+
+// testServerOpts builds a handler on a pool with explicit options.
+func testServerOpts(t *testing.T, maxBody int64, o batch.Options) *server {
+	t.Helper()
+	pool := batch.NewPool(o)
 	t.Cleanup(pool.Close)
 	return newServer(pool, maxBody)
 }
@@ -213,6 +220,92 @@ func TestHealthAndStats(t *testing.T) {
 	}
 	if st.Workers != 2 || st.Jobs < 1 {
 		t.Fatalf("statsz = %s", w.Body)
+	}
+}
+
+// TestStatszCacheUnderConcurrentLoad is the acceptance check for the
+// serving integration: many goroutines solve the same instance against a
+// cached pool (run under -race in CI), the responses are all bit-identical
+// with the later ones tagged "cached", and /statsz reports live
+// hit/miss/coalesced counters that add up to the request count.
+func TestStatszCacheUnderConcurrentLoad(t *testing.T) {
+	h := testServerOpts(t, 1<<20, batch.Options{Workers: 4, Queue: 8, CacheBytes: 1 << 20, CacheShards: 4})
+	in := gen.Random(gen.RandomConfig{Agents: 14, MaxDegI: 3, MaxDegK: 3, ExtraCons: 4, ExtraObjs: 2}, 21)
+	body := solveBody(t, in, `,"r":3,"disable_special_cases":true`)
+	want, err := maxminlp.SolveLocal(in, maxminlp.LocalOptions{R: 3, DisableSpecialCases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const requests = 32
+	responses := make([]mmlp.SolveResponse, requests)
+	var wg sync.WaitGroup
+	for g := 0; g < requests; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			w := post(h, "/v1/solve", body)
+			if w.Code != http.StatusOK {
+				t.Errorf("request %d: status %d: %s", g, w.Code, w.Body)
+				return
+			}
+			if err := json.Unmarshal(w.Body.Bytes(), &responses[g]); err != nil {
+				t.Errorf("request %d: %v", g, err)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	cachedCount := 0
+	for g, resp := range responses {
+		if resp.Cached {
+			cachedCount++
+		}
+		for v := range want.X {
+			if resp.X[v] != want.X[v] {
+				t.Fatalf("request %d: X[%d] = %v, want %v", g, v, resp.X[v], want.X[v])
+			}
+		}
+	}
+	if cachedCount == 0 {
+		t.Fatal("no response was answered from the cache")
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/statsz", nil)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	var st struct {
+		Jobs  int64 `json:"jobs"`
+		Cache *struct {
+			Hits      int64 `json:"hits"`
+			Misses    int64 `json:"misses"`
+			Coalesced int64 `json:"coalesced"`
+			Entries   int   `json:"entries"`
+			Bytes     int64 `json:"bytes"`
+			MaxBytes  int64 `json:"max_bytes"`
+		} `json:"cache"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("statsz: %v (%s)", err, w.Body)
+	}
+	if st.Cache == nil {
+		t.Fatalf("statsz has no cache block: %s", w.Body)
+	}
+	if st.Cache.Hits+st.Cache.Misses+st.Cache.Coalesced != requests {
+		t.Fatalf("cache counters %+v do not add up to %d requests", st.Cache, requests)
+	}
+	if st.Cache.Hits == 0 || st.Cache.Misses == 0 || st.Cache.Entries != 1 || st.Cache.Bytes == 0 {
+		t.Fatalf("cache block = %+v", st.Cache)
+	}
+
+	// The uncached server keeps /statsz free of the block.
+	plain := testServer(t, 1<<20)
+	w = httptest.NewRecorder()
+	plain.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+	if strings.Contains(w.Body.String(), `"cache"`) {
+		t.Fatalf("uncached /statsz reports a cache block: %s", w.Body)
 	}
 }
 

@@ -160,11 +160,11 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "{\"status\":\"ok\",\"workers\":%d}\n", s.pool.Workers())
 }
 
-// handleStats reports the pool's aggregate activity.
+// handleStats reports the pool's aggregate activity. The cache block is
+// present exactly when the result cache is enabled.
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.pool.Stats()
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{
+	body := map[string]any{
 		"workers":        st.Workers,
 		"jobs":           st.Jobs,
 		"errors":         st.Errors,
@@ -174,5 +174,18 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		"max_ms":         float64(st.Max.Microseconds()) / 1e3,
 		"allocs_per_job": st.AllocsPerJob,
 		"uptime_sec":     st.Elapsed.Seconds(),
-	})
+	}
+	if st.Cache != nil {
+		body["cache"] = map[string]any{
+			"hits":      st.Cache.Hits,
+			"misses":    st.Cache.Misses,
+			"coalesced": st.Cache.Coalesced,
+			"evictions": st.Cache.Evictions,
+			"entries":   st.Cache.Entries,
+			"bytes":     st.Cache.Bytes,
+			"max_bytes": st.Cache.MaxBytes,
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(body)
 }

@@ -45,6 +45,7 @@ func ResponseFromResult(r Result) mmlp.SolveResponse {
 		Utility:    r.Sol.Utility,
 		UpperBound: r.Sol.UpperBound,
 		LatencyMS:  float64(r.Latency) / float64(time.Millisecond),
+		Cached:     r.Cached,
 	}
 	if r.Dist != nil {
 		resp.Rounds = r.Dist.Rounds

@@ -39,6 +39,10 @@ type Result struct {
 	Dist *engine.DistInfo
 	// Err reports a failed or cancelled job.
 	Err error
+	// Cached reports that the result came from the result cache (or from a
+	// concurrent solve of the same key it coalesced with) instead of a
+	// fresh pipeline run. Always false when caching is disabled.
+	Cached bool
 	// Latency is the wall-clock solve time (zero when the job was cancelled
 	// before it started).
 	Latency time.Duration
@@ -53,9 +57,27 @@ type Options struct {
 	// Solve, which bounds work by the slice itself.
 	Queue int
 	// JobTimeout, when positive, is a per-job deadline. The solve pipeline
-	// checks its context between stages, so an expired job stops at the
-	// next stage boundary and reports context.DeadlineExceeded.
+	// checks its context between stages (and inside the centralised
+	// kernel's t_u loop), so an expired job stops promptly and reports
+	// context.DeadlineExceeded.
 	JobTimeout time.Duration
+	// CacheBytes, when positive, fronts the workers with a result cache of
+	// this byte budget, keyed by the canonical (instance, options) hash:
+	// repeat solves become a lookup and concurrent solves of one key run
+	// the pipeline once. Cached results are bit-identical to fresh ones.
+	// Zero disables caching.
+	CacheBytes int64
+	// CacheShards is the cache shard count, rounded up to a power of two
+	// (0 = the cache default). Ignored when CacheBytes is zero.
+	CacheShards int
+}
+
+// newCache builds the configured result cache, nil when disabled.
+func (o Options) newCache() *engine.Cache {
+	if o.CacheBytes <= 0 {
+		return nil
+	}
+	return engine.NewCache(engine.CacheOptions{MaxBytes: o.CacheBytes, Shards: o.CacheShards})
 }
 
 // normalizedWorkers resolves the pool size.
@@ -66,8 +88,13 @@ func (o Options) normalizedWorkers() int {
 	return runtime.GOMAXPROCS(0)
 }
 
-// runJob executes one job on a worker's scratch and records it with col.
-func runJob(ctx context.Context, index int, job Job, timeout time.Duration, sc *engine.Scratch, col *collector) Result {
+// runJob executes one job on a worker's scratch — consulting the result
+// cache first when one is configured — and records it with col. A job
+// that coalesces onto an in-flight solve of the same key blocks this
+// worker until the leader finishes (cheaper than solving twice, but see
+// the ROADMAP item on non-blocking coalescing for the burst-of-duplicates
+// trade-off).
+func runJob(ctx context.Context, index int, job Job, timeout time.Duration, sc *engine.Scratch, ca *engine.Cache, col *collector) Result {
 	res := Result{Index: index}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
@@ -80,7 +107,7 @@ func runJob(ctx context.Context, index int, job Job, timeout time.Duration, sc *
 		defer cancel()
 	}
 	start := time.Now()
-	res.Sol, res.Dist, res.Err = engine.SolveScratch(ctx, job.In, job.Opts, sc)
+	res.Sol, res.Dist, res.Cached, res.Err = engine.SolveCached(ctx, job.In, job.Opts, sc, ca)
 	res.Latency = time.Since(start)
 	col.record(res.Latency, res.Err != nil)
 	return res
@@ -99,6 +126,7 @@ func Solve(ctx context.Context, jobs []Job, o Options) ([]Result, *Stats, error)
 	workers := o.normalizedWorkers()
 	var col collector
 	col.start(workers)
+	ca := o.newCache()
 
 	scratch := make([]*engine.Scratch, workers)
 	results := make([]Result, len(jobs))
@@ -106,7 +134,7 @@ func Solve(ctx context.Context, jobs []Job, o Options) ([]Result, *Stats, error)
 		if scratch[w] == nil {
 			scratch[w] = engine.NewScratch()
 		}
-		results[i] = runJob(ctx, i, jobs[i], o.JobTimeout, scratch[w], &col)
+		results[i] = runJob(ctx, i, jobs[i], o.JobTimeout, scratch[w], ca, &col)
 	})
 	if err == nil {
 		// Every job was handed out, but ForEachCtx cannot tell whether the
@@ -123,5 +151,10 @@ func Solve(ctx context.Context, jobs []Job, o Options) ([]Result, *Stats, error)
 			}
 		}
 	}
-	return results, col.snapshot(), err
+	stats := col.snapshot()
+	if ca != nil {
+		cs := ca.Stats()
+		stats.Cache = &cs
+	}
+	return results, stats, err
 }

@@ -200,6 +200,122 @@ func TestJobTimeout(t *testing.T) {
 	}
 }
 
+// TestSolveWithCache submits a batch full of duplicate jobs: every result
+// must stay bit-identical to the sequential solve, the duplicates must be
+// answered by the cache (hits + coalesced waiters), and the stats must
+// carry the cache counters.
+func TestSolveWithCache(t *testing.T) {
+	base := conformanceJobs(t)
+	var jobs []batch.Job
+	for rep := 0; rep < 4; rep++ {
+		jobs = append(jobs, base...)
+	}
+	res, stats, err := batch.Solve(context.Background(), jobs, batch.Options{Workers: 4, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := 0
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Cached {
+			cached++
+		}
+		want := sequential(t, jobs[i])
+		if r.Sol.Utility != want.Utility || r.Sol.UpperBound != want.UpperBound {
+			t.Fatalf("job %d: (%v, %v), want (%v, %v)", i, r.Sol.Utility, r.Sol.UpperBound, want.Utility, want.UpperBound)
+		}
+		for v := range want.X {
+			if r.Sol.X[v] != want.X[v] {
+				t.Fatalf("job %d: X[%d] = %v, want %v", i, v, r.Sol.X[v], want.X[v])
+			}
+		}
+	}
+	if stats.Cache == nil {
+		t.Fatal("stats carry no cache block")
+	}
+	// Each distinct job computes at most once... plus possibly coalesced
+	// concurrent leaders' failures — with 4 reps of len(base) distinct
+	// keys, at least 3×len(base) lookups were answered without a solve.
+	if cached < 3*len(base) {
+		t.Fatalf("cached results = %d, want ≥ %d (cache stats %+v)", cached, 3*len(base), stats.Cache)
+	}
+	if stats.Cache.Misses > int64(len(base)) {
+		t.Fatalf("misses = %d, want ≤ %d distinct keys", stats.Cache.Misses, len(base))
+	}
+	if got := stats.Cache.Hits + stats.Cache.Coalesced; got < int64(3*len(base)) {
+		t.Fatalf("hits+coalesced = %d, want ≥ %d", got, 3*len(base))
+	}
+}
+
+// TestSolveWithoutCache: caching disabled means no cache block and no
+// cached results, even on duplicate jobs.
+func TestSolveWithoutCache(t *testing.T) {
+	job := batch.Job{In: gen.TriNecklace(3), Opts: engine.Options{R: 3}}
+	res, stats, err := batch.Solve(context.Background(), []batch.Job{job, job}, batch.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cache != nil {
+		t.Fatalf("unexpected cache stats %+v", stats.Cache)
+	}
+	for i, r := range res {
+		if r.Cached {
+			t.Fatalf("job %d reported cached without a cache", i)
+		}
+	}
+}
+
+// TestPoolCacheConcurrent floods a cached pool with one hot key from many
+// goroutines (run under -race in CI): the kernel must run far fewer times
+// than the request count, every result must be bit-identical, and the
+// counters must add up.
+func TestPoolCacheConcurrent(t *testing.T) {
+	const requests = 64
+	in := gen.Random(gen.RandomConfig{Agents: 16, MaxDegI: 3, MaxDegK: 3, ExtraCons: 5, ExtraObjs: 2}, 11)
+	job := batch.Job{In: in, Opts: engine.Options{R: 3, DisableSpecialCases: true}}
+	want := sequential(t, job)
+
+	p := batch.NewPool(batch.Options{Workers: 4, CacheBytes: 1 << 20, CacheShards: 4})
+	defer p.Close()
+	var wg sync.WaitGroup
+	results := make([]batch.Result, requests)
+	for g := 0; g < requests; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			results[g] = p.Do(context.Background(), job)
+		}(g)
+	}
+	wg.Wait()
+	for g, r := range results {
+		if r.Err != nil {
+			t.Fatalf("request %d: %v", g, r.Err)
+		}
+		for v := range want.X {
+			if r.Sol.X[v] != want.X[v] {
+				t.Fatalf("request %d: X[%d] = %v, want %v", g, v, r.Sol.X[v], want.X[v])
+			}
+		}
+	}
+	cs := p.CacheStats()
+	if cs == nil {
+		t.Fatal("CacheStats = nil on a cached pool")
+	}
+	if cs.Hits+cs.Misses+cs.Coalesced != requests {
+		t.Fatalf("hits+misses+coalesced = %d, want %d (stats %+v)", cs.Hits+cs.Misses+cs.Coalesced, requests, cs)
+	}
+	// One key: at most one solve per concurrent wave; with 4 workers the
+	// kernel cannot have run more than a handful of times.
+	if cs.Misses > 4 {
+		t.Fatalf("misses = %d on a single hot key", cs.Misses)
+	}
+	if cs.Entries != 1 {
+		t.Fatalf("entries = %d, want 1", cs.Entries)
+	}
+}
+
 // TestJobFromRequest covers the wire conversions.
 func TestJobFromRequest(t *testing.T) {
 	in := gen.TriNecklace(4)

@@ -28,6 +28,7 @@ type Pool struct {
 	tasks chan task
 	wg    sync.WaitGroup
 	col   collector
+	cache *engine.Cache // nil when Options.CacheBytes is zero
 
 	// mu guards closed and orders Submit's channel send before Close's
 	// close(tasks): Submit holds the read side across the send, so Close
@@ -43,7 +44,7 @@ func NewPool(o Options) *Pool {
 	if queue <= 0 {
 		queue = 2 * workers
 	}
-	p := &Pool{opts: o, tasks: make(chan task, queue)}
+	p := &Pool{opts: o, tasks: make(chan task, queue), cache: o.newCache()}
 	p.col.start(workers)
 	for w := 0; w < workers; w++ {
 		p.wg.Add(1)
@@ -57,7 +58,7 @@ func (p *Pool) worker() {
 	defer p.wg.Done()
 	sc := engine.NewScratch()
 	for t := range p.tasks {
-		t.done(runJob(t.ctx, t.index, t.job, p.opts.JobTimeout, sc, &p.col))
+		t.done(runJob(t.ctx, t.index, t.job, p.opts.JobTimeout, sc, p.cache, &p.col))
 	}
 }
 
@@ -90,8 +91,26 @@ func (p *Pool) Do(ctx context.Context, job Job) Result {
 	return <-ch
 }
 
-// Stats snapshots the pool's aggregate activity.
-func (p *Pool) Stats() *Stats { return p.col.snapshot() }
+// Stats snapshots the pool's aggregate activity, including the result
+// cache's counters when caching is enabled.
+func (p *Pool) Stats() *Stats {
+	st := p.col.snapshot()
+	if p.cache != nil {
+		cs := p.cache.Stats()
+		st.Cache = &cs
+	}
+	return st
+}
+
+// CacheStats snapshots the result cache's counters, nil when caching is
+// disabled.
+func (p *Pool) CacheStats() *engine.CacheStats {
+	if p.cache == nil {
+		return nil
+	}
+	cs := p.cache.Stats()
+	return &cs
+}
 
 // Workers returns the fixed pool size.
 func (p *Pool) Workers() int { return p.col.workers }

@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/engine"
 )
 
 // ringSize bounds the latency samples kept for the quantile estimates; the
@@ -32,6 +34,9 @@ type Stats struct {
 	// measured process-wide (runtime mallocs delta / jobs); it is meaningful
 	// when the pool dominates the process's activity.
 	AllocsPerJob float64
+	// Cache carries the result cache's counters, nil when caching is
+	// disabled.
+	Cache *engine.CacheStats
 }
 
 // collector accumulates stats concurrently.
@@ -121,7 +126,12 @@ func (c *collector) snapshot() *Stats {
 }
 
 // quantile reads the q-quantile from an ascending sample (nearest-rank).
+// An empty window — every job in it failed or was cancelled, so no
+// successful-solve sample exists — reads as 0 rather than panicking.
 func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
 	i := int(q * float64(len(sorted)-1))
 	return sorted[i]
 }

@@ -1,0 +1,38 @@
+package batch
+
+import (
+	"testing"
+	"time"
+)
+
+// TestQuantileEmptyWindow: quantiles over zero samples are 0, never a
+// panic — the state every pool is in while all of its recent jobs failed.
+func TestQuantileEmptyWindow(t *testing.T) {
+	if got := quantile(nil, 0.50); got != 0 {
+		t.Fatalf("quantile(nil, 0.5) = %v, want 0", got)
+	}
+	if got := quantile([]time.Duration{}, 0.99); got != 0 {
+		t.Fatalf("quantile(empty, 0.99) = %v, want 0", got)
+	}
+	if got := quantile([]time.Duration{7}, 0.99); got != 7 {
+		t.Fatalf("quantile([7], 0.99) = %v, want 7", got)
+	}
+}
+
+// TestSnapshotAllFailures: a collector that has only seen failures and
+// zero-latency cancellations snapshots cleanly with zero quantiles.
+func TestSnapshotAllFailures(t *testing.T) {
+	var c collector
+	c.start(2)
+	for i := 0; i < 5; i++ {
+		c.record(0, true) // cancelled before start
+	}
+	c.record(0, false) // successful but sub-resolution latency: no sample
+	st := c.snapshot()
+	if st.Jobs != 6 || st.Errors != 5 {
+		t.Fatalf("jobs/errors = %d/%d, want 6/5", st.Jobs, st.Errors)
+	}
+	if st.P50 != 0 || st.P99 != 0 || st.Max != 0 {
+		t.Fatalf("quantiles on an empty window = %v/%v/%v, want zeros", st.P50, st.P99, st.Max)
+	}
+}

@@ -1,0 +1,270 @@
+// Package cache is a sharded, byte-budgeted LRU with singleflight
+// semantics, keyed by canon.Key. It fronts the solve pipeline in the batch
+// and serving layers: repeat solves of a slowly-changing topology become a
+// map lookup, and K concurrent solves of the same key run the computation
+// once while the other K−1 callers wait for the shared result.
+//
+// The key space is split across N shards (N rounded up to a power of two)
+// selected by the key's leading bytes, so the batch pool's workers contend
+// on N mutexes instead of one. Each shard owns an equal slice of the byte
+// budget and evicts its own least-recently-used entries when inserts push
+// it over; hits, misses, evictions and coalesced waiters are counted
+// globally with atomics.
+package cache
+
+import (
+	"container/list"
+	"context"
+	"encoding/binary"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/canon"
+)
+
+// Default sizing: a 64 MiB budget holds tens of thousands of typical solve
+// results, and 16 shards keep mutex contention negligible at the pool
+// concurrencies the serving layer runs (≤ a few dozen workers).
+const (
+	DefaultMaxBytes = 64 << 20
+	DefaultShards   = 16
+)
+
+// Options sizes a Cache.
+type Options struct {
+	// MaxBytes is the total byte budget across all shards
+	// (0 = DefaultMaxBytes). Entries are charged their caller-declared
+	// cost; an entry larger than a whole shard's budget is not stored.
+	MaxBytes int64
+	// Shards is the shard count, rounded up to a power of two
+	// (0 = DefaultShards).
+	Shards int
+}
+
+// Stats is a point-in-time snapshot of the cache's activity.
+type Stats struct {
+	// Hits counts lookups answered from a stored entry; Misses counts
+	// lookups that ran the computation. Coalesced counts Do callers that
+	// attached to another caller's in-flight computation (at most once per
+	// call, however often it retries) — they receive the shared result and
+	// are counted here, not under Hits. While every flight succeeds,
+	// Hits + Misses + Coalesced equals the number of lookups; a call that
+	// waits on a flight that then fails retries and is additionally
+	// counted by its final outcome.
+	Hits, Misses, Coalesced int64
+	// Evictions counts entries removed to honour the byte budget.
+	Evictions int64
+	// Entries and Bytes describe the current contents; MaxBytes echoes the
+	// configured budget.
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+}
+
+// entry is one cached value with its LRU bookkeeping.
+type entry struct {
+	key   canon.Key
+	val   any
+	bytes int64
+}
+
+// flight is one in-progress computation other callers can wait on.
+type flight struct {
+	done chan struct{} // closed when val/err are final
+	val  any
+	err  error
+}
+
+// shard is one lock domain: a map, an LRU list (front = most recent) and a
+// slice of the byte budget.
+type shard struct {
+	mu       sync.Mutex
+	entries  map[canon.Key]*list.Element // of *entry
+	flights  map[canon.Key]*flight
+	lru      list.List
+	bytes    int64
+	maxBytes int64
+}
+
+// Cache is safe for concurrent use.
+type Cache struct {
+	shards []shard
+	mask   uint32
+
+	hits, misses, coalesced, evictions atomic.Int64
+	maxBytes                           int64
+}
+
+// New builds a cache; the zero-valued Options give the defaults.
+func New(o Options) *Cache {
+	if o.MaxBytes <= 0 {
+		o.MaxBytes = DefaultMaxBytes
+	}
+	if o.Shards <= 0 {
+		o.Shards = DefaultShards
+	}
+	n := 1
+	for n < o.Shards {
+		n <<= 1
+	}
+	c := &Cache{shards: make([]shard, n), mask: uint32(n - 1), maxBytes: o.MaxBytes}
+	per := o.MaxBytes / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[canon.Key]*list.Element)
+		c.shards[i].flights = make(map[canon.Key]*flight)
+		c.shards[i].maxBytes = per
+	}
+	return c
+}
+
+// shardOf selects the lock domain from the key's leading bytes; SHA-256
+// keys are uniform, so shards fill evenly.
+func (c *Cache) shardOf(key canon.Key) *shard {
+	return &c.shards[binary.BigEndian.Uint32(key[:4])&c.mask]
+}
+
+// get returns the stored value and refreshes its recency. Caller holds
+// sh.mu.
+func (sh *shard) get(key canon.Key) (any, bool) {
+	el, ok := sh.entries[key]
+	if !ok {
+		return nil, false
+	}
+	sh.lru.MoveToFront(el)
+	return el.Value.(*entry).val, true
+}
+
+// put inserts or replaces an entry and evicts from the cold end until the
+// shard is back under budget. Values larger than the whole shard are not
+// stored — they would evict everything and then still not fit. Caller
+// holds sh.mu; returns the number of evictions.
+func (sh *shard) put(key canon.Key, val any, bytes int64) int64 {
+	if bytes > sh.maxBytes {
+		return 0
+	}
+	if el, ok := sh.entries[key]; ok {
+		e := el.Value.(*entry)
+		sh.bytes += bytes - e.bytes
+		e.val, e.bytes = val, bytes
+		sh.lru.MoveToFront(el)
+	} else {
+		sh.entries[key] = sh.lru.PushFront(&entry{key: key, val: val, bytes: bytes})
+		sh.bytes += bytes
+	}
+	var evicted int64
+	for sh.bytes > sh.maxBytes {
+		el := sh.lru.Back()
+		e := el.Value.(*entry)
+		sh.lru.Remove(el)
+		delete(sh.entries, e.key)
+		sh.bytes -= e.bytes
+		evicted++
+	}
+	return evicted
+}
+
+// Get reports the cached value for key, counting a hit or a miss.
+func (c *Cache) Get(key canon.Key) (any, bool) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	val, ok := sh.get(key)
+	sh.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return val, ok
+}
+
+// Put stores val under key at the declared byte cost.
+func (c *Cache) Put(key canon.Key, val any, bytes int64) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	evicted := sh.put(key, val, bytes)
+	sh.mu.Unlock()
+	c.evictions.Add(evicted)
+}
+
+// Do returns the value for key, computing it with compute on a miss.
+// compute returns the value and its byte cost; errors are returned to the
+// caller and never cached. Concurrent Do calls for the same key coalesce:
+// one caller (the leader) runs compute, the rest wait and share its value.
+// hit reports whether the value came from the cache or a leader (false
+// only for the caller that ran compute itself). A waiter whose ctx expires
+// stops waiting and returns ctx's error; a waiter whose leader fails
+// retries from the top — its own context may still be live even when the
+// leader's was the reason for the failure.
+func (c *Cache) Do(ctx context.Context, key canon.Key, compute func() (any, int64, error)) (val any, hit bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sh := c.shardOf(key)
+	attached := false
+	for {
+		sh.mu.Lock()
+		if val, ok := sh.get(key); ok {
+			sh.mu.Unlock()
+			c.hits.Add(1)
+			return val, true, nil
+		}
+		if f, ok := sh.flights[key]; ok {
+			sh.mu.Unlock()
+			if !attached {
+				attached = true
+				c.coalesced.Add(1)
+			}
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if f.err == nil {
+				return f.val, true, nil
+			}
+			continue
+		}
+		f := &flight{done: make(chan struct{})}
+		sh.flights[key] = f
+		sh.mu.Unlock()
+		c.misses.Add(1)
+
+		var bytes int64
+		f.val, bytes, f.err = compute()
+
+		sh.mu.Lock()
+		delete(sh.flights, key)
+		var evicted int64
+		if f.err == nil {
+			evicted = sh.put(key, f.val, bytes)
+		}
+		sh.mu.Unlock()
+		c.evictions.Add(evicted)
+		close(f.done)
+		return f.val, false, f.err
+	}
+}
+
+// Stats snapshots the counters and contents. The counters are read with
+// atomics and the per-shard contents under each shard's lock, so the
+// snapshot is cheap but only loosely consistent under concurrent traffic.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		MaxBytes:  c.maxBytes,
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		st.Entries += len(sh.entries)
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,164 @@
+// Package canon assigns every (instance, solve options) pair a canonical
+// cryptographic key. The paper's algorithm is deterministic — identical
+// instance and options always yield bit-identical solutions — so the key is
+// a sound cache index for complete solve results (internal/cache fronts the
+// batch and serving layers with exactly that).
+//
+// The key is the SHA-256 of a canonical binary encoding:
+//
+//   - terms within a row are ordered by agent index (the semantics of
+//     mmlp.SortTerms, applied to a scratch copy so the caller's instance is
+//     never mutated);
+//   - rows within each section are ordered lexicographically by their
+//     encoded bytes — a constraint system and an objective set are sets of
+//     rows, so row order must not influence the key;
+//   - options are normalized (R 0→3, BinIters 0→100, matching the solver's
+//     defaults) so spellings of the same configuration collide;
+//   - coefficients are encoded as their exact IEEE-754 bit patterns, so any
+//     representable change — however small — changes the key.
+//
+// The encoding is self-delimiting (every list is preceded by its length),
+// hence injective up to the canonical reordering: two pairs share a key
+// only by SHA-256 collision or by describing the same mathematical
+// problem under the same options.
+//
+// Hashing sits on the cache-hit path of the serving layer, so the encoder
+// state (hash, row buffers, term scratch) is pooled: steady-state hashing
+// of similarly-shaped instances does not allocate.
+package canon
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+	"slices"
+	"sync"
+
+	"repro/internal/mmlp"
+)
+
+// Key identifies a canonical (instance, options) pair.
+type Key [sha256.Size]byte
+
+// String renders the key in hex.
+func (k Key) String() string { return hex.EncodeToString(k[:]) }
+
+// Options are the solve parameters that participate in the key: everything
+// that can influence the output bits. Workers is deliberately absent — the
+// per-agent computations are independent and the binary search is a pure
+// function of its inputs, so results are bit-identical across parallelism.
+type Options struct {
+	// Engine is the execution engine (the integer value of engine.Kind).
+	Engine int
+	// R is the shifting parameter (0 is normalized to the default 3).
+	R int
+	// BinIters caps the per-agent binary search (0 is normalized to 100).
+	BinIters int
+	// DisableSpecialCases skips the optimal ΔI=1 / ΔK=1 dispatch.
+	DisableSpecialCases bool
+	// SelfCheck re-verifies the run's invariants. It never changes the
+	// output bits, but it changes which runs can fail, so it keys
+	// separately rather than aliasing checked and unchecked solves.
+	SelfCheck bool
+}
+
+// normalized fills the zero-value defaults the solver itself applies.
+func (o Options) normalized() Options {
+	if o.R == 0 {
+		o.R = 3
+	}
+	if o.BinIters == 0 {
+		o.BinIters = 100
+	}
+	return o
+}
+
+// hasher is the reusable encoder state.
+type hasher struct {
+	h     hash.Hash
+	buf   [binary.MaxVarintLen64]byte
+	rows  [][]byte    // per-row encodings; backings are reused across calls
+	terms []mmlp.Term // scratch copy, so callers' rows stay untouched
+}
+
+var hasherPool = sync.Pool{New: func() any { return &hasher{h: sha256.New()} }}
+
+// Hash computes the canonical key of (in, o). The instance is read, never
+// mutated; invalid instances hash fine (they simply never acquire a cached
+// value, because failed solves are not stored).
+func Hash(in *mmlp.Instance, o Options) Key {
+	s := hasherPool.Get().(*hasher)
+	defer hasherPool.Put(s)
+	s.h.Reset()
+
+	s.h.Write([]byte("mmlp-canon/v1\n"))
+	o = o.normalized()
+	s.uvarint(uint64(o.Engine))
+	s.uvarint(uint64(o.R))
+	s.uvarint(uint64(o.BinIters))
+	flags := byte(0)
+	if o.DisableSpecialCases {
+		flags |= 1
+	}
+	if o.SelfCheck {
+		flags |= 2
+	}
+	s.buf[0] = flags
+	s.h.Write(s.buf[:1])
+
+	s.uvarint(uint64(in.NumAgents))
+	s.uvarint(uint64(len(in.Cons)))
+	s.rows = s.rows[:0]
+	for _, c := range in.Cons {
+		s.addRow(c.Terms)
+	}
+	s.writeSortedRows()
+	s.uvarint(uint64(len(in.Objs)))
+	s.rows = s.rows[:0]
+	for _, oj := range in.Objs {
+		s.addRow(oj.Terms)
+	}
+	s.writeSortedRows()
+
+	var k Key
+	s.h.Sum(k[:0])
+	return k
+}
+
+func (s *hasher) uvarint(v uint64) {
+	s.h.Write(s.buf[:binary.PutUvarint(s.buf[:], v)])
+}
+
+// addRow encodes one row: term count, then per term the agent as a signed
+// varint (robust to out-of-range indices in not-yet-validated instances)
+// and the coefficient as its big-endian IEEE-754 bits. Terms are ordered
+// by mmlp.CompareTerm — the one definition this ordering shares with
+// mmlp.Canonical, so key equality and pipeline canonicalization can never
+// drift apart. The row buffer is recycled from a previous call when one
+// is available.
+func (s *hasher) addRow(terms []mmlp.Term) {
+	s.terms = append(s.terms[:0], terms...)
+	slices.SortFunc(s.terms, mmlp.CompareTerm)
+	var row []byte
+	if n := len(s.rows); n < cap(s.rows) {
+		row = s.rows[:n+1][n][:0] // recycle the backing parked in this slot
+	}
+	row = binary.AppendUvarint(row, uint64(len(s.terms)))
+	for _, t := range s.terms {
+		row = binary.AppendVarint(row, int64(t.Agent))
+		row = binary.BigEndian.AppendUint64(row, math.Float64bits(t.Coef))
+	}
+	s.rows = append(s.rows, row)
+}
+
+// writeSortedRows emits the section's rows in canonical (lexicographic)
+// order. Each row is self-delimiting, so plain concatenation is injective.
+func (s *hasher) writeSortedRows() {
+	slices.SortFunc(s.rows, bytes.Compare)
+	for _, row := range s.rows {
+		s.h.Write(row)
+	}
+}

@@ -22,7 +22,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/par"
 	"repro/internal/structured"
@@ -88,13 +90,25 @@ type Trace struct {
 // full trace. The solution Trace.X is feasible (Lemma 11) and satisfies
 // ω(X) ≥ opt / (2(1−1/ΔK)(1+1/(R−1))) (Lemma 12 with §6.3).
 func Solve(s *structured.Instance, opt Options) (*Trace, error) {
+	return SolveCtx(nil, s, opt)
+}
+
+// SolveCtx is Solve with cooperative cancellation threaded through the t_u
+// stage — the dominant cost of a run. Workers check ctx between per-agent
+// computations, so a deadline expiring mid-solve stops the run within one
+// t_u evaluation instead of after the whole stage; SolveCtx then returns
+// ctx's error. A nil ctx skips every check (identical to Solve).
+func SolveCtx(ctx context.Context, s *structured.Instance, opt Options) (*Trace, error) {
 	opt, err := opt.Normalized()
 	if err != nil {
 		return nil, err
 	}
 	r := opt.R - 2
 	tr := &Trace{R: opt.R, SmallR: r}
-	tr.T = computeAllT(s, r, opt.BinIters, opt.Workers)
+	tr.T, err = computeAllTCtx(ctx, s, r, opt.BinIters, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
 	tr.S = smooth(s, tr.T, r)
 	tr.GPlus, tr.GMinus = computeG(s, tr.S, r)
 	tr.X = output(s, tr.GPlus, tr.GMinus, opt.R)
@@ -205,12 +219,37 @@ func smoothInto(s *structured.Instance, r int, cur, next []float64) []float64 {
 // computeAllT evaluates t_u for every agent in parallel; each worker keeps
 // its own memo tables.
 func computeAllT(s *structured.Instance, r, binIters, workers int) []float64 {
+	t, _ := computeAllTCtx(nil, s, r, binIters, workers)
+	return t
+}
+
+// computeAllTCtx is computeAllT with a per-agent cancellation check (nil
+// ctx disables it). One t_u costs at least a full binary search over the
+// agent's radius-Θ(r) neighbourhood, so the per-agent nil test and
+// ctx.Err() load are noise; a shared stop flag fans a detected
+// cancellation out to the other workers without further ctx traffic.
+func computeAllTCtx(ctx context.Context, s *structured.Instance, r, binIters, workers int) ([]float64, error) {
 	t := make([]float64, s.N)
+	var stop atomic.Bool
 	par.ForEachChunk(s.N, workers, func(lo, hi int) {
 		ev := newEvaluator(s, r)
 		for u := lo; u < hi; u++ {
+			if ctx != nil {
+				if stop.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					stop.Store(true)
+					return
+				}
+			}
 			t[u] = ev.computeT(int32(u), binIters)
 		}
 	})
-	return t
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
 }

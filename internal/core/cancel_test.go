@@ -1,0 +1,57 @@
+package core_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/structured"
+)
+
+// TestSolveCtxAlreadyCancelled: a context that is dead on arrival stops
+// the solve in the t_u loop before any real work, for both the parallel
+// and the scratch paths.
+func TestSolveCtxAlreadyCancelled(t *testing.T) {
+	in := gen.RandomStructured(gen.StructuredConfig{Objectives: 30, MaxDegK: 3, ExtraCons: 15}, 1)
+	s, err := structured.FromMMLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	if _, err := core.SolveCtx(ctx, s, core.Options{R: 3}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveCtx err = %v, want context.Canceled", err)
+	}
+	if _, err := core.SolveScratchCtx(ctx, s, core.Options{R: 3}, &core.Scratch{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SolveScratchCtx err = %v, want context.Canceled", err)
+	}
+}
+
+// TestSolveCtxLiveContextMatchesSolve: threading a live context through
+// the kernel must not perturb a single output bit.
+func TestSolveCtxLiveContextMatchesSolve(t *testing.T) {
+	in := gen.RandomStructured(gen.StructuredConfig{Objectives: 20, MaxDegK: 3, ExtraCons: 10}, 2)
+	s, err := structured.FromMMLP(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Solve(s, core.Options{R: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := core.SolveCtx(context.Background(), s, core.Options{R: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.UpperBound != want.UpperBound {
+		t.Fatalf("UpperBound %v != %v", got.UpperBound, want.UpperBound)
+	}
+	for v := range want.X {
+		if got.X[v] != want.X[v] {
+			t.Fatalf("X[%d] = %v, want %v", v, got.X[v], want.X[v])
+		}
+	}
+}

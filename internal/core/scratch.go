@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/structured"
+import (
+	"context"
+
+	"repro/internal/structured"
+)
 
 // Scratch is the reusable working memory of one solver worker: the
 // evaluator memo tables of stage 1 and the float buffers of stages 2–3.
@@ -47,6 +51,14 @@ func growMatrix(rows *[][]float64, backing *[]float64, r, n int) [][]float64 {
 // aliases sc and is valid only until the next SolveScratch call on the
 // same scratch; callers that keep a field beyond that must copy it.
 func SolveScratch(s *structured.Instance, opt Options, sc *Scratch) (*Trace, error) {
+	return SolveScratchCtx(nil, s, opt, sc)
+}
+
+// SolveScratchCtx is SolveScratch with cooperative cancellation: the t_u
+// loop — the dominant cost — checks ctx between per-agent computations and
+// returns ctx's error as soon as a cancellation is seen. A nil ctx skips
+// every check.
+func SolveScratchCtx(ctx context.Context, s *structured.Instance, opt Options, sc *Scratch) (*Trace, error) {
 	opt, err := opt.Normalized()
 	if err != nil {
 		return nil, err
@@ -57,6 +69,11 @@ func SolveScratch(s *structured.Instance, opt Options, sc *Scratch) (*Trace, err
 	sc.ev.reset(s, r)
 	tr.T = grow(&sc.t, s.N)
 	for u := 0; u < s.N; u++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		tr.T[u] = sc.ev.computeT(int32(u), opt.BinIters)
 	}
 

@@ -1,0 +1,128 @@
+package engine
+
+import (
+	"context"
+
+	"repro/internal/cache"
+	"repro/internal/canon"
+	"repro/internal/mmlp"
+)
+
+// This file is the cache-aware solve path. The algorithm is deterministic
+// and the pipeline canonicalizes term/row order at entry, so every member
+// of a canon.Key's equivalence class produces bit-identical solutions; a
+// complete, post-back-mapping Solution is therefore safe to memoise under
+// the canonical hash of its inputs and replay to any later caller.
+
+// CacheOptions sizes a result cache.
+type CacheOptions struct {
+	// MaxBytes is the total byte budget (0 = cache.DefaultMaxBytes).
+	MaxBytes int64
+	// Shards is the shard count, rounded up to a power of two
+	// (0 = cache.DefaultShards).
+	Shards int
+}
+
+// CacheStats re-exports the cache counters for the serving layer.
+type CacheStats = cache.Stats
+
+// Cache memoises complete solve results keyed by the canonical
+// (instance, options) hash. Safe for concurrent use; a nil *Cache disables
+// caching wherever one is accepted.
+type Cache struct {
+	c *cache.Cache
+}
+
+// NewCache builds a result cache.
+func NewCache(o CacheOptions) *Cache {
+	return &Cache{c: cache.New(cache.Options{MaxBytes: o.MaxBytes, Shards: o.Shards})}
+}
+
+// Stats snapshots the cache counters (zero-valued for a nil cache).
+func (c *Cache) Stats() CacheStats {
+	if c == nil || c.c == nil {
+		return CacheStats{}
+	}
+	return c.c.Stats()
+}
+
+// cachedResult is what one key maps to: the solution and, for the
+// message-passing engines, the traffic report of the run that produced it.
+type cachedResult struct {
+	sol  *Solution
+	info *DistInfo
+}
+
+// solveKey canonically hashes one solve. Workers is excluded: it changes
+// parallelism, never output bits.
+func solveKey(in *mmlp.Instance, o Options) canon.Key {
+	return canon.Hash(in, canon.Options{
+		Engine:              int(o.Engine),
+		R:                   o.R,
+		BinIters:            o.BinIters,
+		DisableSpecialCases: o.DisableSpecialCases,
+		SelfCheck:           o.SelfCheck,
+	})
+}
+
+// bytes estimates an entry's memory cost: the X vector dominates; the
+// fixed structs, the key and the map/list bookkeeping are covered by a
+// flat overhead.
+func (r *cachedResult) bytes() int64 {
+	const overhead = 192
+	n := int64(overhead) + 8*int64(len(r.sol.X))
+	if r.info != nil {
+		n += 48
+	}
+	return n
+}
+
+// clone returns a solution the caller owns: cached entries are shared
+// across goroutines, and public callers are free to mutate X.
+func (s *Solution) clone() *Solution {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	if s.X != nil {
+		c.X = append(make([]float64, 0, len(s.X)), s.X...)
+	}
+	return &c
+}
+
+func (d *DistInfo) clone() *DistInfo {
+	if d == nil {
+		return nil
+	}
+	c := *d
+	return &c
+}
+
+// SolveCached is SolveScratch fronted by ca: a key hit returns the stored
+// result without touching the pipeline, a miss solves and stores. Stored
+// results are captured after back-mapping, so a hit is bit-identical to
+// the cold solve it replaces (the conformance tests assert this). Failed
+// solves are never stored. Concurrent misses of one key coalesce: a single
+// caller runs the pipeline, the rest share its result. The returned
+// solution is a private copy — callers may mutate it freely. cached
+// reports whether the result came from the cache (or a concurrent leader)
+// rather than from this call's own solve.
+func SolveCached(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch, ca *Cache) (sol *Solution, info *DistInfo, cached bool, err error) {
+	if ca == nil || ca.c == nil {
+		sol, info, err = SolveScratch(ctx, in, o, sc)
+		return sol, info, false, err
+	}
+	v, hit, err := ca.c.Do(ctx, solveKey(in, o), func() (any, int64, error) {
+		sol, info, err := SolveScratch(ctx, in, o, sc)
+		if err != nil {
+			return nil, 0, err
+		}
+		res := &cachedResult{sol: sol, info: info}
+		return res, res.bytes(), nil
+	})
+	if err != nil {
+		return nil, nil, false, err
+	}
+	res := v.(*cachedResult)
+	return res.sol.clone(), res.info.clone(), hit, nil
+}

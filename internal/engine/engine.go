@@ -143,9 +143,10 @@ func NewScratch() *Scratch { return &Scratch{} }
 // for the centralised engine and populated for the message-passing engines
 // (zero-valued when a trivial case was dispatched before any protocol ran).
 //
-// ctx is checked between pipeline stages: a solve whose context expires
-// returns ctx's error without starting the next stage. A stage already
-// running is not preempted.
+// ctx is checked between pipeline stages and, on the centralised engine,
+// between the per-agent t_u computations inside the kernel: a solve whose
+// context expires returns ctx's error without starting the next stage (or
+// the next agent). The message-passing engines are not preempted mid-run.
 func Solve(ctx context.Context, in *mmlp.Instance, o Options) (*Solution, *DistInfo, error) {
 	return SolveScratch(ctx, in, o, nil)
 }
@@ -165,6 +166,13 @@ func SolveScratch(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch
 	if err := in.Validate(); err != nil {
 		return nil, nil, err
 	}
+	// Canonicalize term and row order so the output is a pure function of
+	// the instance's mathematical content: floating-point summation makes
+	// the kernels order-sensitive, and the result cache keys on exactly
+	// these equivalence classes — without this, a permuted duplicate of a
+	// cached instance could hit an entry whose bits a cold solve of the
+	// permutation would not reproduce.
+	in = in.Canonical()
 	if o.R == 0 {
 		o.R = 3
 	}
@@ -218,9 +226,9 @@ func SolveScratch(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch
 	case Central:
 		var tr *core.Trace
 		if sc != nil {
-			tr, err = core.SolveScratch(s, copts, &sc.core)
+			tr, err = core.SolveScratchCtx(ctx, s, copts, &sc.core)
 		} else {
-			tr, err = core.Solve(s, copts)
+			tr, err = core.SolveCtx(ctx, s, copts)
 		}
 		if err != nil {
 			return nil, nil, err
@@ -256,9 +264,10 @@ func SolveScratch(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch
 		return nil, nil, fmt.Errorf("maxminlp: unknown engine %v", o.Engine)
 	}
 
-	// The solve stage itself is not preempted, so a deadline that expired
-	// while it ran is detected here: better a late error than reporting
-	// success long past the job's deadline.
+	// The centralised kernel checks ctx in its t_u loop, but the
+	// message-passing engines run to completion, so a deadline that
+	// expired while one ran is detected here: better a late error than
+	// reporting success long past the job's deadline.
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}

@@ -99,6 +99,9 @@ type SolveResponse struct {
 	Bytes    int `json:"bytes,omitempty"`
 	// LatencyMS is the server-side solve time in milliseconds.
 	LatencyMS float64 `json:"latency_ms"`
+	// Cached reports that the result was answered from the server's result
+	// cache (bit-identical to a fresh solve); omitted when false.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch.

@@ -236,3 +236,109 @@ func (in *Instance) SortTerms() {
 		sort.Slice(ts, func(a, b int) bool { return ts[a].Agent < ts[b].Agent })
 	}
 }
+
+// CompareTerm totally orders terms by (agent, then coefficient bits — a
+// tie only invalid instances can reach). This is THE term ordering of the
+// canonical form: Instance.Canonical and the canon package's key encoder
+// both sort with it, which is what keeps the cache key's equivalence
+// classes and the pipeline's canonicalization in exact agreement.
+func CompareTerm(a, b Term) int {
+	if a.Agent != b.Agent {
+		if a.Agent < b.Agent {
+			return -1
+		}
+		return 1
+	}
+	ab, bb := math.Float64bits(a.Coef), math.Float64bits(b.Coef)
+	switch {
+	case ab < bb:
+		return -1
+	case ab > bb:
+		return 1
+	}
+	return 0
+}
+
+// Canonical returns the instance in canonical form: within every row the
+// terms are ordered by CompareTerm, and within each section the rows are
+// ordered by a deterministic total order. Term and row order are encoding
+// artifacts of a max-min LP, yet floating-point summation makes the
+// solvers sensitive to them; canonicalizing at pipeline entry makes every
+// output a pure function of the instance's mathematical content — the
+// same equivalence classes the canon package keys the result cache on.
+// An already-canonical instance is returned as-is (a linear scan, no
+// copy), so steady-state serving of sorted instances stays cheap; the
+// caller must treat the result as read-only either way.
+func (in *Instance) Canonical() *Instance {
+	if in.isCanonical() {
+		return in
+	}
+	out := in.Clone()
+	for i := range out.Cons {
+		ts := out.Cons[i].Terms
+		sort.Slice(ts, func(a, b int) bool { return CompareTerm(ts[a], ts[b]) < 0 })
+	}
+	for k := range out.Objs {
+		ts := out.Objs[k].Terms
+		sort.Slice(ts, func(a, b int) bool { return CompareTerm(ts[a], ts[b]) < 0 })
+	}
+	sort.Slice(out.Cons, func(a, b int) bool {
+		return compareTerms(out.Cons[a].Terms, out.Cons[b].Terms) < 0
+	})
+	sort.Slice(out.Objs, func(a, b int) bool {
+		return compareTerms(out.Objs[a].Terms, out.Objs[b].Terms) < 0
+	})
+	return out
+}
+
+// isCanonical reports whether every row's terms and both sections' rows
+// are already in canonical order.
+func (in *Instance) isCanonical() bool {
+	for i := range in.Cons {
+		if !termsSorted(in.Cons[i].Terms) {
+			return false
+		}
+	}
+	for k := range in.Objs {
+		if !termsSorted(in.Objs[k].Terms) {
+			return false
+		}
+	}
+	for i := 1; i < len(in.Cons); i++ {
+		if compareTerms(in.Cons[i-1].Terms, in.Cons[i].Terms) > 0 {
+			return false
+		}
+	}
+	for k := 1; k < len(in.Objs); k++ {
+		if compareTerms(in.Objs[k-1].Terms, in.Objs[k].Terms) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func termsSorted(ts []Term) bool {
+	for j := 1; j < len(ts); j++ {
+		if CompareTerm(ts[j-1], ts[j]) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// compareTerms totally orders canonical rows: by length, then termwise by
+// CompareTerm.
+func compareTerms(a, b []Term) int {
+	if len(a) != len(b) {
+		if len(a) < len(b) {
+			return -1
+		}
+		return 1
+	}
+	for i := range a {
+		if c := CompareTerm(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}

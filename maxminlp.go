@@ -182,6 +182,10 @@ type BatchResult struct {
 	Dist *DistInfo
 	// Err reports a failed or cancelled job; jobs never fail each other.
 	Err error
+	// Cached reports that the result came from the result cache enabled by
+	// BatchOptions.CacheBytes; cached results are bit-identical to fresh
+	// ones.
+	Cached bool
 	// Latency is the wall-clock solve time of this job (zero when the job
 	// was cancelled before it started).
 	Latency time.Duration
@@ -195,11 +199,26 @@ type BatchOptions struct {
 	// JobTimeout, when positive, bounds each job individually; a job whose
 	// deadline expires reports context.DeadlineExceeded in its result.
 	JobTimeout time.Duration
+	// CacheBytes, when positive, fronts the batch with a result cache of
+	// this byte budget keyed by the canonical (instance, options) hash:
+	// duplicate jobs in the batch are solved once and answered from the
+	// cache thereafter, bit-identically to a fresh solve. The cache lives
+	// for this SolveBatch call; BatchStats.Cache reports its activity.
+	CacheBytes int64
+	// CacheShards splits the cache across this many lock domains, rounded
+	// up to a power of two (0 = the cache default of 16). Ignored when
+	// CacheBytes is zero.
+	CacheShards int
 }
 
 // BatchStats aggregates throughput and latency over a batch or a serving
 // pool.
 type BatchStats = batch.Stats
+
+// CacheStats reports the result cache's activity (hits, misses, coalesced
+// waiters, evictions, current entries/bytes); BatchStats.Cache carries one
+// when BatchOptions.CacheBytes enables caching.
+type CacheStats = engine.CacheStats
 
 // SolveBatch solves many independent instances concurrently on a fixed
 // worker pool. Results are positional: result i belongs to jobs[i], and
@@ -217,10 +236,13 @@ func SolveBatch(ctx context.Context, jobs []BatchJob, o BatchOptions) ([]BatchRe
 		}
 		bjobs[i] = batch.Job{In: j.In, Opts: j.Opts.engineOptions(kind)}
 	}
-	res, stats, err := batch.Solve(ctx, bjobs, batch.Options{Workers: o.Workers, JobTimeout: o.JobTimeout})
+	res, stats, err := batch.Solve(ctx, bjobs, batch.Options{
+		Workers: o.Workers, JobTimeout: o.JobTimeout,
+		CacheBytes: o.CacheBytes, CacheShards: o.CacheShards,
+	})
 	out := make([]BatchResult, len(res))
 	for i, r := range res {
-		out[i] = BatchResult{Sol: r.Sol, Dist: r.Dist, Err: r.Err, Latency: r.Latency}
+		out[i] = BatchResult{Sol: r.Sol, Dist: r.Dist, Err: r.Err, Cached: r.Cached, Latency: r.Latency}
 	}
 	return out, stats, err
 }

@@ -1,6 +1,7 @@
 package maxminlp
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -320,5 +321,45 @@ func TestTriNecklaceEndToEnd(t *testing.T) {
 	exact, _ := SolveExact(in)
 	if ratio := exact.Utility / sol.Utility; ratio > RatioBound(2, 3, 4)+1e-9 {
 		t.Fatalf("necklace ratio %v exceeds bound %v", ratio, RatioBound(2, 3, 4))
+	}
+}
+
+func TestSolveBatchCached(t *testing.T) {
+	// Duplicate jobs through the public batch surface with the result
+	// cache enabled: every result must be bit-identical to the sequential
+	// solve, the repeats must be tagged Cached, and the stats must carry
+	// the cache counters.
+	in := GenerateRandom(RandomConfig{Agents: 14, MaxDegI: 3, MaxDegK: 3, ExtraCons: 4, ExtraObjs: 2}, 5)
+	want, err := SolveLocal(in, LocalOptions{R: 3, DisableSpecialCases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]BatchJob, 12)
+	for i := range jobs {
+		jobs[i] = BatchJob{In: in, Opts: LocalOptions{R: 3, DisableSpecialCases: true}}
+	}
+	res, stats, err := SolveBatch(context.Background(), jobs, BatchOptions{Workers: 3, CacheBytes: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached := 0
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("job %d: %v", i, r.Err)
+		}
+		if r.Cached {
+			cached++
+		}
+		for v := range want.X {
+			if r.Sol.X[v] != want.X[v] {
+				t.Fatalf("job %d: X[%d] = %v, want %v", i, v, r.Sol.X[v], want.X[v])
+			}
+		}
+	}
+	if cached < len(jobs)-3 {
+		t.Fatalf("cached results = %d of %d duplicates", cached, len(jobs))
+	}
+	if stats.Cache == nil || stats.Cache.Entries != 1 {
+		t.Fatalf("batch cache stats = %+v", stats.Cache)
 	}
 }

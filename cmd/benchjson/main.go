@@ -5,17 +5,27 @@
 // benchmark results are ignored, so the full `go test` output can be piped
 // in unfiltered.
 //
+// With -budget, the parsed results are additionally checked against a
+// checked-in budget file mapping benchmark names to allocation ceilings
+// (max_allocs_per_op, max_bytes_per_op); the summary is still written, and
+// the command exits non-zero listing every violation — including budgeted
+// benchmarks missing from the run, so a renamed benchmark cannot silently
+// disable its gate. This is how CI pins the warm-path allocation behaviour
+// of the solve pipeline.
+//
 // Usage:
 //
-//	go test -bench . -benchtime 1x -run '^$' ./... | benchjson > BENCH_ci.json
+//	go test -bench . -benchmem -benchtime 1x -run '^$' ./... | benchjson -budget BENCH_budget.json > BENCH_ci.json
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -86,8 +96,9 @@ func stripProcs(name string) string {
 	return name[:i]
 }
 
-// convert reads bench output from in and writes the JSON summary to out.
-func convert(in io.Reader, out io.Writer) error {
+// convert reads bench output from in, writes the JSON summary to out and
+// returns the parsed results.
+func convert(in io.Reader, out io.Writer) (map[string]Result, error) {
 	results := map[string]Result{}
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
@@ -97,16 +108,83 @@ func convert(in io.Reader, out io.Writer) error {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return err
+		return nil, err
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(results)
+	return results, enc.Encode(results)
+}
+
+// Budget is one benchmark's allocation ceiling. A zero (or omitted) field
+// is not checked.
+type Budget struct {
+	// MaxAllocsPerOp caps the benchmark's allocs/op column.
+	MaxAllocsPerOp float64 `json:"max_allocs_per_op,omitempty"`
+	// MaxBytesPerOp caps the benchmark's B/op column.
+	MaxBytesPerOp float64 `json:"max_bytes_per_op,omitempty"`
+}
+
+// checkBudget compares results against budgets and returns one message per
+// violation, in deterministic (sorted) order. A budgeted benchmark that
+// did not run is a violation: silence must not pass the gate.
+func checkBudget(results map[string]Result, budgets map[string]Budget) []string {
+	names := make([]string, 0, len(budgets))
+	for name := range budgets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var violations []string
+	for _, name := range names {
+		b := budgets[name]
+		r, ok := results[name]
+		if !ok {
+			violations = append(violations, fmt.Sprintf("%s: budgeted benchmark missing from the run", name))
+			continue
+		}
+		if b.MaxAllocsPerOp > 0 && r.AllocsPerOp > b.MaxAllocsPerOp {
+			violations = append(violations, fmt.Sprintf("%s: %.0f allocs/op exceeds budget %.0f", name, r.AllocsPerOp, b.MaxAllocsPerOp))
+		}
+		if b.MaxBytesPerOp > 0 && r.BytesPerOp > b.MaxBytesPerOp {
+			violations = append(violations, fmt.Sprintf("%s: %.0f B/op exceeds budget %.0f", name, r.BytesPerOp, b.MaxBytesPerOp))
+		}
+	}
+	return violations
+}
+
+// loadBudget reads a budget file: {"BenchmarkName": {"max_allocs_per_op": N,
+// "max_bytes_per_op": M}, ...}.
+func loadBudget(path string) (map[string]Budget, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var budgets map[string]Budget
+	if err := json.Unmarshal(data, &budgets); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return budgets, nil
 }
 
 func main() {
-	if err := convert(os.Stdin, os.Stdout); err != nil {
+	budgetPath := flag.String("budget", "", "JSON budget file; exceeding (or missing) a budgeted benchmark fails the run")
+	flag.Parse()
+	results, err := convert(os.Stdin, os.Stdout)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if *budgetPath == "" {
+		return
+	}
+	budgets, err := loadBudget(*budgetPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if violations := checkBudget(results, budgets); len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchjson: budget violation:", v)
+		}
 		os.Exit(1)
 	}
 }

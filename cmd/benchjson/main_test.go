@@ -48,7 +48,8 @@ func TestConvert(t *testing.T) {
 		"PASS",
 	}, "\n")
 	var out bytes.Buffer
-	if err := convert(strings.NewReader(in), &out); err != nil {
+	parsed, err := convert(strings.NewReader(in), &out)
+	if err != nil {
 		t.Fatal(err)
 	}
 	var m map[string]Result
@@ -57,5 +58,43 @@ func TestConvert(t *testing.T) {
 	}
 	if len(m) != 2 || m["BenchmarkA"].NsPerOp != 100 || m["BenchmarkB/R=3"].Iterations != 5 {
 		t.Fatalf("m = %+v", m)
+	}
+	if len(parsed) != 2 || parsed["BenchmarkA"].AllocsPerOp != 2 {
+		t.Fatalf("parsed = %+v", parsed)
+	}
+}
+
+func TestCheckBudget(t *testing.T) {
+	results := map[string]Result{
+		"BenchmarkA":           {AllocsPerOp: 100, BytesPerOp: 4096},
+		"BenchmarkB/workers=4": {AllocsPerOp: 7},
+	}
+
+	// Within budget: no violations.
+	if v := checkBudget(results, map[string]Budget{
+		"BenchmarkA":           {MaxAllocsPerOp: 100, MaxBytesPerOp: 4096},
+		"BenchmarkB/workers=4": {MaxAllocsPerOp: 8},
+	}); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+
+	// Allocs and bytes ceilings are enforced independently.
+	v := checkBudget(results, map[string]Budget{
+		"BenchmarkA": {MaxAllocsPerOp: 99, MaxBytesPerOp: 4000},
+	})
+	if len(v) != 2 || !strings.Contains(v[0], "allocs/op") || !strings.Contains(v[1], "B/op") {
+		t.Fatalf("violations = %v", v)
+	}
+
+	// A zero field is not checked.
+	if v := checkBudget(results, map[string]Budget{"BenchmarkA": {MaxAllocsPerOp: 200}}); len(v) != 0 {
+		t.Fatalf("zero bytes ceiling was enforced: %v", v)
+	}
+
+	// A budgeted benchmark missing from the run fails: renaming a
+	// benchmark must not silently disable its gate.
+	v = checkBudget(results, map[string]Budget{"BenchmarkGone": {MaxAllocsPerOp: 1}})
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("violations = %v", v)
 	}
 }

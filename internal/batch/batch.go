@@ -1,7 +1,9 @@
 // Package batch is the throughput layer of the library: it solves many
 // independent max-min LP instances concurrently on a fixed pool of workers,
-// each owning reusable solver scratch (engine.Scratch) so steady-state
-// solving stays allocation-light. Two entry points share one job runner:
+// each owning reusable solver scratch (engine.Scratch — the
+// canonicalization copy, the §4 transform arena and the §5 kernel buffers)
+// so a warm worker solves in steady state with a handful of heap
+// allocations per job. Two entry points share one job runner:
 //
 //   - Solve takes a slice of jobs and returns positional results — the
 //     shape SolveBatch exposes on the public surface;

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 
+	"repro/internal/reuse"
 	"repro/internal/structured"
 )
 
@@ -22,14 +23,8 @@ type Scratch struct {
 	gps, gms []float64
 }
 
-// grow returns *buf resized to n, reallocating only when capacity is short.
-func grow(buf *[]float64, n int) []float64 {
-	if cap(*buf) < n {
-		*buf = make([]float64, n)
-	}
-	*buf = (*buf)[:n]
-	return *buf
-}
+// grow is the shared arena-resize primitive.
+func grow(buf *[]float64, n int) []float64 { return reuse.Grow(buf, n) }
 
 // growMatrix shapes rows/backing into a matrix with rows of length n each,
 // reusing the backing array across calls.

@@ -1,0 +1,53 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+)
+
+// warmSolveAllocBudget is the pinned heap budget of one warm-scratch
+// centralised solve on the E1 workload: the kernel Trace, the lifted and
+// strictified solution vectors, the Solution itself and ValidateStrict's
+// two membership slices. Anything beyond this means an arena stopped being
+// reused — fail loudly rather than drift back to allocation churn.
+const warmSolveAllocBudget = 10
+
+// TestWarmSolveAllocBudget pins the steady-state allocation count of the
+// full centralised pipeline (canonicalization + §4 transforms + kernel +
+// back-mapping) on a warm per-worker scratch.
+func TestWarmSolveAllocBudget(t *testing.T) {
+	ctx := context.Background()
+	in := gen.Random(gen.RandomConfig{Agents: 24, MaxDegI: 3, MaxDegK: 3, ExtraCons: 6, ExtraObjs: 3}, 1)
+	opts := engine.Options{R: 3, DisableSpecialCases: true}
+	sc := engine.NewScratch()
+	solve := func() {
+		if _, _, err := engine.SolveScratch(ctx, in, opts, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solve() // warm every arena
+	if avg := testing.AllocsPerRun(100, solve); avg > warmSolveAllocBudget {
+		t.Fatalf("warm solve allocates %.1f objects, budget %d", avg, warmSolveAllocBudget)
+	}
+}
+
+// TestWarmSolveAllocBudgetNonCanonical is the same pin for inputs that
+// need the scratch canonicalization copy every solve.
+func TestWarmSolveAllocBudgetNonCanonical(t *testing.T) {
+	ctx := context.Background()
+	in := reversedCopy(gen.Random(gen.RandomConfig{Agents: 24, MaxDegI: 3, MaxDegK: 3, ExtraCons: 6, ExtraObjs: 3}, 2))
+	opts := engine.Options{R: 3, DisableSpecialCases: true}
+	sc := engine.NewScratch()
+	solve := func() {
+		if _, _, err := engine.SolveScratch(ctx, in, opts, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solve()
+	if avg := testing.AllocsPerRun(100, solve); avg > warmSolveAllocBudget {
+		t.Fatalf("warm non-canonical solve allocates %.1f objects, budget %d", avg, warmSolveAllocBudget)
+	}
+}

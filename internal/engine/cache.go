@@ -107,13 +107,36 @@ func (d *DistInfo) clone() *DistInfo {
 // solution is a private copy — callers may mutate it freely. cached
 // reports whether the result came from the cache (or a concurrent leader)
 // rather than from this call's own solve.
+//
+// The canonical instance is computed once per request: the key is hashed
+// over it (same key as hashing the original — canon.Hash is permutation
+// invariant) and a miss solves it directly, instead of canonicalizing once
+// for the key and a second time inside the solve.
 func SolveCached(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch, ca *Cache) (sol *Solution, info *DistInfo, cached bool, err error) {
 	if ca == nil || ca.c == nil {
 		sol, info, err = SolveScratch(ctx, in, o, sc)
 		return sol, info, false, err
 	}
-	v, hit, err := ca.c.Do(ctx, solveKey(in, o), func() (any, int64, error) {
-		sol, info, err := SolveScratch(ctx, in, o, sc)
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	coreScratch := sc != nil
+	var cs *mmlp.CanonScratch
+	if sc != nil {
+		cs = &sc.canon
+	}
+	cin := in.CanonicalInto(cs)
+	v, hit, err := ca.c.Do(ctx, solveKey(cin, o), func() (any, int64, error) {
+		// Validate the original, not the canonical copy, so error messages
+		// name the caller's row indices; invalid misses stay uncached.
+		if err := in.Validate(); err != nil {
+			return nil, 0, err
+		}
+		wsc := sc
+		if wsc == nil {
+			wsc = NewScratch()
+		}
+		sol, info, err := solveCanonical(ctx, cin, o, wsc, coreScratch)
 		if err != nil {
 			return nil, 0, err
 		}

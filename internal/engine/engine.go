@@ -130,10 +130,19 @@ type DistInfo struct {
 	Messages, Bytes, MaxMessageBytes, CompressedBytes int
 }
 
-// Scratch is the reusable per-worker working memory of the pipeline. The
-// zero value is ready; see NewScratch. Not safe for concurrent use.
+// Scratch is the reusable per-worker working memory of the whole pipeline:
+// the canonicalization copy, the §4 transform arena (intermediate
+// instances, index tables and back-map arrays), the compact-form
+// conversion buffers and the centralised kernel's evaluator/float buffers.
+// A warm worker therefore runs the full centralised solve with a small
+// constant number of heap allocations per job (see the alloc budget
+// tests). The zero value is ready; see NewScratch. Not safe for concurrent
+// use.
 type Scratch struct {
-	core core.Scratch
+	core  core.Scratch
+	canon mmlp.CanonScratch
+	pipe  transform.Scratch
+	str   structured.Scratch
 }
 
 // NewScratch returns an empty scratch for one worker.
@@ -151,18 +160,19 @@ func Solve(ctx context.Context, in *mmlp.Instance, o Options) (*Solution, *DistI
 	return SolveScratch(ctx, in, o, nil)
 }
 
-// SolveScratch is Solve reusing sc's buffers for the centralised kernel
-// (sc may be nil; the message-passing engines allocate their node state
-// regardless). The returned solution owns its memory — it never aliases sc.
+// SolveScratch is Solve reusing sc's buffers for the transform stages and
+// the centralised kernel (sc may be nil: the transform stages then use a
+// private arena and the centralised kernel runs its parallel allocating
+// path; the message-passing engines allocate their node state regardless).
+// The returned solution owns its memory — it never aliases sc.
 func SolveScratch(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch) (*Solution, *DistInfo, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	var info *DistInfo
-	if o.Engine != Central {
-		info = &DistInfo{}
+	coreScratch := sc != nil
+	if sc == nil {
+		sc = NewScratch()
 	}
-
 	if err := in.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -172,7 +182,19 @@ func SolveScratch(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch
 	// these equivalence classes — without this, a permuted duplicate of a
 	// cached instance could hit an entry whose bits a cold solve of the
 	// permutation would not reproduce.
-	in = in.Canonical()
+	return solveCanonical(ctx, in.CanonicalInto(&sc.canon), o, sc, coreScratch)
+}
+
+// solveCanonical runs the pipeline stages on a validated instance already
+// in canonical form. The single canonicalization per request happens at
+// the entry points (SolveScratch, SolveCached) — never twice. coreScratch
+// selects the single-worker scratch kernel; the transform stages always
+// build into sc's arena.
+func solveCanonical(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch, coreScratch bool) (*Solution, *DistInfo, error) {
+	var info *DistInfo
+	if o.Engine != Central {
+		info = &DistInfo{}
+	}
 	if o.R == 0 {
 		o.R = 3
 	}
@@ -183,7 +205,7 @@ func SolveScratch(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch
 		return nil, nil, err
 	}
 
-	pp := transform.Preprocess(in)
+	pp := transform.PreprocessScratch(in, &sc.pipe)
 	switch pp.Outcome {
 	case transform.ZeroOptimum:
 		return &Solution{Status: StatusZeroOptimum, X: pp.Lift(nil), Utility: 0, UpperBound: 0}, info, nil
@@ -207,11 +229,11 @@ func SolveScratch(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch
 		return nil, nil, err
 	}
 
-	pipe, err := transform.Structure(red)
+	pipe, err := transform.StructureScratch(red, &sc.pipe)
 	if err != nil {
 		return nil, nil, err
 	}
-	s, err := structured.FromMMLP(pipe.Final())
+	s, err := structured.FromMMLPScratch(pipe.Final(), &sc.str)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -225,7 +247,7 @@ func SolveScratch(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch
 	switch o.Engine {
 	case Central:
 		var tr *core.Trace
-		if sc != nil {
+		if coreScratch {
 			tr, err = core.SolveScratchCtx(ctx, s, copts, &sc.core)
 		} else {
 			tr, err = core.SolveCtx(ctx, s, copts)

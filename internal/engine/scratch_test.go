@@ -1,0 +1,126 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/mmlp"
+)
+
+// scratchConformanceCases extends the cache conformance cases with the
+// remaining preprocess outcome (unbounded) and a boosted-lift shape, so
+// the scratch suite covers every way a solve can leave the pipeline.
+func scratchConformanceCases() map[string]struct {
+	in   *mmlp.Instance
+	opts engine.Options
+} {
+	cases := conformanceCases()
+	unbounded := mmlp.New(1)
+	unbounded.AddObjective(0, 1)
+	cases["unbounded"] = struct {
+		in   *mmlp.Instance
+		opts engine.Options
+	}{unbounded, engine.Options{R: 3}}
+	boosted := mmlp.New(2)
+	boosted.AddConstraint(0, 2)
+	boosted.AddObjective(0, 1)
+	boosted.AddObjective(0, 1, 1, 4)
+	cases["boosted-lift"] = struct {
+		in   *mmlp.Instance
+		opts engine.Options
+	}{boosted, engine.Options{R: 3}}
+	cases["trivial-di1"] = struct {
+		in   *mmlp.Instance
+		opts engine.Options
+	}{gen.Random(gen.RandomConfig{Agents: 6, MaxDegI: 1, MaxDegK: 2}, 4), engine.Options{R: 3}}
+	return cases
+}
+
+// TestSolveScratchConformance reuses ONE scratch across every case — three
+// passes, so each case runs against arena state left behind by every other
+// case — and demands bit-identical solutions to the fresh Solve path.
+func TestSolveScratchConformance(t *testing.T) {
+	ctx := context.Background()
+	cases := scratchConformanceCases()
+	sc := engine.NewScratch()
+	for pass := 0; pass < 3; pass++ {
+		for name, c := range cases {
+			want, wantInfo, err := engine.Solve(ctx, c.in, c.opts)
+			if err != nil {
+				if _, _, err2 := engine.SolveScratch(ctx, c.in, c.opts, sc); err2 == nil || err2.Error() != err.Error() {
+					t.Fatalf("pass %d %s: scratch err %v, want %v", pass, name, err2, err)
+				}
+				continue
+			}
+			got, gotInfo, err := engine.SolveScratch(ctx, c.in, c.opts, sc)
+			if err != nil {
+				t.Fatalf("pass %d %s: %v", pass, name, err)
+			}
+			equalSolutions(t, name, got, want)
+			if (wantInfo == nil) != (gotInfo == nil) || (wantInfo != nil && *gotInfo != *wantInfo) {
+				t.Fatalf("pass %d %s: DistInfo %+v, want %+v", pass, name, gotInfo, wantInfo)
+			}
+		}
+	}
+}
+
+// TestSolveScratchResultsDoNotAlias: a solution handed out must be
+// untouched by later solves on the same scratch.
+func TestSolveScratchResultsDoNotAlias(t *testing.T) {
+	ctx := context.Background()
+	sc := engine.NewScratch()
+	a := gen.Random(gen.RandomConfig{Agents: 22, MaxDegI: 3, MaxDegK: 3, ExtraCons: 6, ExtraObjs: 3}, 5)
+	b := gen.Random(gen.RandomConfig{Agents: 9, MaxDegI: 4, MaxDegK: 2, ExtraCons: 2, ExtraObjs: 1}, 6)
+	opts := engine.Options{R: 3, DisableSpecialCases: true}
+
+	first, _, err := engine.SolveScratch(ctx, a, opts, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := append([]float64(nil), first.X...)
+	for i := 0; i < 5; i++ {
+		if _, _, err := engine.SolveScratch(ctx, b, opts, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for v := range snapshot {
+		if first.X[v] != snapshot[v] {
+			t.Fatalf("X[%d] changed from %v to %v: result aliases scratch memory", v, snapshot[v], first.X[v])
+		}
+	}
+	again, _, err := engine.SolveScratch(ctx, a, opts, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalSolutions(t, "resolve-after-interleave", again, first)
+}
+
+// TestSolveScratchNonCanonicalInput: the scratch canonicalization copy must
+// leave the caller's instance untouched and still match the fresh path.
+func TestSolveScratchNonCanonicalInput(t *testing.T) {
+	ctx := context.Background()
+	in := gen.Random(gen.RandomConfig{Agents: 20, MaxDegI: 3, MaxDegK: 3, ExtraCons: 6, ExtraObjs: 3}, 9)
+	perm := reversedCopy(in)
+	permCopy := reversedCopy(in)
+	opts := engine.Options{R: 3, DisableSpecialCases: true}
+
+	want, _, err := engine.Solve(ctx, perm, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := engine.NewScratch()
+	got, _, err := engine.SolveScratch(ctx, perm, opts, sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalSolutions(t, "non-canonical", got, want)
+	for i := range permCopy.Cons {
+		for j := range permCopy.Cons[i].Terms {
+			if perm.Cons[i].Terms[j] != permCopy.Cons[i].Terms[j] {
+				t.Fatal("solve mutated the caller's instance")
+			}
+		}
+	}
+}

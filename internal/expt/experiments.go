@@ -305,7 +305,7 @@ func E6Transforms(scale Scale) (*Table, error) {
 			minGain = g
 		}
 		// Back-map guarantee of (4): ω(back(x')) ≥ 2ω'/ΔI.
-		x := back2(r2.X)
+		x := back2.Apply(r2.X)
 		dI := math.Max(2, float64(s1.DegreeI()))
 		if q := s1.Utility(x) / (2 * r2.Value / dI); q < worstBack {
 			worstBack = q

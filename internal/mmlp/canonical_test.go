@@ -1,0 +1,128 @@
+package mmlp
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randPermuted builds a valid instance with deliberately shuffled term and
+// row order.
+func randPermuted(rng *rand.Rand) *Instance {
+	n := 2 + rng.Intn(6)
+	in := New(n)
+	for r := 0; r < 1+rng.Intn(4); r++ {
+		size := min(1+rng.Intn(3), n)
+		perm := rng.Perm(n)[:size]
+		pairs := make([]float64, 0, 2*size)
+		for _, v := range perm {
+			pairs = append(pairs, float64(v), 0.25+rng.Float64())
+		}
+		in.AddConstraint(pairs...)
+	}
+	for r := 0; r < 1+rng.Intn(4); r++ {
+		size := min(1+rng.Intn(3), n)
+		perm := rng.Perm(n)[:size]
+		pairs := make([]float64, 0, 2*size)
+		for _, v := range perm {
+			pairs = append(pairs, float64(v), 0.25+rng.Float64())
+		}
+		in.AddObjective(pairs...)
+	}
+	rng.Shuffle(len(in.Cons), func(a, b int) { in.Cons[a], in.Cons[b] = in.Cons[b], in.Cons[a] })
+	rng.Shuffle(len(in.Objs), func(a, b int) { in.Objs[a], in.Objs[b] = in.Objs[b], in.Objs[a] })
+	return in
+}
+
+// TestCanonicalIntoMatchesCanonical: the scratch path must produce exactly
+// the rows of the allocating path, reusing one scratch across many shapes,
+// and must never mutate its input.
+func TestCanonicalIntoMatchesCanonical(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	sc := &CanonScratch{}
+	for trial := 0; trial < 80; trial++ {
+		in := randPermuted(rng)
+		orig := in.Clone()
+		want := in.Canonical()
+		got := in.CanonicalInto(sc)
+		if got.NumAgents != want.NumAgents ||
+			!reflect.DeepEqual(got.Cons, want.Cons) || !reflect.DeepEqual(got.Objs, want.Objs) {
+			t.Fatalf("trial %d: scratch canonical diverged:\n got %+v\nwant %+v", trial, got, want)
+		}
+		if !reflect.DeepEqual(in, orig) {
+			t.Fatalf("trial %d: CanonicalInto mutated its input", trial)
+		}
+		if !got.isCanonical() {
+			t.Fatalf("trial %d: result is not canonical", trial)
+		}
+	}
+}
+
+// TestCanonicalIntoReturnsSameWhenCanonical: like Canonical, an
+// already-canonical instance comes back as the identical pointer, with no
+// scratch copy.
+func TestCanonicalIntoReturnsSameWhenCanonical(t *testing.T) {
+	in := New(3)
+	in.AddConstraint(0, 1, 1, 2)
+	in.AddConstraint(0, 2, 2, 1)
+	in.AddObjective(1, 1, 2, 1)
+	if got := in.CanonicalInto(&CanonScratch{}); got != in {
+		t.Fatal("canonical instance was copied")
+	}
+	if got := in.CanonicalInto(nil); got != in {
+		t.Fatal("canonical instance was copied on the nil-scratch path")
+	}
+}
+
+// TestCanonicalIntoWarmAllocFree: re-canonicalizing similarly-sized
+// instances into a warm scratch does not allocate.
+func TestCanonicalIntoWarmAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	in := randPermuted(rng)
+	if in.isCanonical() {
+		t.Skip("random instance happened to be canonical")
+	}
+	sc := &CanonScratch{}
+	in.CanonicalInto(sc)
+	if avg := testing.AllocsPerRun(100, func() { in.CanonicalInto(sc) }); avg > 0 {
+		t.Fatalf("warm CanonicalInto allocates %.1f objects", avg)
+	}
+}
+
+// TestValidateWideRowDuplicate exercises the map fallback of the hybrid
+// duplicate detector (rows wider than the pairwise-scan cutoff).
+func TestValidateWideRowDuplicate(t *testing.T) {
+	in := New(40)
+	pairs := make([]float64, 0, 2*(wideRowTerms+2))
+	for v := 0; v <= wideRowTerms; v++ {
+		pairs = append(pairs, float64(v), 1)
+	}
+	pairs = append(pairs, 3, 1) // duplicate of agent 3
+	in.AddConstraint(pairs...)
+	if err := in.Validate(); err == nil {
+		t.Fatal("wide-row duplicate accepted")
+	}
+	// Same width without the duplicate passes.
+	in2 := New(40)
+	in2.AddConstraint(pairs[:2*(wideRowTerms+1)]...)
+	if err := in2.Validate(); err != nil {
+		t.Fatalf("wide row rejected: %v", err)
+	}
+}
+
+// TestValidateWarmAllocFree: validating steady-state-shaped instances
+// (narrow rows) does not allocate.
+func TestValidateWarmAllocFree(t *testing.T) {
+	in := New(4)
+	in.AddConstraint(0, 1, 1, 1)
+	in.AddConstraint(2, 1, 3, 2)
+	in.AddObjective(0, 1, 2, 1)
+	in.AddObjective(1, 1, 3, 1)
+	if avg := testing.AllocsPerRun(100, func() {
+		if err := in.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Fatalf("Validate allocates %.1f objects on narrow rows", avg)
+	}
+}

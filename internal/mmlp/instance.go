@@ -17,6 +17,7 @@ package mmlp
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -269,25 +270,67 @@ func CompareTerm(a, b Term) int {
 // An already-canonical instance is returned as-is (a linear scan, no
 // copy), so steady-state serving of sorted instances stays cheap; the
 // caller must treat the result as read-only either way.
-func (in *Instance) Canonical() *Instance {
+func (in *Instance) Canonical() *Instance { return in.CanonicalInto(nil) }
+
+// CanonScratch is the reusable working memory of CanonicalInto: the copied
+// instance's row headers and one flat term backing. The zero value is
+// ready. Not safe for concurrent use.
+type CanonScratch struct {
+	inst  Instance
+	terms []Term
+}
+
+// CanonicalInto is Canonical building any needed copy into sc's reusable
+// memory, so steady-state canonicalization of similarly-sized instances
+// does not allocate (nil sc falls back to fresh memory). Like Canonical,
+// an already-canonical instance is returned as-is. When a copy was made
+// into a non-nil sc it is valid only until sc's next use; the caller must
+// treat the result as read-only either way.
+func (in *Instance) CanonicalInto(sc *CanonScratch) *Instance {
 	if in.isCanonical() {
 		return in
 	}
-	out := in.Clone()
-	for i := range out.Cons {
-		ts := out.Cons[i].Terms
-		sort.Slice(ts, func(a, b int) bool { return CompareTerm(ts[a], ts[b]) < 0 })
+	if sc == nil {
+		sc = &CanonScratch{}
 	}
-	for k := range out.Objs {
-		ts := out.Objs[k].Terms
-		sort.Slice(ts, func(a, b int) bool { return CompareTerm(ts[a], ts[b]) < 0 })
+	out := &sc.inst
+	out.NumAgents = in.NumAgents
+	total := 0
+	for i := range in.Cons {
+		total += len(in.Cons[i].Terms)
 	}
-	sort.Slice(out.Cons, func(a, b int) bool {
-		return compareTerms(out.Cons[a].Terms, out.Cons[b].Terms) < 0
-	})
-	sort.Slice(out.Objs, func(a, b int) bool {
-		return compareTerms(out.Objs[a].Terms, out.Objs[b].Terms) < 0
-	})
+	for k := range in.Objs {
+		total += len(in.Objs[k].Terms)
+	}
+	// Presize the flat backing so the per-row carves below stay stable.
+	if cap(sc.terms) < total {
+		sc.terms = make([]Term, total)
+	}
+	buf := sc.terms[:0]
+	if cap(out.Cons) < len(in.Cons) {
+		out.Cons = make([]Constraint, len(in.Cons))
+	}
+	out.Cons = out.Cons[:len(in.Cons)]
+	for i, c := range in.Cons {
+		start := len(buf)
+		buf = append(buf, c.Terms...)
+		row := buf[start:len(buf):len(buf)]
+		slices.SortFunc(row, CompareTerm)
+		out.Cons[i] = Constraint{Terms: row}
+	}
+	if cap(out.Objs) < len(in.Objs) {
+		out.Objs = make([]Objective, len(in.Objs))
+	}
+	out.Objs = out.Objs[:len(in.Objs)]
+	for k, o := range in.Objs {
+		start := len(buf)
+		buf = append(buf, o.Terms...)
+		row := buf[start:len(buf):len(buf)]
+		slices.SortFunc(row, CompareTerm)
+		out.Objs[k] = Objective{Terms: row}
+	}
+	slices.SortFunc(out.Cons, func(a, b Constraint) int { return compareTerms(a.Terms, b.Terms) })
+	slices.SortFunc(out.Objs, func(a, b Objective) int { return compareTerms(a.Terms, b.Terms) })
 	return out
 }
 

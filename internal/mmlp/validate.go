@@ -23,34 +23,58 @@ func (in *Instance) Validate() error {
 	if in.NumAgents < 0 {
 		return fmt.Errorf("%w: negative agent count %d", ErrInvalid, in.NumAgents)
 	}
-	seen := make(map[int]int, 8)
-	checkRow := func(kind string, row int, ts []Term) error {
-		clear(seen)
-		for _, t := range ts {
-			if t.Agent < 0 || t.Agent >= in.NumAgents {
-				return fmt.Errorf("%w: %s %d references agent %d outside [0,%d)",
-					ErrInvalid, kind, row, t.Agent, in.NumAgents)
-			}
-			if !(t.Coef > 0) || math.IsInf(t.Coef, 0) || math.IsNaN(t.Coef) {
-				return fmt.Errorf("%w: %s %d has non-positive or non-finite coefficient %v for agent %d",
-					ErrInvalid, kind, row, t.Coef, t.Agent)
-			}
-			if prev, dup := seen[t.Agent]; dup {
-				return fmt.Errorf("%w: %s %d mentions agent %d twice (terms %d and %d)",
-					ErrInvalid, kind, row, t.Agent, prev, len(seen))
-			}
-			seen[t.Agent] = len(seen)
-		}
-		return nil
-	}
+	// The duplicate-detection map is created lazily for wide rows only:
+	// typical rows (ΔI, ΔK small constants) use the pairwise scan below, so
+	// validating steady-state traffic does not allocate.
+	var seen map[int]int
 	for i, c := range in.Cons {
-		if err := checkRow("constraint", i, c.Terms); err != nil {
+		if err := in.validateRow("constraint", i, c.Terms, &seen); err != nil {
 			return err
 		}
 	}
 	for k, o := range in.Objs {
-		if err := checkRow("objective", k, o.Terms); err != nil {
+		if err := in.validateRow("objective", k, o.Terms, &seen); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// wideRowTerms is the row width above which duplicate detection switches
+// from the allocation-free quadratic scan to a map.
+const wideRowTerms = 16
+
+func (in *Instance) validateRow(kind string, row int, ts []Term, seen *map[int]int) error {
+	wide := len(ts) > wideRowTerms
+	if wide {
+		if *seen == nil {
+			*seen = make(map[int]int, 64)
+		} else {
+			clear(*seen)
+		}
+	}
+	for j, t := range ts {
+		if t.Agent < 0 || t.Agent >= in.NumAgents {
+			return fmt.Errorf("%w: %s %d references agent %d outside [0,%d)",
+				ErrInvalid, kind, row, t.Agent, in.NumAgents)
+		}
+		if !(t.Coef > 0) || math.IsInf(t.Coef, 0) || math.IsNaN(t.Coef) {
+			return fmt.Errorf("%w: %s %d has non-positive or non-finite coefficient %v for agent %d",
+				ErrInvalid, kind, row, t.Coef, t.Agent)
+		}
+		if wide {
+			if prev, dup := (*seen)[t.Agent]; dup {
+				return fmt.Errorf("%w: %s %d mentions agent %d twice (terms %d and %d)",
+					ErrInvalid, kind, row, t.Agent, prev, j)
+			}
+			(*seen)[t.Agent] = j
+			continue
+		}
+		for p := 0; p < j; p++ {
+			if ts[p].Agent == t.Agent {
+				return fmt.Errorf("%w: %s %d mentions agent %d twice (terms %d and %d)",
+					ErrInvalid, kind, row, t.Agent, p, j)
+			}
 		}
 	}
 	return nil
@@ -75,12 +99,25 @@ func (in *Instance) ValidateStrict() error {
 			return fmt.Errorf("%w: objective %d has no agents", ErrInvalid, k)
 		}
 	}
-	inc := in.Incidence()
+	// Membership flags replace the full Incidence: ValidateStrict runs once
+	// per solve, so only the row *presence* matters here.
+	inCons := make([]bool, in.NumAgents)
+	inObjs := make([]bool, in.NumAgents)
+	for _, c := range in.Cons {
+		for _, t := range c.Terms {
+			inCons[t.Agent] = true
+		}
+	}
+	for _, o := range in.Objs {
+		for _, t := range o.Terms {
+			inObjs[t.Agent] = true
+		}
+	}
 	for v := 0; v < in.NumAgents; v++ {
-		if len(inc.ConsOf[v]) == 0 {
+		if !inCons[v] {
 			return fmt.Errorf("%w: agent %d is unconstrained", ErrInvalid, v)
 		}
-		if len(inc.ObjsOf[v]) == 0 {
+		if !inObjs[v] {
 			return fmt.Errorf("%w: agent %d contributes to no objective", ErrInvalid, v)
 		}
 	}

@@ -1,0 +1,15 @@
+// Package reuse holds the one slice-recycling primitive every scratch
+// arena in the repository is built on, so the resize-without-reallocating
+// semantics live in exactly one place.
+package reuse
+
+// Grow returns *buf resized to n with unspecified contents, reallocating
+// only when capacity is short. The resized slice is also stored back into
+// *buf, so the caller's arena keeps the grown backing for the next use.
+func Grow[T any](buf *[]T, n int) []T {
+	if cap(*buf) < n {
+		*buf = make([]T, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}

@@ -1,0 +1,27 @@
+package reuse
+
+import "testing"
+
+func TestGrowReusesCapacity(t *testing.T) {
+	var buf []int
+	a := Grow(&buf, 4)
+	if len(a) != 4 || len(buf) != 4 {
+		t.Fatalf("len = %d/%d, want 4", len(a), len(buf))
+	}
+	a[3] = 7
+	b := Grow(&buf, 2)
+	if len(b) != 2 || &b[0] != &a[0] {
+		t.Fatal("shrinking reallocated")
+	}
+	c := Grow(&buf, 4)
+	if &c[0] != &a[0] || c[3] != 7 {
+		t.Fatal("regrow within capacity reallocated or cleared")
+	}
+	d := Grow(&buf, 8)
+	if len(d) != 8 {
+		t.Fatalf("len = %d, want 8", len(d))
+	}
+	if avg := testing.AllocsPerRun(50, func() { Grow(&buf, 8) }); avg > 0 {
+		t.Fatalf("warm Grow allocates %.1f objects", avg)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"repro/internal/mmlp"
+	"repro/internal/reuse"
 )
 
 // Instance is a structured max-min LP.
@@ -38,26 +39,56 @@ type Instance struct {
 	Caps []float64
 }
 
+// Scratch is the reusable conversion memory of FromMMLPScratch: the
+// compact instance itself plus the flat backings its member and incidence
+// lists are carved from. The zero value is ready. Not safe for concurrent
+// use.
+type Scratch struct {
+	inst    Instance
+	objIdx  []int32
+	consIdx []int32
+	count   []int32
+}
+
+// grow is the shared arena-resize primitive.
+func grow[T any](buf *[]T, n int) []T { return reuse.Grow(buf, n) }
+
 // FromMMLP converts a structured mmlp.Instance (see transform.CheckStructured)
 // into the compact form. It re-verifies the structural preconditions.
 func FromMMLP(in *mmlp.Instance) (*Instance, error) {
-	s := &Instance{
-		N:      in.NumAgents,
-		ObjOf:  make([]int32, in.NumAgents),
-		Objs:   make([][]int32, len(in.Objs)),
-		ConsV:  make([][2]int32, len(in.Cons)),
-		ConsA:  make([][2]float64, len(in.Cons)),
-		ConsOf: make([][]int32, in.NumAgents),
-		Caps:   make([]float64, in.NumAgents),
+	return FromMMLPScratch(in, nil)
+}
+
+// FromMMLPScratch is FromMMLP building the compact form into sc's reusable
+// memory (nil sc allocates a private one), so a warm worker converts
+// similarly-sized instances without allocating. The result aliases sc and
+// is valid until its next use.
+func FromMMLPScratch(in *mmlp.Instance, sc *Scratch) (*Instance, error) {
+	if sc == nil {
+		sc = &Scratch{}
 	}
+	s := &sc.inst
+	s.N = in.NumAgents
+	s.ObjOf = grow(&s.ObjOf, in.NumAgents)
 	for v := range s.ObjOf {
 		s.ObjOf[v] = -1
 	}
+	totalObj := 0
+	for _, o := range in.Objs {
+		totalObj += len(o.Terms)
+	}
+	// Presize the flat member backing so the per-objective carves below
+	// stay stable.
+	objIdx := grow(&sc.objIdx, totalObj)
+	s.Objs = grow(&s.Objs, len(in.Objs))
+	pos := 0
 	for k, o := range in.Objs {
 		if len(o.Terms) < 2 {
 			return nil, fmt.Errorf("structured: objective %d has %d agents, want ≥ 2", k, len(o.Terms))
 		}
-		s.Objs[k] = make([]int32, len(o.Terms))
+		row := objIdx[pos : pos+len(o.Terms) : pos+len(o.Terms)]
+		pos += len(o.Terms)
+		s.Objs[k] = row
 		for j, t := range o.Terms {
 			if t.Coef != 1 {
 				return nil, fmt.Errorf("structured: objective %d agent %d has coefficient %v, want 1", k, t.Agent, t.Coef)
@@ -66,13 +97,19 @@ func FromMMLP(in *mmlp.Instance) (*Instance, error) {
 				return nil, fmt.Errorf("structured: agent %d belongs to objectives %d and %d", t.Agent, s.ObjOf[t.Agent], k)
 			}
 			s.ObjOf[t.Agent] = int32(k)
-			s.Objs[k][j] = int32(t.Agent)
+			row[j] = int32(t.Agent)
 		}
 	}
 	for v := range s.ObjOf {
 		if s.ObjOf[v] == -1 {
 			return nil, fmt.Errorf("structured: agent %d has no objective", v)
 		}
+	}
+	s.ConsV = grow(&s.ConsV, len(in.Cons))
+	s.ConsA = grow(&s.ConsA, len(in.Cons))
+	count := grow(&sc.count, in.NumAgents)
+	for v := range count {
+		count[v] = 0
 	}
 	for i, c := range in.Cons {
 		if len(c.Terms) != 2 {
@@ -81,9 +118,25 @@ func FromMMLP(in *mmlp.Instance) (*Instance, error) {
 		for j, t := range c.Terms {
 			s.ConsV[i][j] = int32(t.Agent)
 			s.ConsA[i][j] = t.Coef
+			count[t.Agent]++
+		}
+	}
+	// ConsOf as carved-up CSR: each agent's list gets exactly its counted
+	// capacity, so the appends below never reallocate and constraint order
+	// matches the append-per-term order of the allocating construction.
+	consIdx := grow(&sc.consIdx, 2*len(in.Cons))
+	s.ConsOf = grow(&s.ConsOf, in.NumAgents)
+	pos = 0
+	for v := 0; v < in.NumAgents; v++ {
+		s.ConsOf[v] = consIdx[pos : pos : pos+int(count[v])]
+		pos += int(count[v])
+	}
+	for i, c := range in.Cons {
+		for _, t := range c.Terms {
 			s.ConsOf[t.Agent] = append(s.ConsOf[t.Agent], int32(i))
 		}
 	}
+	s.Caps = grow(&s.Caps, in.NumAgents)
 	for v := 0; v < s.N; v++ {
 		if len(s.ConsOf[v]) == 0 {
 			return nil, fmt.Errorf("structured: agent %d has no constraints", v)

@@ -2,8 +2,10 @@ package structured
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
+	"repro/internal/gen"
 	"repro/internal/mmlp"
 )
 
@@ -185,5 +187,74 @@ func TestUtilityAndViolation(t *testing.T) {
 	neg := []float64{-0.5, 0, 0, 0, 0}
 	if v := s.MaxViolation(neg); math.Abs(v-0.5) > 1e-12 {
 		t.Fatalf("violation = %v, want 0.5", v)
+	}
+}
+
+// TestFromMMLPScratchBitIdentical reuses one conversion scratch across a
+// stream of differently-sized structured instances and demands the compact
+// form match the fresh conversion exactly, with results that stay intact
+// only until the scratch's next use (hence the comparison happens before
+// the next conversion).
+func TestFromMMLPScratchBitIdentical(t *testing.T) {
+	sc := &Scratch{}
+	for trial := 0; trial < 20; trial++ {
+		in := gen.RandomStructured(gen.StructuredConfig{
+			Objectives: 5 + trial*3,
+			MaxDegK:    2 + trial%3,
+			ExtraCons:  trial * 2,
+		}, int64(trial+1))
+		want, err := FromMMLP(in)
+		if err != nil {
+			t.Fatalf("trial %d: fresh: %v", trial, err)
+		}
+		got, err := FromMMLPScratch(in, sc)
+		if err != nil {
+			t.Fatalf("trial %d: scratch: %v", trial, err)
+		}
+		if got.N != want.N ||
+			!reflect.DeepEqual(got.ObjOf, want.ObjOf) ||
+			!reflect.DeepEqual(got.Objs, want.Objs) ||
+			!reflect.DeepEqual(got.ConsV, want.ConsV) ||
+			!reflect.DeepEqual(got.ConsA, want.ConsA) ||
+			!reflect.DeepEqual(got.ConsOf, want.ConsOf) ||
+			!reflect.DeepEqual(got.Caps, want.Caps) {
+			t.Fatalf("trial %d: scratch conversion diverged", trial)
+		}
+	}
+}
+
+// TestFromMMLPScratchErrors: the scratch path reports the same structural
+// errors as the fresh path, and a failed conversion leaves the scratch
+// usable.
+func TestFromMMLPScratchErrors(t *testing.T) {
+	sc := &Scratch{}
+	bad := mmlp.New(2)
+	bad.AddConstraint(0, 1, 1, 1)
+	bad.AddObjective(0, 1) // singleton objective
+	_, wantErr := FromMMLP(bad)
+	_, gotErr := FromMMLPScratch(bad, sc)
+	if wantErr == nil || gotErr == nil || wantErr.Error() != gotErr.Error() {
+		t.Fatalf("error mismatch: %v vs %v", gotErr, wantErr)
+	}
+	good := gen.RandomStructured(gen.StructuredConfig{Objectives: 4, MaxDegK: 2, ExtraCons: 2}, 7)
+	if _, err := FromMMLPScratch(good, sc); err != nil {
+		t.Fatalf("scratch unusable after error: %v", err)
+	}
+}
+
+// TestFromMMLPScratchWarmAllocFree pins the conversion's steady-state heap
+// behaviour.
+func TestFromMMLPScratchWarmAllocFree(t *testing.T) {
+	in := gen.RandomStructured(gen.StructuredConfig{Objectives: 30, MaxDegK: 3, ExtraCons: 15}, 3)
+	sc := &Scratch{}
+	if _, err := FromMMLPScratch(in, sc); err != nil {
+		t.Fatal(err)
+	}
+	if avg := testing.AllocsPerRun(100, func() {
+		if _, err := FromMMLPScratch(in, sc); err != nil {
+			t.Fatal(err)
+		}
+	}); avg > 0 {
+		t.Fatalf("warm FromMMLPScratch allocates %.1f objects", avg)
 	}
 }

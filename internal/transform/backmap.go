@@ -1,0 +1,74 @@
+package transform
+
+// BackMap converts a feasible solution of a transformed instance into a
+// feasible solution of the instance the transformation started from.
+//
+// A BackMap is a data-driven record — an operation kind plus the
+// divisor/parent/γ array it needs — rather than a closure, so a pipeline
+// built into a Scratch stores its back-mappings in reusable arena memory
+// and applies them through one shared routine instead of capturing (and
+// re-allocating) per-solve state. The zero value is the truncation map of
+// length 0. Records built by a scratch pipeline alias the arena and are
+// valid until its next use.
+type BackMap struct {
+	kind backKind
+	// n is the agent count of the step's input, i.e. the output length.
+	n int
+	// parent maps each transformed agent (copy) to its original agent for
+	// backMax.
+	parent []int32
+	// scale holds the per-agent divisors: the §4.3 degree divisor for
+	// backScaleHalf, γ for backDivide.
+	scale []float64
+}
+
+type backKind uint8
+
+const (
+	// backTruncate keeps the first n entries (§4.2: gadget agents drop).
+	backTruncate backKind = iota
+	// backScaleHalf maps y_v = 2 x_v / scale_v (§4.3, equation (4)).
+	backScaleHalf
+	// backMax maps y_v = max over copies c with parent_c = v of x_c
+	// (§4.4 and §4.5: copies collapse to their original agent).
+	backMax
+	// backDivide maps y_v = x_v / scale_v (§4.6: undo the γ rescaling).
+	backDivide
+)
+
+// Apply maps a feasible solution x of the step's output instance to a
+// freshly allocated feasible solution of its input instance.
+func (m BackMap) Apply(x []float64) []float64 { return m.ApplyInto(x, nil) }
+
+// ApplyInto is Apply writing into y's backing array when its capacity
+// suffices (y's previous contents are ignored); x and y must not overlap.
+// Every kind reproduces the arithmetic of the original closure back-maps
+// bit for bit.
+func (m BackMap) ApplyInto(x, y []float64) []float64 {
+	if cap(y) < m.n {
+		y = make([]float64, m.n)
+	}
+	y = y[:m.n]
+	switch m.kind {
+	case backTruncate:
+		copy(y, x[:m.n])
+	case backScaleHalf:
+		for v := range y {
+			y[v] = 2 * x[v] / m.scale[v]
+		}
+	case backMax:
+		for v := range y {
+			y[v] = 0
+		}
+		for c, v := range m.parent {
+			if x[c] > y[v] {
+				y[v] = x[c]
+			}
+		}
+	case backDivide:
+		for v := range y {
+			y[v] = x[v] / m.scale[v]
+		}
+	}
+	return y
+}

@@ -13,6 +13,12 @@
 // deliberate ΔI/2 scaling of the degree-reduction step §4.3). Steps compose
 // into a Pipeline.
 //
+// The pipeline is built to run allocation-free in steady state: Preprocess
+// and the five steps write their intermediate instances, index tables and
+// back-map arrays into a per-worker Scratch arena (see PreprocessScratch
+// and StructureScratch), and back-mappings are data-driven BackMap records
+// applied through one shared routine rather than per-solve closures.
+//
 // The paper performs these rewrites inside each node's local view to keep
 // the algorithm distributed; the rewrite rules themselves are deterministic
 // and local (each looks only at a constant-radius neighbourhood), so
@@ -26,10 +32,6 @@ import (
 	"repro/internal/mmlp"
 )
 
-// BackMap converts a feasible solution of a transformed instance into a
-// feasible solution of the instance the transformation started from.
-type BackMap func(x []float64) []float64
-
 // Step is one applied transformation.
 type Step struct {
 	// Name identifies the paper section, e.g. "§4.3 degree reduction".
@@ -40,12 +42,17 @@ type Step struct {
 	Back BackMap
 }
 
-// Pipeline is a composed sequence of transformation steps.
+// Pipeline is a composed sequence of transformation steps. A pipeline
+// built by StructureScratch aliases the arena it was built in and is valid
+// until the arena's next use.
 type Pipeline struct {
 	// Input is the original instance handed to Structure.
 	Input *mmlp.Instance
 	// Steps lists the applied transformations in application order.
 	Steps []Step
+
+	// bufA, bufB are the ping-pong buffers of Back, retained across calls.
+	bufA, bufB []float64
 }
 
 // Final returns the instance after the last step (Input when no steps ran).
@@ -57,10 +64,14 @@ func (p *Pipeline) Final() *mmlp.Instance {
 }
 
 // Back maps a feasible solution of Final() back to the original instance by
-// applying the step back-maps in reverse order.
+// applying the step back-maps in reverse order. The result aliases the
+// pipeline's reusable buffers (or x itself for an empty pipeline) and is
+// valid until the next Back call; callers that keep it must copy it.
 func (p *Pipeline) Back(x []float64) []float64 {
 	for s := len(p.Steps) - 1; s >= 0; s-- {
-		x = p.Steps[s].Back(x)
+		p.bufA = p.Steps[s].Back.ApplyInto(x, p.bufA)
+		x = p.bufA
+		p.bufA, p.bufB = p.bufB, p.bufA
 	}
 	return x
 }
@@ -70,22 +81,36 @@ func (p *Pipeline) Back(x []float64) []float64 {
 // input) and returns the composed pipeline. The final instance satisfies
 // CheckStructured.
 func Structure(in *mmlp.Instance) (*Pipeline, error) {
+	return StructureScratch(in, nil)
+}
+
+// StructureScratch is Structure building every intermediate instance and
+// back-map into sc's reusable arena (nil sc allocates a private one). The
+// returned pipeline aliases sc and is valid until its next use; warm
+// arenas make the whole §4 stage allocation-free.
+func StructureScratch(in *mmlp.Instance, sc *Scratch) (*Pipeline, error) {
+	if sc == nil {
+		sc = NewScratch()
+	}
 	if err := in.ValidateStrict(); err != nil {
 		return nil, fmt.Errorf("transform: input must be strictly valid (run Preprocess first): %w", err)
 	}
-	p := &Pipeline{Input: in}
+	p := &sc.pl
+	p.Input = in
+	p.Steps = p.Steps[:0]
 	cur := in
-	apply := func(name string, f func(*mmlp.Instance) (*mmlp.Instance, BackMap)) {
-		out, back := f(cur)
-		p.Steps = append(p.Steps, Step{Name: name, Out: out, Back: back})
-		cur = out
-	}
-	apply("§4.2 augment singleton constraints", AugmentSingletonConstraints)
-	apply("§4.3 reduce constraint degree", ReduceConstraintDegree)
-	apply("§4.4 one objective per agent", SplitAgentsPerObjective)
-	apply("§4.5 augment singleton objectives", AugmentSingletonObjectives)
-	apply("§4.6 normalise coefficients", NormalizeCoefficients)
-	if err := CheckStructured(cur); err != nil {
+	var back BackMap
+	cur, back = augmentSingletonConstraints(cur, sc, &sc.outs[0])
+	p.Steps = append(p.Steps, Step{Name: "§4.2 augment singleton constraints", Out: cur, Back: back})
+	cur, back = reduceConstraintDegree(cur, sc, &sc.outs[1])
+	p.Steps = append(p.Steps, Step{Name: "§4.3 reduce constraint degree", Out: cur, Back: back})
+	cur, back = splitAgentsPerObjective(cur, sc, &sc.outs[2])
+	p.Steps = append(p.Steps, Step{Name: "§4.4 one objective per agent", Out: cur, Back: back})
+	cur, back = augmentSingletonObjectives(cur, sc, &sc.outs[3])
+	p.Steps = append(p.Steps, Step{Name: "§4.5 augment singleton objectives", Out: cur, Back: back})
+	cur, back = normalizeCoefficients(cur, sc, &sc.outs[4])
+	p.Steps = append(p.Steps, Step{Name: "§4.6 normalise coefficients", Out: cur, Back: back})
+	if err := checkStructured(cur, sc); err != nil {
 		return nil, fmt.Errorf("transform: pipeline did not reach structured form: %w", err)
 	}
 	return p, nil
@@ -96,6 +121,12 @@ func Structure(in *mmlp.Instance) (*Pipeline, error) {
 // constraint, every objective at least two agents, and all objective
 // coefficients equal 1.
 func CheckStructured(in *mmlp.Instance) error {
+	return checkStructured(in, NewScratch())
+}
+
+// checkStructured is CheckStructured counting row memberships in sc's
+// reusable arrays instead of materialising an Incidence.
+func checkStructured(in *mmlp.Instance, sc *Scratch) error {
 	for i, c := range in.Cons {
 		if len(c.Terms) != 2 {
 			return fmt.Errorf("constraint %d has %d agents, want 2", i, len(c.Terms))
@@ -111,12 +142,26 @@ func CheckStructured(in *mmlp.Instance) error {
 			}
 		}
 	}
-	inc := in.Incidence()
+	objCount := grow(&sc.countA, in.NumAgents)
+	consCount := grow(&sc.countB, in.NumAgents)
 	for v := 0; v < in.NumAgents; v++ {
-		if len(inc.ObjsOf[v]) != 1 {
-			return fmt.Errorf("agent %d belongs to %d objectives, want 1", v, len(inc.ObjsOf[v]))
+		objCount[v], consCount[v] = 0, 0
+	}
+	for _, c := range in.Cons {
+		for _, t := range c.Terms {
+			consCount[t.Agent]++
 		}
-		if len(inc.ConsOf[v]) == 0 {
+	}
+	for _, o := range in.Objs {
+		for _, t := range o.Terms {
+			objCount[t.Agent]++
+		}
+	}
+	for v := 0; v < in.NumAgents; v++ {
+		if objCount[v] != 1 {
+			return fmt.Errorf("agent %d belongs to %d objectives, want 1", v, objCount[v])
+		}
+		if consCount[v] == 0 {
 			return fmt.Errorf("agent %d has no constraints", v)
 		}
 	}

@@ -24,6 +24,8 @@ const (
 
 // Preprocessed is the result of Preprocess: a strictly valid reduced
 // instance plus the bookkeeping to lift solutions back to the original.
+// A record produced by PreprocessScratch aliases the arena it was built
+// in and is valid until the arena's next use.
 type Preprocessed struct {
 	// Outcome tells whether a reduced instance exists.
 	Outcome Outcome
@@ -52,7 +54,22 @@ type boostEntry struct {
 // reduced instance, when one exists, is strictly valid and has the same
 // optimum as the original.
 func Preprocess(in *mmlp.Instance) *Preprocessed {
-	pp := &Preprocessed{origAgents: in.NumAgents}
+	return PreprocessScratch(in, nil)
+}
+
+// PreprocessScratch is Preprocess building the reduced instance and the
+// lift bookkeeping into sc's reusable arena (nil sc allocates a private
+// one). The returned record aliases sc and is valid until its next use.
+func PreprocessScratch(in *mmlp.Instance, sc *Scratch) *Preprocessed {
+	if sc == nil {
+		sc = NewScratch()
+	}
+	pp := &sc.pp
+	pp.Outcome = OK
+	pp.Out = nil
+	pp.origAgents = in.NumAgents
+	pp.keepAgent = pp.keepAgent[:0]
+	pp.boost = pp.boost[:0]
 
 	for _, o := range in.Objs {
 		if len(o.Terms) == 0 {
@@ -61,19 +78,24 @@ func Preprocess(in *mmlp.Instance) *Preprocessed {
 		}
 	}
 
-	inc := in.Incidence()
-	unconstrained := make([]bool, in.NumAgents)
-	for v := 0; v < in.NumAgents; v++ {
-		unconstrained[v] = len(inc.ConsOf[v]) == 0
+	// consCount[v] == 0 ⇔ v is unconstrained.
+	consCount := grow(&sc.countA, in.NumAgents)
+	for v := range consCount {
+		consCount[v] = 0
+	}
+	for _, c := range in.Cons {
+		for _, t := range c.Terms {
+			consCount[t.Agent]++
+		}
 	}
 
 	// Objectives containing an unconstrained agent can reach any value.
-	keepObj := make([]bool, len(in.Objs))
+	keepObj := grow(&sc.boolK, len(in.Objs))
 	kept := 0
 	for k, o := range in.Objs {
 		keepObj[k] = true
 		for _, t := range o.Terms {
-			if unconstrained[t.Agent] {
+			if consCount[t.Agent] == 0 {
 				keepObj[k] = false
 				pp.boost = append(pp.boost, boostEntry{agent: t.Agent, coef: t.Coef})
 				break
@@ -90,7 +112,10 @@ func Preprocess(in *mmlp.Instance) *Preprocessed {
 
 	// Agents contributing to no kept objective are fixed to zero; dropping
 	// them only relaxes constraints.
-	contributes := make([]bool, in.NumAgents)
+	contributes := grow(&sc.boolV, in.NumAgents)
+	for v := range contributes {
+		contributes[v] = false
+	}
 	for k, o := range in.Objs {
 		if !keepObj[k] {
 			continue
@@ -100,41 +125,40 @@ func Preprocess(in *mmlp.Instance) *Preprocessed {
 		}
 	}
 
-	newIndex := make([]int, in.NumAgents)
-	for v := range newIndex {
-		newIndex[v] = -1
-	}
-	out := mmlp.New(0)
+	newIndex := grow(&sc.idxA, in.NumAgents)
+	na := 0
 	for v := 0; v < in.NumAgents; v++ {
 		if contributes[v] {
-			newIndex[v] = out.NumAgents
+			newIndex[v] = int32(na)
 			pp.keepAgent = append(pp.keepAgent, v)
-			out.NumAgents++
+			na++
+		} else {
+			newIndex[v] = -1
 		}
 	}
+	a := &sc.pre
+	a.reset(na)
 	for _, c := range in.Cons {
-		var terms []mmlp.Term
 		for _, t := range c.Terms {
 			if newIndex[t.Agent] >= 0 {
-				terms = append(terms, mmlp.Term{Agent: newIndex[t.Agent], Coef: t.Coef})
+				a.cons.add(int(newIndex[t.Agent]), t.Coef)
 			}
 		}
-		if len(terms) > 0 {
-			out.Cons = append(out.Cons, mmlp.Constraint{Terms: terms})
+		if a.cons.pending() > 0 {
+			a.cons.endRow()
 		}
 	}
 	for k, o := range in.Objs {
 		if !keepObj[k] {
 			continue
 		}
-		terms := make([]mmlp.Term, 0, len(o.Terms))
 		for _, t := range o.Terms {
-			terms = append(terms, mmlp.Term{Agent: newIndex[t.Agent], Coef: t.Coef})
+			a.objs.add(int(newIndex[t.Agent]), t.Coef)
 		}
-		out.Objs = append(out.Objs, mmlp.Objective{Terms: terms})
+		a.objs.endRow()
 	}
 	pp.Outcome = OK
-	pp.Out = out
+	pp.Out = a.finish()
 	return pp
 }
 
@@ -143,7 +167,8 @@ func Preprocess(in *mmlp.Instance) *Preprocessed {
 // their values, dropped agents are zero, and one unconstrained agent per
 // dropped objective is raised so that the dropped objective matches the
 // utility the reduced solution achieves. For ZeroOptimum the all-zero
-// vector is returned (x may be nil in that case).
+// vector is returned (x may be nil in that case). The result is freshly
+// allocated — it never aliases the arena the record was built in.
 func (pp *Preprocessed) Lift(x []float64) []float64 {
 	full := make([]float64, pp.origAgents)
 	if pp.Outcome != OK {

@@ -1,0 +1,238 @@
+package transform
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mmlp"
+)
+
+// sameInstance demands exact structural and bitwise equality.
+func sameInstance(t *testing.T, tag string, got, want *mmlp.Instance) {
+	t.Helper()
+	if got.NumAgents != want.NumAgents {
+		t.Fatalf("%s: NumAgents = %d, want %d", tag, got.NumAgents, want.NumAgents)
+	}
+	if len(got.Cons) != len(want.Cons) || len(got.Objs) != len(want.Objs) {
+		t.Fatalf("%s: shape (%d cons, %d objs), want (%d, %d)",
+			tag, len(got.Cons), len(got.Objs), len(want.Cons), len(want.Objs))
+	}
+	for i := range want.Cons {
+		sameTerms(t, tag, "constraint", i, got.Cons[i].Terms, want.Cons[i].Terms)
+	}
+	for k := range want.Objs {
+		sameTerms(t, tag, "objective", k, got.Objs[k].Terms, want.Objs[k].Terms)
+	}
+}
+
+func sameTerms(t *testing.T, tag, kind string, row int, got, want []mmlp.Term) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %s %d has %d terms, want %d", tag, kind, row, len(got), len(want))
+	}
+	for j := range want {
+		if got[j].Agent != want[j].Agent ||
+			math.Float64bits(got[j].Coef) != math.Float64bits(want[j].Coef) {
+			t.Fatalf("%s: %s %d term %d = %+v, want %+v", tag, kind, row, j, got[j], want[j])
+		}
+	}
+}
+
+func sameVector(t *testing.T, tag string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: len = %d, want %d", tag, len(got), len(want))
+	}
+	for v := range want {
+		if math.Float64bits(got[v]) != math.Float64bits(want[v]) {
+			t.Fatalf("%s: [%d] = %v, want %v", tag, v, got[v], want[v])
+		}
+	}
+}
+
+// TestStructureScratchBitIdentical reuses ONE warm arena across a stream
+// of differently-shaped instances and demands that every intermediate
+// instance, the final instance, and the composed back-mapping are
+// bit-identical to a fresh-arena Structure of the same input. This is the
+// scratch-vs-fresh conformance suite for all five §4 steps.
+func TestStructureScratchBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	sc := NewScratch()
+	for trial := 0; trial < 60; trial++ {
+		in := randGeneral(rng)
+		pp := Preprocess(in)
+		if pp.Outcome != OK {
+			continue
+		}
+		fresh, err := Structure(pp.Out)
+		if err != nil {
+			t.Fatalf("trial %d: fresh Structure: %v", trial, err)
+		}
+		warm, err := StructureScratch(pp.Out, sc)
+		if err != nil {
+			t.Fatalf("trial %d: scratch Structure: %v", trial, err)
+		}
+		if len(warm.Steps) != len(fresh.Steps) {
+			t.Fatalf("trial %d: %d steps, want %d", trial, len(warm.Steps), len(fresh.Steps))
+		}
+		for s := range fresh.Steps {
+			sameInstance(t, fresh.Steps[s].Name, warm.Steps[s].Out, fresh.Steps[s].Out)
+		}
+		x := randFeasible(rng, fresh.Final())
+		want := fresh.Back(x)
+		got := warm.Back(x)
+		sameVector(t, "composed back-map", got, want)
+		// Per-step back-maps agree too (each applied to a point of its own
+		// output instance).
+		for s := len(fresh.Steps) - 1; s >= 0; s-- {
+			sameVector(t, fresh.Steps[s].Name+" back-map",
+				warm.Steps[s].Back.Apply(x), fresh.Steps[s].Back.Apply(x))
+			x = fresh.Steps[s].Back.Apply(x)
+		}
+	}
+}
+
+// TestPreprocessScratchBitIdentical runs every preprocess outcome through
+// one warm arena — interleaved so stale state from a big OK instance sits
+// in the arena when the degenerate ones arrive — and compares outcome,
+// reduced instance and lifted solutions against the fresh path bit for bit.
+func TestPreprocessScratchBitIdentical(t *testing.T) {
+	zero := mmlp.New(2)
+	zero.AddConstraint(0, 1, 1, 1)
+	zero.AddObjective(0, 1)
+	zero.Objs = append(zero.Objs, mmlp.Objective{})
+
+	unbounded := mmlp.New(2)
+	unbounded.AddObjective(0, 1, 1, 2)
+
+	boosted := mmlp.New(2)
+	boosted.AddConstraint(0, 2)
+	boosted.AddObjective(0, 1)
+	boosted.AddObjective(0, 1, 1, 4)
+
+	rng := rand.New(rand.NewSource(103))
+	sc := NewScratch()
+	for trial := 0; trial < 30; trial++ {
+		for _, in := range []*mmlp.Instance{randGeneral(rng), zero, unbounded, boosted} {
+			fresh := Preprocess(in)
+			warm := PreprocessScratch(in, sc)
+			if warm.Outcome != fresh.Outcome {
+				t.Fatalf("trial %d: outcome = %v, want %v", trial, warm.Outcome, fresh.Outcome)
+			}
+			if fresh.Outcome == OK {
+				sameInstance(t, "reduced", warm.Out, fresh.Out)
+				x := randFeasible(rng, fresh.Out)
+				sameVector(t, "lift", warm.Lift(x), fresh.Lift(x))
+			} else {
+				sameVector(t, "degenerate lift", warm.Lift(nil), fresh.Lift(nil))
+			}
+		}
+	}
+}
+
+// TestBackMapApplyIntoDirtyBuffer: ApplyInto must ignore whatever a reused
+// output buffer holds — in particular the max-kind maps must not take the
+// maximum against stale values.
+func TestBackMapApplyIntoDirtyBuffer(t *testing.T) {
+	in := mmlp.New(2)
+	in.AddConstraint(0, 1, 1, 1)
+	in.AddObjective(0, 1)
+	in.AddObjective(0, 2, 1, 1)
+	_, back := SplitAgentsPerObjective(in)
+
+	x := []float64{0.3, 0.6, 0.2}
+	want := back.Apply(x)
+	dirty := []float64{1e9, 1e9, 1e9}
+	got := back.ApplyInto(x, dirty)
+	sameVector(t, "dirty buffer", got, want)
+	// Undersized and oversized reuse.
+	sameVector(t, "undersized", back.ApplyInto(x, make([]float64, 1)), want)
+	sameVector(t, "oversized", back.ApplyInto(x, make([]float64, 16)), want)
+}
+
+// TestAugmentSingletonObjectivesEmitCombinations is the regression test
+// for the §4.5 constraint-duplication recursion (the ISSUE 4 audit). The
+// earlier encoding passed append(acc, …) to both recursive branches, so
+// with capacity left over after the first branch the second branch wrote
+// into the same backing array — safe only because leaves copied acc before
+// the overwrite. The arena version pushes and pops one accumulator and
+// copies at the leaf; this test forces the aliasing shape (a row with two
+// split agents, then one with three) and asserts every combination row
+// comes out distinct and correct.
+func TestAugmentSingletonObjectivesEmitCombinations(t *testing.T) {
+	// Two split agents: both live in singleton objectives.
+	in := mmlp.New(2)
+	in.AddConstraint(0, 1, 1, 1)
+	in.AddObjective(0, 2)
+	in.AddObjective(1, 3)
+	out, _ := AugmentSingletonObjectives(in)
+	// Agent 0 → copies {0,1}, agent 1 → copies {2,3}; the four combination
+	// rows appear in t-before-u order.
+	wantRows := [][]mmlp.Term{
+		{{Agent: 0, Coef: 1}, {Agent: 2, Coef: 1}},
+		{{Agent: 0, Coef: 1}, {Agent: 3, Coef: 1}},
+		{{Agent: 1, Coef: 1}, {Agent: 2, Coef: 1}},
+		{{Agent: 1, Coef: 1}, {Agent: 3, Coef: 1}},
+	}
+	if len(out.Cons) != len(wantRows) {
+		t.Fatalf("constraints = %d, want %d", len(out.Cons), len(wantRows))
+	}
+	for i, want := range wantRows {
+		sameTerms(t, "two-split", "constraint", i, out.Cons[i].Terms, want)
+	}
+
+	// Three split agents in one row: 8 combinations, deep recursion with
+	// leftover accumulator capacity after each first branch.
+	in3 := mmlp.New(3)
+	in3.AddConstraint(0, 1, 1, 2, 2, 4)
+	in3.AddObjective(0, 1)
+	in3.AddObjective(1, 1)
+	in3.AddObjective(2, 1)
+	out3, _ := AugmentSingletonObjectives(in3)
+	if len(out3.Cons) != 8 {
+		t.Fatalf("constraints = %d, want 8", len(out3.Cons))
+	}
+	seen := map[[3]int]bool{}
+	for i, c := range out3.Cons {
+		if len(c.Terms) != 3 {
+			t.Fatalf("row %d has %d terms, want 3", i, len(c.Terms))
+		}
+		var key [3]int
+		for j, tm := range c.Terms {
+			key[j] = tm.Agent
+			// Agent j's copies are {2j, 2j+1} and keep coefficient 2^j.
+			if tm.Agent/2 != j || tm.Coef != float64(int(1)<<j) {
+				t.Fatalf("row %d term %d = %+v", i, j, tm)
+			}
+		}
+		if seen[key] {
+			t.Fatalf("row %d duplicates combination %v: branches clobbered each other", i, key)
+		}
+		seen[key] = true
+	}
+}
+
+// TestStructureScratchAllocFree pins the §4 stage's steady-state heap
+// behaviour: with a warm arena, Preprocess + Structure allocate (almost)
+// nothing per solve. The small budget covers ValidateStrict's two
+// membership slices.
+func TestStructureScratchAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(107))
+	in := randGeneral(rng)
+	sc := NewScratch()
+	solve := func() {
+		pp := PreprocessScratch(in, sc)
+		if pp.Outcome != OK {
+			t.Fatal("unexpected outcome")
+		}
+		if _, err := StructureScratch(pp.Out, sc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	solve() // warm the arena
+	const budget = 4
+	if avg := testing.AllocsPerRun(100, solve); avg > budget {
+		t.Fatalf("warm transform stage allocates %.1f objects/solve, budget %d", avg, budget)
+	}
+}

@@ -6,6 +6,11 @@ import (
 	"repro/internal/mmlp"
 )
 
+// The exported step functions apply one §4 rewrite on a private arena, so
+// their results are independently owned; StructureScratch runs the same
+// implementations against a caller-supplied Scratch so a warm worker
+// rebuilds the whole pipeline without allocating.
+
 // AugmentSingletonConstraints implements §4.2: every constraint with a
 // single agent v is augmented with a six-node gadget (agents s, t, u;
 // objectives h, ℓ; constraint j) so that afterwards |Vi| ≥ 2 everywhere.
@@ -15,20 +20,29 @@ import (
 // objective adjacent to v. Optima coincide; back-mapping truncates to the
 // original agents.
 func AugmentSingletonConstraints(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
-	out := in.Clone()
-	caps := in.Caps()
-	inc := in.Incidence()
+	sc := NewScratch()
+	return augmentSingletonConstraints(in, sc, &sc.outs[0])
+}
+
+func augmentSingletonConstraints(in *mmlp.Instance, sc *Scratch, a *instArena) (*mmlp.Instance, BackMap) {
+	caps := capsInto(in, &sc.caps)
+	sc.inc.build(in)
 	origAgents := in.NumAgents
-	for i := range out.Cons {
-		if len(out.Cons[i].Terms) != 1 {
+	a.reset(origAgents)
+	gadgets := sc.gadgets[:0]
+	next := origAgents
+	for _, c := range in.Cons {
+		if len(c.Terms) != 1 {
+			a.cons.copyRow(c.Terms)
 			continue
 		}
-		v := out.Cons[i].Terms[0].Agent
+		v := c.Terms[0].Agent
 		if v >= origAgents {
-			continue // gadget agents are already fine (their rows have 2 terms)
+			a.cons.copyRow(c.Terms) // gadget agents are already fine (their rows have 2 terms)
+			continue
 		}
 		// M = 2 Σ_{w∈Vk} c_kw cap_w for the first objective k adjacent to v.
-		k := inc.ObjsOf[v][0]
+		k := sc.inc.objsOf(v)[0]
 		m := 0.0
 		for _, t := range in.Objs[k].Terms {
 			m += t.Coef * caps[t.Agent]
@@ -38,19 +52,32 @@ func AugmentSingletonConstraints(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
 			// Defensive: strictly valid inputs have positive finite caps.
 			m = 1
 		}
-		s := out.NumAgents
-		tt := s + 1
-		u := s + 2
-		out.NumAgents += 3
-		out.Cons[i].Terms = append(out.Cons[i].Terms, mmlp.Term{Agent: s, Coef: 1})
-		out.AddConstraint(float64(tt), 1, float64(u), 1) // j: x_t + x_u ≤ 1
-		out.AddObjective(float64(s), 1, float64(tt), m)  // h: x_s + M x_t
-		out.AddObjective(float64(s), 1, float64(u), m)   // ℓ: x_s + M x_u
+		s := next
+		next += 3
+		a.cons.addTerm(c.Terms[0])
+		a.cons.add(s, 1)
+		a.cons.endRow()
+		gadgets = append(gadgets, gadget{s: int32(s), m: m})
 	}
-	back := func(x []float64) []float64 {
-		return append([]float64(nil), x[:origAgents]...)
+	sc.gadgets = gadgets
+	for _, g := range gadgets {
+		a.cons.add(int(g.s)+1, 1) // j: x_t + x_u ≤ 1
+		a.cons.add(int(g.s)+2, 1)
+		a.cons.endRow()
 	}
-	return out, back
+	for _, o := range in.Objs {
+		a.objs.copyRow(o.Terms)
+	}
+	for _, g := range gadgets {
+		a.objs.add(int(g.s), 1) // h: x_s + M x_t
+		a.objs.add(int(g.s)+1, g.m)
+		a.objs.endRow()
+		a.objs.add(int(g.s), 1) // ℓ: x_s + M x_u
+		a.objs.add(int(g.s)+2, g.m)
+		a.objs.endRow()
+	}
+	a.inst.NumAgents = next
+	return a.finish(), BackMap{kind: backTruncate, n: origAgents}
 }
 
 // ReduceConstraintDegree implements §4.3: every constraint with |Vi| > 2 is
@@ -59,11 +86,18 @@ func AugmentSingletonConstraints(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
 // a feasible transformed solution maps to a feasible original one. This is
 // the only step that costs approximation ratio: a factor ΔI/2.
 func ReduceConstraintDegree(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
-	out := mmlp.New(in.NumAgents)
-	out.Objs = in.Clone().Objs
-	divisor := make([]float64, in.NumAgents)
+	sc := NewScratch()
+	return reduceConstraintDegree(in, sc, &sc.outs[1])
+}
+
+func reduceConstraintDegree(in *mmlp.Instance, sc *Scratch, a *instArena) (*mmlp.Instance, BackMap) {
+	a.reset(in.NumAgents)
+	divisor := grow(&sc.divisor, in.NumAgents)
 	for v := range divisor {
 		divisor[v] = 2
+	}
+	for _, o := range in.Objs {
+		a.objs.copyRow(o.Terms)
 	}
 	for _, c := range in.Cons {
 		for _, t := range c.Terms {
@@ -72,25 +106,18 @@ func ReduceConstraintDegree(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
 			}
 		}
 		if len(c.Terms) <= 2 {
-			out.Cons = append(out.Cons, mmlp.Constraint{Terms: append([]mmlp.Term(nil), c.Terms...)})
+			a.cons.copyRow(c.Terms)
 			continue
 		}
-		for a := 0; a < len(c.Terms); a++ {
-			for b := a + 1; b < len(c.Terms); b++ {
-				out.Cons = append(out.Cons, mmlp.Constraint{
-					Terms: []mmlp.Term{c.Terms[a], c.Terms[b]},
-				})
+		for x := 0; x < len(c.Terms); x++ {
+			for y := x + 1; y < len(c.Terms); y++ {
+				a.cons.addTerm(c.Terms[x])
+				a.cons.addTerm(c.Terms[y])
+				a.cons.endRow()
 			}
 		}
 	}
-	back := func(x []float64) []float64 {
-		y := make([]float64, len(x))
-		for v := range x {
-			y[v] = 2 * x[v] / divisor[v]
-		}
-		return y
-	}
-	return out, back
+	return a.finish(), BackMap{kind: backScaleHalf, n: in.NumAgents, scale: divisor}
 }
 
 // SplitAgentsPerObjective implements §4.4: each agent v with |Kv| = q is
@@ -102,60 +129,104 @@ func ReduceConstraintDegree(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
 //
 // The step requires |Vi| ≤ 2 (guaranteed by ReduceConstraintDegree).
 func SplitAgentsPerObjective(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
-	inc := in.Incidence()
-	// copyIndex[v] maps objective k → the copy of v dedicated to k.
-	copyIndex := make([]map[int]int, in.NumAgents)
-	parent := []int{}
-	out := mmlp.New(0)
-	for v := 0; v < in.NumAgents; v++ {
-		copyIndex[v] = make(map[int]int, len(inc.ObjsOf[v]))
-		for _, k := range inc.ObjsOf[v] {
-			copyIndex[v][k] = out.NumAgents
-			parent = append(parent, v)
-			out.NumAgents++
+	sc := NewScratch()
+	return splitAgentsPerObjective(in, sc, &sc.outs[2])
+}
+
+func splitAgentsPerObjective(in *mmlp.Instance, sc *Scratch, a *instArena) (*mmlp.Instance, BackMap) {
+	sc.inc.build(in)
+	n := in.NumAgents
+	// Copies are dedicated to v's objectives in ObjsOf order, so the copy
+	// of v for the objective at position p is copyStart[v]+p — an index
+	// computation where the allocating era kept per-agent maps.
+	copyStart := grow(&sc.idxA, n+1)
+	parent := sc.parentSplit[:0]
+	total := 0
+	for v := 0; v < n; v++ {
+		copyStart[v] = int32(total)
+		for range sc.inc.objsOf(v) {
+			parent = append(parent, int32(v))
+			total++
 		}
 	}
+	copyStart[n] = int32(total)
+	sc.parentSplit = parent
+	a.reset(total)
 	for _, c := range in.Cons {
 		switch len(c.Terms) {
 		case 1:
 			t := c.Terms[0]
-			for _, k := range inc.ObjsOf[t.Agent] {
-				out.Cons = append(out.Cons, mmlp.Constraint{Terms: []mmlp.Term{
-					{Agent: copyIndex[t.Agent][k], Coef: t.Coef},
-				}})
+			for p := range sc.inc.objsOf(t.Agent) {
+				a.cons.add(int(copyStart[t.Agent])+p, t.Coef)
+				a.cons.endRow()
 			}
 		case 2:
 			ta, tb := c.Terms[0], c.Terms[1]
-			for _, ka := range inc.ObjsOf[ta.Agent] {
-				for _, kb := range inc.ObjsOf[tb.Agent] {
-					out.Cons = append(out.Cons, mmlp.Constraint{Terms: []mmlp.Term{
-						{Agent: copyIndex[ta.Agent][ka], Coef: ta.Coef},
-						{Agent: copyIndex[tb.Agent][kb], Coef: tb.Coef},
-					}})
+			for pa := range sc.inc.objsOf(ta.Agent) {
+				for pb := range sc.inc.objsOf(tb.Agent) {
+					a.cons.add(int(copyStart[ta.Agent])+pa, ta.Coef)
+					a.cons.add(int(copyStart[tb.Agent])+pb, tb.Coef)
+					a.cons.endRow()
 				}
 			}
 		default:
 			panic("transform: SplitAgentsPerObjective requires |Vi| ≤ 2; run ReduceConstraintDegree first")
 		}
 	}
-	for k, o := range in.Objs {
-		terms := make([]mmlp.Term, 0, len(o.Terms))
+	// cursor[v] is the next unconsumed position in ObjsOf(v); objectives
+	// are visited in increasing k, the order ObjsOf lists them in.
+	cursor := grow(&sc.countA, n)
+	for v := range cursor {
+		cursor[v] = 0
+	}
+	for _, o := range in.Objs {
 		for _, t := range o.Terms {
-			terms = append(terms, mmlp.Term{Agent: copyIndex[t.Agent][k], Coef: t.Coef})
+			a.objs.add(int(copyStart[t.Agent]+cursor[t.Agent]), t.Coef)
+			cursor[t.Agent]++
 		}
-		out.Objs = append(out.Objs, mmlp.Objective{Terms: terms})
+		a.objs.endRow()
 	}
-	nOrig := in.NumAgents
-	back := func(x []float64) []float64 {
-		y := make([]float64, nOrig)
-		for c, v := range parent {
-			if x[c] > y[v] {
-				y[v] = x[c]
-			}
+	return a.finish(), BackMap{kind: backMax, n: n, parent: parent}
+}
+
+// emitState is the explicit recursion state of §4.5's constraint
+// duplication. The accumulator is pushed and popped around each recursive
+// call and leaves are copied into the row buffer, so — unlike the earlier
+// encoding that passed append(acc, …) to both branches — no two branches
+// ever share an accumulator backing array (see the aliasing regression
+// test). Living in the Scratch, it also spares the per-call closure
+// allocation of the recursive-function-value form.
+type emitState struct {
+	cons     *rowBuf
+	terms    []mmlp.Term
+	splitT   []int32
+	newIndex []int32
+	acc      []mmlp.Term
+}
+
+// emit appends, for the constraint row e.terms, one output row per
+// combination of copies of its split agents (t-copy before u-copy, the
+// original emission order).
+func (e *emitState) emit(idx int) {
+	if idx == len(e.terms) {
+		for _, t := range e.acc {
+			e.cons.addTerm(t)
 		}
-		return y
+		e.cons.endRow()
+		return
 	}
-	return out, back
+	t := e.terms[idx]
+	if st := e.splitT[t.Agent]; st >= 0 {
+		e.acc = append(e.acc, mmlp.Term{Agent: int(st), Coef: t.Coef})
+		e.emit(idx + 1)
+		e.acc[len(e.acc)-1].Agent = int(st) + 1
+		e.emit(idx + 1)
+		e.acc = e.acc[:len(e.acc)-1]
+		return
+	}
+	e.acc = append(e.acc, mmlp.Term{Agent: int(e.newIndex[t.Agent]), Coef: t.Coef})
+	e.emit(idx + 1)
+	e.acc = e.acc[:len(e.acc)-1]
 }
 
 // AugmentSingletonObjectives implements §4.5: every objective with a single
@@ -166,82 +237,71 @@ func SplitAgentsPerObjective(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
 //
 // The step requires |Kv| = 1 (guaranteed by SplitAgentsPerObjective).
 func AugmentSingletonObjectives(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
-	inc := in.Incidence()
-	// split[v] holds the two copies for agents that get split, else nil.
-	type pair struct{ t, u int }
-	split := make([]*pair, in.NumAgents)
-	// firstCopy[v] is v's index in the output for unsplit agents.
-	newIndex := make([]int, in.NumAgents)
-	out := mmlp.New(0)
-	parent := []int{}
-	for v := 0; v < in.NumAgents; v++ {
+	sc := NewScratch()
+	return augmentSingletonObjectives(in, sc, &sc.outs[3])
+}
+
+func augmentSingletonObjectives(in *mmlp.Instance, sc *Scratch, a *instArena) (*mmlp.Instance, BackMap) {
+	sc.inc.build(in)
+	n := in.NumAgents
+	// splitT[v] is the t-copy of a split agent (its u-copy is splitT[v]+1),
+	// -1 otherwise; newIndex[v] is the output index of an unsplit agent.
+	splitT := grow(&sc.idxB, n)
+	newIndex := grow(&sc.idxA, n)
+	parent := sc.parentAug[:0]
+	out := 0
+	for v := 0; v < n; v++ {
 		needsSplit := false
-		for _, k := range inc.ObjsOf[v] {
+		for _, k := range sc.inc.objsOf(v) {
 			if len(in.Objs[k].Terms) == 1 {
 				needsSplit = true
 			}
 		}
 		if needsSplit {
-			split[v] = &pair{t: out.NumAgents, u: out.NumAgents + 1}
+			splitT[v] = int32(out)
 			newIndex[v] = -1
-			parent = append(parent, v, v)
-			out.NumAgents += 2
+			parent = append(parent, int32(v), int32(v))
+			out += 2
 		} else {
-			newIndex[v] = out.NumAgents
-			parent = append(parent, v)
-			out.NumAgents++
+			splitT[v] = -1
+			newIndex[v] = int32(out)
+			parent = append(parent, int32(v))
+			out++
 		}
 	}
+	sc.parentAug = parent
+	a.reset(out)
 	// Constraints: rows containing a split agent are duplicated per copy
 	// (independently for each split member, so a row with two split agents
 	// yields four rows — each combination must hold for max-feasibility).
-	var emit func(terms []mmlp.Term, idx int, acc []mmlp.Term)
-	emit = func(terms []mmlp.Term, idx int, acc []mmlp.Term) {
-		if idx == len(terms) {
-			out.Cons = append(out.Cons, mmlp.Constraint{Terms: append([]mmlp.Term(nil), acc...)})
-			return
-		}
-		t := terms[idx]
-		if sp := split[t.Agent]; sp != nil {
-			emit(terms, idx+1, append(acc, mmlp.Term{Agent: sp.t, Coef: t.Coef}))
-			emit(terms, idx+1, append(acc, mmlp.Term{Agent: sp.u, Coef: t.Coef}))
-			return
-		}
-		emit(terms, idx+1, append(acc, mmlp.Term{Agent: newIndex[t.Agent], Coef: t.Coef}))
-	}
+	e := &sc.emit
+	*e = emitState{cons: &a.cons, splitT: splitT, newIndex: newIndex, acc: sc.acc[:0]}
 	for _, c := range in.Cons {
-		emit(c.Terms, 0, nil)
+		e.terms = c.Terms
+		e.emit(0)
 	}
+	sc.acc = e.acc[:0]
 	for _, o := range in.Objs {
 		if len(o.Terms) == 1 {
 			t := o.Terms[0]
-			sp := split[t.Agent]
-			out.AddObjective(float64(sp.t), t.Coef/2, float64(sp.u), t.Coef/2)
+			st := splitT[t.Agent]
+			a.objs.add(int(st), t.Coef/2)
+			a.objs.add(int(st)+1, t.Coef/2)
+			a.objs.endRow()
 			continue
 		}
-		terms := make([]mmlp.Term, 0, len(o.Terms))
 		for _, t := range o.Terms {
-			if sp := split[t.Agent]; sp != nil {
+			if st := splitT[t.Agent]; st >= 0 {
 				// A split agent appearing in a multi-agent objective cannot
 				// occur when |Kv| = 1, but handle it by charging copy t.
-				terms = append(terms, mmlp.Term{Agent: sp.t, Coef: t.Coef})
+				a.objs.add(int(st), t.Coef)
 				continue
 			}
-			terms = append(terms, mmlp.Term{Agent: newIndex[t.Agent], Coef: t.Coef})
+			a.objs.add(int(newIndex[t.Agent]), t.Coef)
 		}
-		out.Objs = append(out.Objs, mmlp.Objective{Terms: terms})
+		a.objs.endRow()
 	}
-	nOrig := in.NumAgents
-	back := func(x []float64) []float64 {
-		y := make([]float64, nOrig)
-		for c, v := range parent {
-			if x[c] > y[v] {
-				y[v] = x[c]
-			}
-		}
-		return y
-	}
-	return out, back
+	return a.finish(), BackMap{kind: backMax, n: n, parent: parent}
 }
 
 // NormalizeCoefficients implements §4.6: with |Kv| = 1, each agent's
@@ -250,7 +310,12 @@ func AugmentSingletonObjectives(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
 // coefficient 1 and rescaling a_iv to a_iv/γ_v. Back-mapping divides by
 // γ_v. Optima coincide.
 func NormalizeCoefficients(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
-	gamma := make([]float64, in.NumAgents)
+	sc := NewScratch()
+	return normalizeCoefficients(in, sc, &sc.outs[4])
+}
+
+func normalizeCoefficients(in *mmlp.Instance, sc *Scratch, a *instArena) (*mmlp.Instance, BackMap) {
+	gamma := grow(&sc.gamma, in.NumAgents)
 	for v := range gamma {
 		gamma[v] = 1
 	}
@@ -259,25 +324,18 @@ func NormalizeCoefficients(in *mmlp.Instance) (*mmlp.Instance, BackMap) {
 			gamma[t.Agent] = t.Coef
 		}
 	}
-	out := in.Clone()
-	for i := range out.Cons {
-		for j := range out.Cons[i].Terms {
-			t := &out.Cons[i].Terms[j]
-			t.Coef /= gamma[t.Agent]
+	a.reset(in.NumAgents)
+	for _, c := range in.Cons {
+		for _, t := range c.Terms {
+			a.cons.add(t.Agent, t.Coef/gamma[t.Agent])
 		}
+		a.cons.endRow()
 	}
-	for k := range out.Objs {
-		for j := range out.Objs[k].Terms {
-			out.Objs[k].Terms[j].Coef = 1
+	for _, o := range in.Objs {
+		for _, t := range o.Terms {
+			a.objs.add(t.Agent, 1)
 		}
+		a.objs.endRow()
 	}
-	g := gamma
-	back := func(x []float64) []float64 {
-		y := make([]float64, len(x))
-		for v := range x {
-			y[v] = x[v] / g[v]
-		}
-		return y
-	}
-	return out, back
+	return a.finish(), BackMap{kind: backDivide, n: in.NumAgents, scale: gamma}
 }

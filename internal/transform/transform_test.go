@@ -159,7 +159,7 @@ func TestAugmentSingletonConstraintsShape(t *testing.T) {
 	if len(out.Objs) != 3 {
 		t.Fatalf("objectives = %d, want 3", len(out.Objs))
 	}
-	x := back([]float64{0.25, 0.5, 0, 0.5, 0.5})
+	x := back.Apply([]float64{0.25, 0.5, 0, 0.5, 0.5})
 	if len(x) != 2 || x[0] != 0.25 || x[1] != 0.5 {
 		t.Fatalf("back = %v", x)
 	}
@@ -176,7 +176,7 @@ func TestAugmentSingletonConstraintsPreservesOptimum(t *testing.T) {
 		}
 		// Back-mapped optimal solution is feasible with utility ≥ opt'.
 		r := simplex.SolveMaxMin(out)
-		x := back(r.X)
+		x := back.Apply(r.X)
 		if err := in.CheckFeasible(x, 1e-7); err != nil {
 			t.Fatalf("back-mapped infeasible: %v", err)
 		}
@@ -213,7 +213,7 @@ func TestReduceConstraintDegreeBackMapFeasible(t *testing.T) {
 		}
 		// …and the back-mapped solution is feasible with utility ≥ 2/ΔI · ω'.
 		r := simplex.SolveMaxMin(out)
-		x := back(r.X)
+		x := back.Apply(r.X)
 		if err := in.CheckFeasible(x, 1e-7); err != nil {
 			t.Fatalf("back-mapped infeasible: %v", err)
 		}
@@ -247,7 +247,7 @@ func TestSplitAgentsPerObjectiveShape(t *testing.T) {
 			t.Fatalf("copy %d has %d objectives", v, len(inc.ObjsOf[v]))
 		}
 	}
-	x := back([]float64{0.3, 0.6, 0.2})
+	x := back.Apply([]float64{0.3, 0.6, 0.2})
 	if x[0] != 0.6 {
 		t.Fatalf("back did not take max: %v", x)
 	}
@@ -264,7 +264,7 @@ func TestSplitAgentsPreservesOptimum(t *testing.T) {
 			t.Fatalf("optimum changed: %v -> %v", a, b)
 		}
 		r := simplex.SolveMaxMin(out)
-		x := back(r.X)
+		x := back.Apply(r.X)
 		if err := pre.CheckFeasible(x, 1e-7); err != nil {
 			t.Fatalf("back-mapped infeasible: %v", err)
 		}
@@ -303,7 +303,7 @@ func TestAugmentSingletonObjectivesShape(t *testing.T) {
 	if out.Objs[0].Terms[0].Coef != 1 {
 		t.Fatalf("coef = %v, want 1", out.Objs[0].Terms[0].Coef)
 	}
-	x := back([]float64{0.1, 0.4, 0.2, 0.3})
+	x := back.Apply([]float64{0.1, 0.4, 0.2, 0.3})
 	if x[0] != 0.4 || x[1] != 0.3 {
 		t.Fatalf("back = %v", x)
 	}
@@ -321,7 +321,7 @@ func TestAugmentSingletonObjectivesPreservesOptimum(t *testing.T) {
 			t.Fatalf("optimum changed: %v -> %v", a, b)
 		}
 		r := simplex.SolveMaxMin(out)
-		x := back(r.X)
+		x := back.Apply(r.X)
 		if err := pre2.CheckFeasible(x, 1e-7); err != nil {
 			t.Fatalf("back-mapped infeasible: %v", err)
 		}
@@ -348,7 +348,7 @@ func TestNormalizeCoefficients(t *testing.T) {
 		t.Fatalf("constraint coefs = %+v", out.Cons[0].Terms)
 	}
 	// Back-map divides by γ.
-	x := back([]float64{1, 1})
+	x := back.Apply([]float64{1, 1})
 	if x[0] != 0.5 || x[1] != 0.25 {
 		t.Fatalf("back = %v", x)
 	}

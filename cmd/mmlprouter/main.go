@@ -1,0 +1,155 @@
+// Command mmlprouter fronts a fleet of mmlpserve shards with consistent-
+// hash routing: every solve is forwarded to the shard that owns the
+// canonical (instance, options) key, so N independent processes behave
+// like one big pool whose per-process result caches partition one
+// fleet-wide cache — a key is cached on exactly one shard, and every
+// syntactic spelling of one problem routes to it.
+//
+// Usage:
+//
+//	mmlprouter -shards host:port,host:port,... [-addr :8090] [-replicas 128]
+//	           [-max-body 8388608] [-cooldown 5s]
+//
+// Endpoints (the wire contract matches mmlpserve, so clients need not know
+// whether they talk to a shard or the router):
+//
+//	POST /v1/solve  — routed to the owning shard; the shard's response is
+//	                  relayed verbatim (X-Mmlp-Shard names the shard)
+//	POST /v1/batch  — jobs fan out to their owning shards as per-shard
+//	                  sub-batches; the NDJSON streams re-merge in arrival
+//	                  order with indices rewritten to the original request
+//	GET  /healthz   — router liveness plus the fleet's healthy-member count
+//	GET  /statsz    — the fleet view: router counters (routed/forwarded/
+//	                  retried/shard_down), summed per-shard batch and cache
+//	                  totals, and the raw per-shard blocks
+//
+// -max-body should not exceed the shards' own -max-body: the router
+// forwards what it accepts, and a sub-batch a shard rejects (e.g. with
+// 413) is terminal for that group's jobs — the shard processed the
+// request, so there is nothing to fail over.
+//
+// A shard that fails at the transport level is marked down for -cooldown
+// and its keys are served by the next replica on the ring until it
+// recovers; solves are pure functions of their requests, so the failover
+// is always safe (at the temporary cost of duplicate cache entries for
+// keys solved on a stand-in).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// routerConfig is the parsed and validated flag set.
+type routerConfig struct {
+	addr          string
+	shards        []string
+	replicas      int
+	maxBody       int64
+	cooldown      time.Duration
+	shutdownGrace time.Duration
+}
+
+// parseFlags parses and vets the command line. Invalid values are errors —
+// main exits 2 on them, matching the mmlpbench -scale / mmlpdist -protocol
+// convention.
+func parseFlags(args []string) (*routerConfig, error) {
+	fs := flag.NewFlagSet("mmlprouter", flag.ContinueOnError)
+	addr := fs.String("addr", ":8090", "listen address")
+	shards := fs.String("shards", "", "comma-separated shard addresses (host:port,...)")
+	replicas := fs.Int("replicas", shard.DefaultReplicas, "virtual nodes per shard on the hash ring")
+	maxBody := fs.Int64("max-body", 8<<20, "largest accepted request body in bytes (keep ≤ every shard's -max-body: a sub-batch a shard rejects as oversized fails that whole group)")
+	cooldown := fs.Duration("cooldown", shard.DefaultCooldown, "how long a failed shard stays routed-around")
+	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	cfg := &routerConfig{
+		addr: *addr, replicas: *replicas, maxBody: *maxBody,
+		cooldown: *cooldown, shutdownGrace: *shutdownGrace,
+	}
+	if strings.TrimSpace(*shards) == "" {
+		return nil, errors.New("-shards must list at least one host:port")
+	}
+	seen := map[string]bool{}
+	for _, s := range strings.Split(*shards, ",") {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return nil, fmt.Errorf("-shards has an empty entry in %q", *shards)
+		}
+		if seen[s] {
+			return nil, fmt.Errorf("-shards lists %q twice", s)
+		}
+		seen[s] = true
+		cfg.shards = append(cfg.shards, s)
+	}
+	if cfg.replicas <= 0 {
+		return nil, fmt.Errorf("-replicas must be positive, got %d", cfg.replicas)
+	}
+	if cfg.maxBody <= 0 {
+		return nil, fmt.Errorf("-max-body must be positive, got %d", cfg.maxBody)
+	}
+	if cfg.cooldown <= 0 {
+		return nil, fmt.Errorf("-cooldown must be positive, got %v", cfg.cooldown)
+	}
+	return cfg, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "mmlprouter:", err)
+		os.Exit(2)
+	}
+
+	ring, err := shard.New(cfg.shards, cfg.replicas)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mmlprouter:", err)
+		os.Exit(2)
+	}
+	client := shard.NewClient(ring, shard.ClientOptions{Cooldown: cfg.cooldown})
+	srv := &http.Server{
+		Addr:    cfg.addr,
+		Handler: newRouter(client, cfg.maxBody),
+		// WriteTimeout stays 0: merged batch streams last as long as the
+		// slowest shard's solves.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("mmlprouter: listening on %s, routing to %d shards (%s), %d vnodes each",
+		cfg.addr, len(ring.Members()), strings.Join(ring.Members(), ", "), ring.Replicas())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("mmlprouter: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("mmlprouter: shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
+	defer cancel()
+	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("mmlprouter: shutdown: %v", err)
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestParseFlags pins the flag-validation contract: an empty or malformed
+// -shards list and non-positive sizes are rejected (exit 2 in main),
+// matching the mmlpbench -scale / mmlpdist -protocol convention.
+func TestParseFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		ok   bool
+	}{
+		{"one shard", []string{"-shards", "127.0.0.1:9001"}, true},
+		{"three shards", []string{"-shards", "a:1,b:2,c:3"}, true},
+		{"whitespace trimmed", []string{"-shards", " a:1 , b:2 "}, true},
+		{"no shards flag", nil, false},
+		{"empty shards", []string{"-shards", ""}, false},
+		{"blank shards", []string{"-shards", "  "}, false},
+		{"empty entry", []string{"-shards", "a:1,,b:2"}, false},
+		{"duplicate entry", []string{"-shards", "a:1,a:1"}, false},
+		{"zero replicas", []string{"-shards", "a:1", "-replicas", "0"}, false},
+		{"negative replicas", []string{"-shards", "a:1", "-replicas", "-4"}, false},
+		{"zero max-body", []string{"-shards", "a:1", "-max-body", "0"}, false},
+		{"zero cooldown", []string{"-shards", "a:1", "-cooldown", "0s"}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg, err := parseFlags(c.args)
+			if c.ok {
+				if err != nil || cfg == nil {
+					t.Fatalf("parseFlags(%q) failed: %v", c.args, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("parseFlags(%q) accepted an invalid value", c.args)
+			}
+		})
+	}
+}
+
+// TestParseFlagsDefaults checks the resolved defaults of a minimal command
+// line, so a silent default change shows up in review.
+func TestParseFlagsDefaults(t *testing.T) {
+	cfg, err := parseFlags([]string{"-shards", "a:1,b:2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.addr != ":8090" || cfg.replicas != 128 || cfg.maxBody != 8<<20 ||
+		cfg.cooldown != 5*time.Second || len(cfg.shards) != 2 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+}

@@ -1,0 +1,330 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/canon"
+	"repro/internal/engine"
+	"repro/internal/mmlp"
+	"repro/internal/shard"
+)
+
+// statszTimeout bounds the per-shard /statsz scrape of the fleet view.
+const statszTimeout = 2 * time.Second
+
+// router terminates the serving API and forwards every job to the shard
+// that owns its canonical key. It holds no solver state of its own: the
+// shards' local result caches, partitioned by the ring, are the fleet's
+// only cache.
+type router struct {
+	client  *shard.Client
+	maxBody int64
+	mux     *http.ServeMux
+}
+
+// newRouter wires the endpoints over a shard client.
+func newRouter(client *shard.Client, maxBody int64) *router {
+	rt := &router{client: client, maxBody: maxBody, mux: http.NewServeMux()}
+	rt.mux.HandleFunc("POST /v1/solve", rt.handleSolve)
+	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
+	rt.mux.HandleFunc("GET /statsz", rt.handleStats)
+	return rt
+}
+
+func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// writeError matches mmlpserve's uniform error body, so clients see one
+// wire contract whether they talk to a shard or the router.
+func writeError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(mmlp.ErrorResponse{Error: err.Error()})
+}
+
+// readBody slurps one bounded request body, mapping oversized bodies to
+// 413 with mmlpserve's message.
+func (rt *router) readBody(w http.ResponseWriter, r *http.Request) ([]byte, int, error) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, rt.maxBody))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return nil, http.StatusBadRequest, fmt.Errorf("read body: %w", err)
+	}
+	return body, 0, nil
+}
+
+// keyOf computes the canonical routing key of one validated request: the
+// same canon.Key the owning shard's result cache will index the result
+// under, so syntactic respellings of one problem (rows or terms permuted)
+// all land on the same shard.
+func keyOf(req *mmlp.SolveRequest) (canon.Key, error) {
+	job, err := batch.JobFromRequest(req)
+	if err != nil {
+		return canon.Key{}, err
+	}
+	return engine.SolveKey(job.In, job.Opts), nil
+}
+
+// handleSolve routes one solve to its owning shard and streams the shard's
+// response back verbatim: success bodies are byte-identical to what a
+// direct client of that shard would have received.
+func (rt *router) handleSolve(w http.ResponseWriter, r *http.Request) {
+	body, code, err := rt.readBody(w, r)
+	if err != nil {
+		writeError(w, code, err)
+		return
+	}
+	var req mmlp.SolveRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON: %w", err))
+		return
+	}
+	key, err := keyOf(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	owner := rt.client.Owner(key)
+	resp, member, err := rt.client.Do(r.Context(), key, "/v1/solve", "application/json", body)
+	if err != nil {
+		writeError(w, http.StatusBadGateway, fmt.Errorf("no shard reachable (owner %s): %w", owner, err))
+		return
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	w.Header().Set("X-Mmlp-Shard", member)
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// group is the slice of one batch owned by a single shard.
+type group struct {
+	owner string
+	key   canon.Key // a representative key, seeds the failover replica walk
+	jobs  []mmlp.SolveRequest
+	orig  []int // original indices, parallel to jobs
+}
+
+// handleBatch validates the batch, fans the jobs out to their owning
+// shards as per-shard sub-batches, and re-merges the shards' NDJSON
+// streams in arrival order, rewriting each line's index back to the job's
+// position in the original request. The per-job contract matches
+// mmlpserve's: exactly one line per job, whatever happens to the fleet.
+func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, code, err := rt.readBody(w, r)
+	if err != nil {
+		writeError(w, code, err)
+		return
+	}
+	var req mmlp.BatchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON: %w", err))
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("batch has no jobs"))
+		return
+	}
+	// Validate everything before emitting the first byte, matching the
+	// all-or-nothing 400 a single shard gives a malformed batch.
+	keys := make([]canon.Key, len(req.Jobs))
+	for i := range req.Jobs {
+		key, err := keyOf(&req.Jobs[i])
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
+			return
+		}
+		keys[i] = key
+	}
+	groups := map[string]*group{}
+	for i := range req.Jobs {
+		owner := rt.client.Owner(keys[i])
+		g := groups[owner]
+		if g == nil {
+			g = &group{owner: owner, key: keys[i]}
+			groups[owner] = g
+		}
+		g.jobs = append(g.jobs, req.Jobs[i])
+		g.orig = append(g.orig, i)
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	var emu sync.Mutex
+	enc := json.NewEncoder(w)
+	emit := func(item mmlp.BatchItem) {
+		emu.Lock()
+		defer emu.Unlock()
+		enc.Encode(item)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, g := range groups {
+		wg.Add(1)
+		go func(g *group) {
+			defer wg.Done()
+			rt.forwardGroup(r.Context(), g, emit)
+		}(g)
+	}
+	wg.Wait()
+}
+
+// forwardGroup sends one shard's slice of the batch and streams its lines
+// back through emit. A transport failure advances to the next replica on
+// the ring with the jobs not yet answered; jobs that no member could
+// answer get error lines, honouring the one-line-per-job contract.
+func (rt *router) forwardGroup(ctx context.Context, g *group, emit func(mmlp.BatchItem)) {
+	jobs, orig := g.jobs, g.orig
+	var body []byte // re-marshaled only when the remaining job set shrinks
+	err := rt.client.DoFunc(ctx, g.key, func(member string) (bool, error) {
+		if body == nil {
+			var merr error
+			if body, merr = json.Marshal(mmlp.BatchRequest{Jobs: jobs}); merr != nil {
+				return true, merr // cannot improve on another replica
+			}
+		}
+		resp, ferr := rt.client.Forward(ctx, member, "/v1/batch", "application/json", body)
+		if ferr != nil {
+			return false, ferr // nothing processed; try the next replica
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			// The shard processed and rejected the sub-batch (e.g. shutting
+			// down); its verdict stands for every job in it.
+			var eresp mmlp.ErrorResponse
+			json.NewDecoder(resp.Body).Decode(&eresp)
+			if eresp.Error == "" {
+				eresp.Error = fmt.Sprintf("shard %s: status %d", member, resp.StatusCode)
+			}
+			for _, oi := range orig {
+				emit(mmlp.BatchItem{Index: oi, Error: eresp.Error})
+			}
+			return true, nil
+		}
+		emitted := make([]bool, len(jobs))
+		nEmitted := 0
+		rd := bufio.NewReader(resp.Body)
+		for {
+			line, rerr := rd.ReadBytes('\n')
+			if len(line) > 1 {
+				var item mmlp.BatchItem
+				if jerr := json.Unmarshal(line, &item); jerr == nil &&
+					item.Index >= 0 && item.Index < len(jobs) && !emitted[item.Index] {
+					sub := item.Index
+					item.Index = orig[sub]
+					emitted[sub] = true
+					nEmitted++
+					emit(item)
+				}
+			}
+			if rerr != nil {
+				break
+			}
+		}
+		if nEmitted == len(jobs) {
+			return true, nil
+		}
+		// The stream broke mid-way: keep the answered jobs, re-forward the
+		// rest. Solves are pure functions of their requests, so re-running
+		// an answered-but-lost job on another shard is safe.
+		var njobs []mmlp.SolveRequest
+		var norig []int
+		for i := range jobs {
+			if !emitted[i] {
+				njobs = append(njobs, jobs[i])
+				norig = append(norig, i)
+			}
+		}
+		// Remap norig through the current orig before replacing it.
+		for i, oi := range norig {
+			norig[i] = orig[oi]
+		}
+		jobs, orig, body = njobs, norig, nil
+		return false, fmt.Errorf("shard %s: response stream truncated after %d lines", member, nEmitted)
+	})
+	if err != nil {
+		for _, oi := range orig {
+			emit(mmlp.BatchItem{Index: oi, Error: fmt.Sprintf("no shard reachable: %v", err)})
+		}
+	}
+}
+
+// handleHealth reports router liveness and the fleet's health split.
+func (rt *router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"shards\":%d,\"healthy\":%d}\n",
+		len(rt.client.Ring().Members()), len(rt.client.Healthy()))
+}
+
+// handleStats scrapes every shard's /statsz?raw=1 in parallel and serves
+// the fleet view: router counters, the summed fleet aggregate, and the
+// per-shard blocks it was computed from. Because the ring stores each key
+// on exactly one shard, the fleet's cache "entries" total counts distinct
+// canonical keys cached across the whole fleet.
+func (rt *router) handleStats(w http.ResponseWriter, r *http.Request) {
+	members := rt.client.Ring().Members()
+	out := mmlp.FleetStats{Shards: make([]mmlp.ShardStats, len(members))}
+
+	ctx, cancel := context.WithTimeout(r.Context(), statszTimeout)
+	defer cancel()
+	var wg sync.WaitGroup
+	for i, m := range members {
+		wg.Add(1)
+		go func(i int, m string) {
+			defer wg.Done()
+			ss := mmlp.ShardStats{Addr: m}
+			resp, err := rt.client.Get(ctx, m, "/statsz?raw=1")
+			if err == nil {
+				defer resp.Body.Close()
+				var raw mmlp.StatsRaw
+				if resp.StatusCode == http.StatusOK {
+					err = json.NewDecoder(resp.Body).Decode(&raw)
+				} else {
+					err = fmt.Errorf("status %d", resp.StatusCode)
+				}
+				if err == nil {
+					ss.OK, ss.Stats = true, &raw
+				}
+			}
+			if err != nil {
+				ss.Error = err.Error()
+			}
+			out.Shards[i] = ss
+		}(i, m)
+	}
+	wg.Wait()
+
+	for _, ss := range out.Shards {
+		if ss.OK {
+			out.Fleet.Add(ss.Stats)
+		}
+	}
+	st := rt.client.Stats()
+	out.Router = mmlp.RouterStats{
+		Shards:    len(members),
+		Healthy:   len(rt.client.Healthy()),
+		Routed:    st.Routed,
+		Forwarded: st.Forwarded,
+		Retried:   st.Retried,
+		ShardDown: st.ShardDown,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}

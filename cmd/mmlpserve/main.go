@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	mmlpserve [-addr :8080] [-workers 0] [-queue 0] [-max-body 8388608] [-job-timeout 0]
-//	          [-cache-bytes 67108864] [-cache-shards 0]
+//	mmlpserve [-addr :8080] [-workers N] [-queue N] [-max-body 8388608] [-job-timeout 0]
+//	          [-cache-bytes 67108864] [-cache-shards N]
 //
 // The solver is deterministic, so results are cached under the canonical
 // (instance, options) hash: repeat solves of a slowly-changing topology
@@ -21,7 +21,10 @@
 //	GET  /healthz   — liveness
 //	GET  /statsz    — throughput, latency quantiles, allocs/job, and a
 //	                  "cache" block (hits/misses/evictions/coalesced,
-//	                  entries, bytes) when caching is enabled
+//	                  entries, bytes) when caching is enabled; ?raw=1
+//	                  serves the typed machine block (exact counters,
+//	                  nanosecond latencies) that mmlprouter aggregates
+//	                  into its fleet view
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish, then the
 // pool drains and the process exits.
@@ -42,37 +45,85 @@ import (
 	"repro/internal/batch"
 )
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	workers := flag.Int("workers", 0, "solver pool size (0 = GOMAXPROCS)")
-	queue := flag.Int("queue", 0, "pending-job queue bound (0 = 2×workers)")
-	maxBody := flag.Int64("max-body", 8<<20, "largest accepted request body in bytes")
-	jobTimeout := flag.Duration("job-timeout", 0, "per-job solve deadline (0 = none)")
-	cacheBytes := flag.Int64("cache-bytes", 64<<20, "result-cache byte budget (0 disables caching)")
-	cacheShards := flag.Int("cache-shards", 0, "result-cache shard count, rounded up to a power of two (0 = default)")
-	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window")
-	flag.Parse()
+// serveConfig is the parsed and validated flag set.
+type serveConfig struct {
+	addr          string
+	workers       int
+	queue         int
+	maxBody       int64
+	jobTimeout    time.Duration
+	cacheBytes    int64
+	cacheShards   int
+	shutdownGrace time.Duration
+}
 
+// parseFlags parses and vets the command line; main exits 2 on an error,
+// matching the mmlpbench -scale / mmlpdist -protocol convention. -workers,
+// -queue and -cache-shards size real resources, so an explicitly passed
+// value must be positive: omitting the flag selects the auto default
+// (GOMAXPROCS workers, 2×workers queue slots, the cache's shard default),
+// while an explicit 0 or negative is rejected rather than silently
+// reinterpreted. -cache-bytes 0 stays meaningful (it disables caching);
+// only negative budgets are rejected.
+func parseFlags(args []string) (*serveConfig, error) {
+	fs := flag.NewFlagSet("mmlpserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "solver pool size (omit for GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "pending-job queue bound (omit for 2×workers)")
+	maxBody := fs.Int64("max-body", 8<<20, "largest accepted request body in bytes")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job solve deadline (0 = none)")
+	cacheBytes := fs.Int64("cache-bytes", 64<<20, "result-cache byte budget (0 disables caching)")
+	cacheShards := fs.Int("cache-shards", 0, "result-cache shard count, rounded up to a power of two (omit for the default)")
+	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+
+	// Distinguish "flag omitted" (auto default) from "explicit value": only
+	// the latter must be positive.
+	explicit := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+	for name, v := range map[string]int{"workers": *workers, "queue": *queue, "cache-shards": *cacheShards} {
+		if explicit[name] && v <= 0 {
+			return nil, fmt.Errorf("-%s must be positive, got %d (omit the flag for the default)", name, v)
+		}
+		if v < 0 { // unreachable via flags but keeps the invariant obvious
+			return nil, fmt.Errorf("-%s must be positive, got %d", name, v)
+		}
+	}
 	if *maxBody <= 0 {
-		fmt.Fprintf(os.Stderr, "mmlpserve: -max-body must be positive, got %d\n", *maxBody)
-		os.Exit(2)
+		return nil, fmt.Errorf("-max-body must be positive, got %d", *maxBody)
 	}
-	if *workers < 0 || *queue < 0 {
-		fmt.Fprintf(os.Stderr, "mmlpserve: -workers and -queue must be ≥ 0 (0 = default), got %d and %d\n", *workers, *queue)
-		os.Exit(2)
+	if *cacheBytes < 0 {
+		return nil, fmt.Errorf("-cache-bytes must be ≥ 0 (0 disables caching), got %d", *cacheBytes)
 	}
-	if *cacheBytes < 0 || *cacheShards < 0 {
-		fmt.Fprintf(os.Stderr, "mmlpserve: -cache-bytes and -cache-shards must be ≥ 0, got %d and %d\n", *cacheBytes, *cacheShards)
+	if *jobTimeout < 0 {
+		return nil, fmt.Errorf("-job-timeout must be ≥ 0, got %v", *jobTimeout)
+	}
+	return &serveConfig{
+		addr: *addr, workers: *workers, queue: *queue, maxBody: *maxBody,
+		jobTimeout: *jobTimeout, cacheBytes: *cacheBytes, cacheShards: *cacheShards,
+		shutdownGrace: *shutdownGrace,
+	}, nil
+}
+
+func main() {
+	cfg, err := parseFlags(os.Args[1:])
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "mmlpserve:", err)
 		os.Exit(2)
 	}
 
 	pool := batch.NewPool(batch.Options{
-		Workers: *workers, Queue: *queue, JobTimeout: *jobTimeout,
-		CacheBytes: *cacheBytes, CacheShards: *cacheShards,
+		Workers: cfg.workers, Queue: cfg.queue, JobTimeout: cfg.jobTimeout,
+		CacheBytes: cfg.cacheBytes, CacheShards: cfg.cacheShards,
 	})
 	srv := &http.Server{
-		Addr:    *addr,
-		Handler: newServer(pool, *maxBody),
+		Addr:    cfg.addr,
+		Handler: newServer(pool, cfg.maxBody),
 		// Bound slow/idle clients so they cannot pin connections forever;
 		// WriteTimeout stays 0 because batch NDJSON responses stream for as
 		// long as the solves take.
@@ -85,7 +136,7 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("mmlpserve: listening on %s (workers=%d)", *addr, pool.Workers())
+	log.Printf("mmlpserve: listening on %s (workers=%d)", cfg.addr, pool.Workers())
 
 	select {
 	case err := <-errc:
@@ -94,7 +145,7 @@ func main() {
 	}
 
 	log.Printf("mmlpserve: shutting down")
-	shutCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	shutCtx, cancel := context.WithTimeout(context.Background(), cfg.shutdownGrace)
 	defer cancel()
 	if err := srv.Shutdown(shutCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("mmlpserve: shutdown: %v", err)

@@ -318,3 +318,69 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Fatalf("GET /v1/solve: status %d", w.Code)
 	}
 }
+
+// TestStatszRaw checks the machine block the shard router scrapes: typed
+// fields, exact counters, and agreement with the human view.
+func TestStatszRaw(t *testing.T) {
+	h := testServerOpts(t, 1<<20, batch.Options{Workers: 2, Queue: 2, CacheBytes: 1 << 20})
+	in := gen.TriNecklace(3)
+	body := solveBody(t, in, ``)
+	for i := 0; i < 3; i++ { // 1 miss + 2 hits
+		if w := post(h, "/v1/solve", body); w.Code != http.StatusOK {
+			t.Fatalf("solve %d: %d %s", i, w.Code, w.Body)
+		}
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/statsz?raw=1", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("statsz?raw=1: %d", w.Code)
+	}
+	var raw mmlp.StatsRaw
+	if err := json.Unmarshal(w.Body.Bytes(), &raw); err != nil {
+		t.Fatalf("raw statsz did not decode into mmlp.StatsRaw: %v (%s)", err, w.Body)
+	}
+	if raw.Workers != 2 || raw.Jobs != 3 || raw.Errors != 0 {
+		t.Fatalf("raw = %+v", raw)
+	}
+	if raw.Cache == nil || raw.Cache.Misses != 1 || raw.Cache.Hits != 2 || raw.Cache.Entries != 1 {
+		t.Fatalf("raw cache = %+v", raw.Cache)
+	}
+	if raw.P50NS <= 0 || raw.MaxNS < raw.P50NS || raw.UptimeNS <= 0 {
+		t.Fatalf("raw latencies = %+v", raw)
+	}
+}
+
+// TestParseFlags pins the flag-validation contract: explicitly non-positive
+// resource sizes are rejected (exit 2 in main), while omitting a flag keeps
+// its auto default; -cache-bytes 0 stays the documented cache-off switch.
+func TestParseFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		ok   bool
+	}{
+		{"defaults", nil, true},
+		{"all set", []string{"-workers", "4", "-queue", "8", "-cache-shards", "2", "-cache-bytes", "1024"}, true},
+		{"cache off", []string{"-cache-bytes", "0"}, true},
+		{"explicit zero workers", []string{"-workers", "0"}, false},
+		{"negative workers", []string{"-workers", "-1"}, false},
+		{"explicit zero queue", []string{"-queue", "0"}, false},
+		{"negative queue", []string{"-queue", "-3"}, false},
+		{"explicit zero cache-shards", []string{"-cache-shards", "0"}, false},
+		{"negative cache-shards", []string{"-cache-shards", "-2"}, false},
+		{"negative cache-bytes", []string{"-cache-bytes", "-1"}, false},
+		{"zero max-body", []string{"-max-body", "0"}, false},
+		{"negative job-timeout", []string{"-job-timeout", "-1s"}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg, err := parseFlags(c.args)
+			if c.ok && (err != nil || cfg == nil) {
+				t.Fatalf("parseFlags(%q) failed: %v", c.args, err)
+			}
+			if !c.ok && err == nil {
+				t.Fatalf("parseFlags(%q) accepted an invalid value", c.args)
+			}
+		})
+	}
+}

@@ -161,9 +161,17 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 }
 
 // handleStats reports the pool's aggregate activity. The cache block is
-// present exactly when the result cache is enabled.
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+// present exactly when the result cache is enabled. With ?raw=1 the
+// response is the typed machine block (mmlp.StatsRaw: exact counters,
+// nanosecond latencies) that mmlprouter scrapes and sums into its fleet
+// view; the default view is the human one with millisecond floats.
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.pool.Stats()
+	if r.URL.Query().Get("raw") == "1" {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(batch.StatsRawFromStats(st))
+		return
+	}
 	body := map[string]any{
 		"workers":        st.Workers,
 		"jobs":           st.Jobs,

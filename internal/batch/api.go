@@ -55,6 +55,33 @@ func ResponseFromResult(r Result) mmlp.SolveResponse {
 	return resp
 }
 
+// StatsRawFromStats renders pool stats as the machine-oriented wire block
+// served under /statsz?raw=1 and scraped by the shard router.
+func StatsRawFromStats(st *Stats) *mmlp.StatsRaw {
+	raw := &mmlp.StatsRaw{
+		Workers:      st.Workers,
+		Jobs:         st.Jobs,
+		Errors:       st.Errors,
+		UptimeNS:     st.Elapsed.Nanoseconds(),
+		P50NS:        st.P50.Nanoseconds(),
+		P99NS:        st.P99.Nanoseconds(),
+		MaxNS:        st.Max.Nanoseconds(),
+		AllocsPerJob: st.AllocsPerJob,
+	}
+	if st.Cache != nil {
+		raw.Cache = &mmlp.CacheStatsRaw{
+			Hits:      st.Cache.Hits,
+			Misses:    st.Cache.Misses,
+			Coalesced: st.Cache.Coalesced,
+			Evictions: st.Cache.Evictions,
+			Entries:   st.Cache.Entries,
+			Bytes:     st.Cache.Bytes,
+			MaxBytes:  st.Cache.MaxBytes,
+		}
+	}
+	return raw
+}
+
 // ItemFromResult renders one batch NDJSON line.
 func ItemFromResult(r Result) mmlp.BatchItem {
 	item := mmlp.BatchItem{Index: r.Index}

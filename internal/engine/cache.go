@@ -53,9 +53,12 @@ type cachedResult struct {
 	info *DistInfo
 }
 
-// solveKey canonically hashes one solve. Workers is excluded: it changes
-// parallelism, never output bits.
-func solveKey(in *mmlp.Instance, o Options) canon.Key {
+// SolveKey canonically hashes one solve: the cache index of its result and
+// — because it is invariant under row/term permutation — the routing key
+// the shard layer uses to assign every spelling of one problem to one
+// fleet member. Workers is excluded: it changes parallelism, never output
+// bits.
+func SolveKey(in *mmlp.Instance, o Options) canon.Key {
 	return canon.Hash(in, canon.Options{
 		Engine:              int(o.Engine),
 		R:                   o.R,
@@ -126,7 +129,7 @@ func SolveCached(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch,
 		cs = &sc.canon
 	}
 	cin := in.CanonicalInto(cs)
-	v, hit, err := ca.c.Do(ctx, solveKey(cin, o), func() (any, int64, error) {
+	v, hit, err := ca.c.Do(ctx, SolveKey(cin, o), func() (any, int64, error) {
 		// Validate the original, not the canonical copy, so error messages
 		// name the caller's row indices; invalid misses stay uncached.
 		if err := in.Validate(); err != nil {

@@ -1,0 +1,28 @@
+package gen
+
+import (
+	"slices"
+
+	"repro/internal/mmlp"
+)
+
+// Permuted respells an instance without changing the problem: rows and the
+// terms within them are reversed, so the JSON body (and any raw hash of
+// it) differs while the canonical key — and therefore the solution — is
+// identical. The sharding layer's tests and the fleet-smoke harness both
+// use it to prove that routing and caching are keyed on the canonical
+// problem, not on its spelling.
+func Permuted(in *mmlp.Instance) *mmlp.Instance {
+	out := &mmlp.Instance{NumAgents: in.NumAgents}
+	for i := len(in.Cons) - 1; i >= 0; i-- {
+		terms := slices.Clone(in.Cons[i].Terms)
+		slices.Reverse(terms)
+		out.Cons = append(out.Cons, mmlp.Constraint{Terms: terms})
+	}
+	for i := len(in.Objs) - 1; i >= 0; i-- {
+		terms := slices.Clone(in.Objs[i].Terms)
+		slices.Reverse(terms)
+		out.Objs = append(out.Objs, mmlp.Objective{Terms: terms})
+	}
+	return out
+}

@@ -125,3 +125,114 @@ type BatchItem struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 }
+
+// StatsRaw is the body of GET /statsz?raw=1 on one mmlpserve process: the
+// machine-oriented stats block the shard router scrapes and aggregates.
+// Counters are exact integers and latencies are nanoseconds, so fleet
+// totals can be summed without rounding drift; the human /statsz view
+// derives its milliseconds from the same numbers.
+type StatsRaw struct {
+	// Workers is the process's fixed pool size.
+	Workers int `json:"workers"`
+	// Jobs counts completed jobs, Errors the subset that failed.
+	Jobs   int64 `json:"jobs"`
+	Errors int64 `json:"errors"`
+	// UptimeNS is the pool's age; P50NS/P99NS/MaxNS describe successful
+	// solve latency (see batch.Stats).
+	UptimeNS int64 `json:"uptime_ns"`
+	P50NS    int64 `json:"p50_ns"`
+	P99NS    int64 `json:"p99_ns"`
+	MaxNS    int64 `json:"max_ns"`
+	// AllocsPerJob is the process-wide heap allocation rate per job.
+	AllocsPerJob float64 `json:"allocs_per_job"`
+	// Cache carries the result-cache counters; nil when caching is disabled.
+	Cache *CacheStatsRaw `json:"cache,omitempty"`
+}
+
+// CacheStatsRaw is the machine form of one process's result-cache counters.
+// Entries counts live cached results: summed across a routed fleet it
+// equals the number of distinct canonical keys solved, because consistent
+// hashing stores every key on exactly one shard.
+type CacheStatsRaw struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	MaxBytes  int64 `json:"max_bytes"`
+}
+
+// Add accumulates other into s (fleet aggregation). Latency quantiles are
+// not summable, so P50/P99 take the max — "worst shard" — while MaxNS is
+// the true fleet maximum; UptimeNS keeps the oldest shard's age.
+func (s *StatsRaw) Add(other *StatsRaw) {
+	// Allocs-per-job averages job-weighted, so the fleet figure matches
+	// what one process doing all the work would have reported.
+	if total := s.Jobs + other.Jobs; total > 0 {
+		s.AllocsPerJob = (s.AllocsPerJob*float64(s.Jobs) + other.AllocsPerJob*float64(other.Jobs)) / float64(total)
+	}
+	s.Workers += other.Workers
+	s.Jobs += other.Jobs
+	s.Errors += other.Errors
+	if other.UptimeNS > s.UptimeNS {
+		s.UptimeNS = other.UptimeNS
+	}
+	if other.P50NS > s.P50NS {
+		s.P50NS = other.P50NS
+	}
+	if other.P99NS > s.P99NS {
+		s.P99NS = other.P99NS
+	}
+	if other.MaxNS > s.MaxNS {
+		s.MaxNS = other.MaxNS
+	}
+	if other.Cache != nil {
+		if s.Cache == nil {
+			s.Cache = &CacheStatsRaw{}
+		}
+		s.Cache.Hits += other.Cache.Hits
+		s.Cache.Misses += other.Cache.Misses
+		s.Cache.Coalesced += other.Cache.Coalesced
+		s.Cache.Evictions += other.Cache.Evictions
+		s.Cache.Entries += other.Cache.Entries
+		s.Cache.Bytes += other.Cache.Bytes
+		s.Cache.MaxBytes += other.Cache.MaxBytes
+	}
+}
+
+// RouterStats is the router's own activity block inside FleetStats.
+type RouterStats struct {
+	// Shards is the configured fleet size, Healthy the members not
+	// currently marked down.
+	Shards  int `json:"shards"`
+	Healthy int `json:"healthy"`
+	// Routed counts key→shard assignments, Forwarded the HTTP forwards
+	// attempted (batch jobs forward per owning shard, not per job),
+	// Retried the forwards re-sent to a later replica, ShardDown the
+	// transitions of a member into the down state.
+	Routed    int64 `json:"routed"`
+	Forwarded int64 `json:"forwarded"`
+	Retried   int64 `json:"retried"`
+	ShardDown int64 `json:"shard_down"`
+}
+
+// ShardStats is one member's block inside FleetStats.
+type ShardStats struct {
+	// Addr is the member's host:port.
+	Addr string `json:"addr"`
+	// OK reports whether the /statsz?raw=1 scrape succeeded; Error carries
+	// the failure when it did not (Stats is then nil).
+	OK    bool      `json:"ok"`
+	Error string    `json:"error,omitempty"`
+	Stats *StatsRaw `json:"stats,omitempty"`
+}
+
+// FleetStats is the body of GET /statsz on mmlprouter: the router's own
+// counters, the fleet-wide aggregate, and the per-shard raw blocks it was
+// computed from.
+type FleetStats struct {
+	Router RouterStats  `json:"router"`
+	Fleet  StatsRaw     `json:"fleet"`
+	Shards []ShardStats `json:"shards"`
+}

@@ -1,0 +1,289 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/canon"
+)
+
+// DefaultCooldown is how long a member stays marked down after a transport
+// failure before the client routes to it again. Long enough that a crashed
+// shard is not hammered on every request, short enough that a restarted one
+// rejoins within a typical health-check interval.
+const DefaultCooldown = 5 * time.Second
+
+// DefaultDialTimeout bounds connection establishment to a member. A member
+// that silently drops packets (no RST — a dead host, a firewall change)
+// must fail the dial quickly so Forward can mark it down and the caller
+// can fail over; without this bound the kernel's connect timeout (minutes)
+// would stall every request routed to the black hole. Only the dial is
+// bounded: response time is not, because a solve legitimately computes for
+// as long as the instance demands before the first header is written.
+const DefaultDialTimeout = 2 * time.Second
+
+// Stats is a snapshot of the client's routing counters.
+type Stats struct {
+	// Routed counts key→member assignments answered (Owner calls).
+	Routed int64
+	// Forwarded counts HTTP forwards attempted, including retries.
+	Forwarded int64
+	// Retried counts forwards that were re-sent to a later replica after a
+	// transport failure on an earlier one.
+	Retried int64
+	// ShardDown counts transitions of a member into the down state.
+	ShardDown int64
+}
+
+// ClientOptions configures a Client.
+type ClientOptions struct {
+	// Cooldown is how long a member stays down after a transport failure
+	// (0 = DefaultCooldown).
+	Cooldown time.Duration
+	// DialTimeout bounds connection establishment to a member
+	// (0 = DefaultDialTimeout). Ignored when Transport is set.
+	DialTimeout time.Duration
+	// Transport overrides the HTTP transport (nil = a keep-alive transport
+	// with a generous idle pool per shard, so steady traffic reuses
+	// connections instead of re-dialling, and a bounded dial so a
+	// blackholed member fails over promptly).
+	Transport http.RoundTripper
+}
+
+// Client routes keys to fleet members and forwards HTTP requests to them.
+// It layers mutable health state over an immutable Ring: a member that
+// fails at the transport level (connection refused, reset, timeout — not an
+// HTTP error status, which proves the shard is alive) is marked down for a
+// cooldown and skipped by Owner and Do until it expires or a later forward
+// succeeds. Safe for concurrent use.
+type Client struct {
+	ring     *Ring
+	hc       *http.Client
+	cooldown time.Duration
+	now      func() time.Time // injectable for tests
+
+	mu        sync.Mutex
+	downUntil map[string]time.Time
+
+	routed, forwarded, retried, shardDown atomic.Int64
+}
+
+// NewClient builds a client over ring.
+func NewClient(ring *Ring, o ClientOptions) *Client {
+	if o.Cooldown <= 0 {
+		o.Cooldown = DefaultCooldown
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = DefaultDialTimeout
+	}
+	tr := o.Transport
+	if tr == nil {
+		tr = &http.Transport{
+			DialContext:         (&net.Dialer{Timeout: o.DialTimeout, KeepAlive: 30 * time.Second}).DialContext,
+			MaxIdleConns:        4 * len(ring.Members()),
+			MaxIdleConnsPerHost: 4,
+			IdleConnTimeout:     90 * time.Second,
+		}
+	}
+	return &Client{
+		ring:      ring,
+		hc:        &http.Client{Transport: tr},
+		cooldown:  o.Cooldown,
+		now:       time.Now,
+		downUntil: make(map[string]time.Time),
+	}
+}
+
+// Ring returns the client's ring.
+func (c *Client) Ring() *Ring { return c.ring }
+
+// Stats snapshots the routing counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		Routed:    c.routed.Load(),
+		Forwarded: c.forwarded.Load(),
+		Retried:   c.retried.Load(),
+		ShardDown: c.shardDown.Load(),
+	}
+}
+
+// down reports whether m is currently marked down.
+func (c *Client) down(m string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	until, ok := c.downUntil[m]
+	if !ok {
+		return false
+	}
+	if c.now().After(until) {
+		delete(c.downUntil, m)
+		return false
+	}
+	return true
+}
+
+// markDown records a transport failure against m.
+func (c *Client) markDown(m string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, was := c.downUntil[m]; !was {
+		c.shardDown.Add(1)
+	}
+	c.downUntil[m] = c.now().Add(c.cooldown)
+}
+
+// markUp clears m's down state after a successful forward.
+func (c *Client) markUp(m string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.downUntil, m)
+}
+
+// Healthy returns the members not currently marked down, in canonical
+// order.
+func (c *Client) Healthy() []string {
+	out := make([]string, 0, len(c.ring.Members()))
+	for _, m := range c.ring.Members() {
+		if !c.down(m) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Owner returns the healthy member that owns k: k's ring owner when it is
+// up, otherwise the first healthy successor. When every member is down the
+// plain ring owner is returned — the caller's forward will fail fast and
+// surface the outage. Routing around a down owner trades strict cache
+// partitioning for availability: the stand-in replica may cache keys the
+// owner also holds, and ownership snaps back when the owner recovers.
+func (c *Client) Owner(k canon.Key) string {
+	c.routed.Add(1)
+	// Fast path: the ring owner is healthy (the steady state). Owner runs
+	// once per routed job, so it must not pay the successor walk's
+	// allocations just to take its first element.
+	owner := c.ring.Owner(k)
+	if !c.down(owner) {
+		return owner
+	}
+	succ := c.ring.Successors(k, len(c.ring.Members()))
+	for _, m := range succ {
+		if !c.down(m) {
+			return m
+		}
+	}
+	return succ[0]
+}
+
+// Forward POSTs body to one member and returns the response. A transport
+// failure marks the member down; an HTTP response of any status marks it
+// up. The caller owns the response body.
+func (c *Client) Forward(ctx context.Context, member, path, contentType string, body []byte) (*http.Response, error) {
+	c.forwarded.Add(1)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+member+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() == nil { // the shard failed, not the caller
+			c.markDown(member)
+		}
+		return nil, err
+	}
+	c.markUp(member)
+	return resp, nil
+}
+
+// Get fetches path from one member (health probes, /statsz scrapes). Like
+// Forward it maintains the member's health state.
+func (c *Client) Get(ctx context.Context, member, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+member+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			c.markDown(member)
+		}
+		return nil, err
+	}
+	c.markUp(member)
+	return resp, nil
+}
+
+// DoFunc drives fn against k's replicas in ring order until one handles
+// the request. fn returns done=true when the request was handled on that
+// member — even partially, so a broken mid-stream response is not replayed
+// wholesale — and done=false with an error to advance to the next replica.
+// fn is expected to reach the member through Forward/Get so transport
+// failures feed the health state. The first pass tries the healthy
+// members; the second tries the ones that were in cooldown — they may have
+// recovered, and a fully-down fleet should surface its real transport
+// error rather than a fabricated one. Each member is dialled at most once.
+// Returns fn's terminal error, or the last per-replica error when every
+// member failed.
+func (c *Client) DoFunc(ctx context.Context, k canon.Key, fn func(member string) (done bool, err error)) error {
+	members := c.ring.Successors(k, len(c.ring.Members()))
+	skipped := make([]bool, len(members))
+	var lastErr error
+	tried := 0
+	for pass := 0; pass < 2; pass++ {
+		for i, m := range members {
+			if pass == 0 {
+				if c.down(m) {
+					skipped[i] = true
+					continue
+				}
+			} else if !skipped[i] {
+				continue // already failed in pass 0; don't re-dial the corpse
+			}
+			if tried > 0 {
+				c.retried.Add(1)
+			}
+			tried++
+			done, err := fn(m)
+			if done {
+				return err
+			}
+			lastErr = err
+			if ctx.Err() != nil {
+				return lastErr
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("shard: no members")
+	}
+	return lastErr
+}
+
+// Do forwards body to k's owner, retrying on the next replicas in ring
+// order when a member fails at the transport level. The solver is a pure
+// function of the request, so re-sending to a different shard is always
+// safe. Returns the first HTTP response together with the member that
+// produced it, or the last transport error once every member has failed.
+func (c *Client) Do(ctx context.Context, k canon.Key, path, contentType string, body []byte) (*http.Response, string, error) {
+	var resp *http.Response
+	var member string
+	err := c.DoFunc(ctx, k, func(m string) (bool, error) {
+		r, err := c.Forward(ctx, m, path, contentType, body)
+		if err != nil {
+			return false, err
+		}
+		resp, member = r, m
+		return true, nil
+	})
+	if resp == nil {
+		return nil, "", err
+	}
+	return resp, member, nil
+}

@@ -1,8 +1,11 @@
 // Command mmlpfleetcheck is the multi-process integration harness behind
-// the fleet-smoke CI job: it boots a real sharded fleet — N mmlpserve
-// processes plus one mmlprouter — next to one direct mmlpserve reference
-// process, drives a randomized workload whose duplicate keys arrive in
-// permuted spellings, and asserts the three fleet invariants end to end:
+// the fleet-smoke CI job. It runs three scenarios, each against a freshly
+// booted real fleet — N mmlpserve processes plus one mmlprouter — next to
+// one direct mmlpserve reference process:
+//
+// baseline (replication 1) drives a randomized workload whose duplicate
+// keys arrive in permuted spellings and asserts the three steady-state
+// invariants end to end:
 //
 //  1. bit-identity — every response through the router (solve and batch,
 //     all engines) is byte-identical to the direct single-process solve
@@ -17,13 +20,28 @@
 //  3. /statsz aggregation — the router's fleet totals equal the sum of
 //     the per-shard raw counters scraped directly.
 //
+// replicated-kill (replication 2) warms a key set, waits until the
+// write-through has placed every key on exactly its two ring replicas,
+// then SIGKILLs a shard mid-batch: the batch must still produce one
+// bit-identical line per job with zero failures, and every warm key must
+// afterwards be answered from a surviving replica's cache — the fleet
+// loses a process, not a result.
+//
+// cutover boots a spare shard and proposes a four-member ring through
+// POST /admin/ring while a batch is streaming: the in-flight batch drains
+// bit-identically on the old assignment, the drain is observable through
+// GET /admin/ring, and once it completes the shards prune exactly the
+// keys whose owner moved — leaving the fleet a clean one-copy partition
+// of every distinct key on the new ring.
+//
 // Usage:
 //
 //	mmlpfleetcheck -bin ./bin [-shards 3] [-jobs 36] [-seed 1]
 //	               [-replicas 64] [-workers 2] [-log-dir fleet-logs]
 //
 // Exit status 0 on success, 1 on any violated invariant (process logs are
-// left in -log-dir for the CI artifact), 2 on bad flags.
+// left in -log-dir for the CI artifact, one subdirectory per scenario), 2
+// on bad flags.
 package main
 
 import (
@@ -64,19 +82,33 @@ func main() {
 		os.Exit(2)
 	}
 
-	h := &harness{
-		bin: *bin, nShards: *shards, jobs: *jobs, seed: *seed,
-		replicas: *replicas, workers: *workers, logDir: *logDir,
-		hc: &http.Client{Timeout: 2 * time.Minute},
+	scenarios := []struct {
+		name        string
+		replication int
+		run         func(*harness) error
+	}{
+		{"baseline", 1, (*harness).runBaseline},
+		{"replicated-kill", 2, (*harness).runReplicatedKill},
+		{"cutover", 1, (*harness).runCutover},
 	}
-	defer h.stopAll()
-	if err := h.run(); err != nil {
-		fmt.Fprintln(os.Stderr, "FAIL:", err)
-		fmt.Fprintf(os.Stderr, "process logs are in %s\n", h.logDir)
+	for _, sc := range scenarios {
+		fmt.Printf("=== scenario %s ===\n", sc.name)
+		h := &harness{
+			bin: *bin, nShards: *shards, jobs: *jobs, seed: *seed,
+			replicas: *replicas, workers: *workers, replication: sc.replication,
+			logDir: filepath.Join(*logDir, sc.name),
+			hc:     &http.Client{Timeout: 2 * time.Minute},
+		}
+		err := sc.run(h)
 		h.stopAll()
-		os.Exit(1)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "FAIL (%s): %v\n", sc.name, err)
+			fmt.Fprintf(os.Stderr, "process logs are in %s\n", h.logDir)
+			os.Exit(1)
+		}
+		fmt.Printf("scenario %s: PASS\n", sc.name)
 	}
-	fmt.Println("PASS: fleet bit-identity, cache partitioning and /statsz aggregation all hold")
+	fmt.Println("PASS: fleet bit-identity, partitioning, aggregation, replicated kill and ring cutover all hold")
 }
 
 // proc is one child process of the fleet.
@@ -87,14 +119,15 @@ type proc struct {
 }
 
 type harness struct {
-	bin      string
-	nShards  int
-	jobs     int
-	seed     int64
-	replicas int
-	workers  int
-	logDir   string
-	hc       *http.Client
+	bin         string
+	nShards     int
+	jobs        int
+	seed        int64
+	replicas    int
+	workers     int
+	replication int // router -replication; 1 = classic single-copy
+	logDir      string
+	hc          *http.Client
 
 	procs      []*proc
 	shardAddrs []string
@@ -103,7 +136,7 @@ type harness struct {
 	ring       *shard.Ring // the same assignment the router computes
 }
 
-func (h *harness) run() error {
+func (h *harness) runBaseline() error {
 	if err := os.MkdirAll(h.logDir, 0o755); err != nil {
 		return err
 	}
@@ -207,10 +240,15 @@ func (h *harness) boot() error {
 		return err
 	}
 	h.routerAddr = fmt.Sprintf("127.0.0.1:%d", ports[h.nShards+1])
-	if err := h.start("router", "mmlprouter",
+	routerArgs := []string{
 		"-addr", h.routerAddr,
 		"-shards", strings.Join(h.shardAddrs, ","),
-		"-replicas", fmt.Sprint(h.replicas)); err != nil {
+		"-replicas", fmt.Sprint(h.replicas),
+	}
+	if h.replication > 1 {
+		routerArgs = append(routerArgs, "-replication", fmt.Sprint(h.replication))
+	}
+	if err := h.start("router", "mmlprouter", routerArgs...); err != nil {
 		return err
 	}
 	for _, addr := range append(slices.Clone(h.shardAddrs), h.directAddr, h.routerAddr) {
@@ -405,6 +443,15 @@ func mustJSON(v any) []byte {
 
 // fetchBatch streams one batch and returns normalized per-index payloads.
 func (h *harness) fetchBatch(addr string, body []byte) (map[int][]byte, error) {
+	return h.streamBatch(addr, body, 0, nil)
+}
+
+// streamBatch posts one batch and reads its NDJSON stream, firing hook —
+// the fault injection of the kill and cutover scenarios — once afterLines
+// lines have arrived. Any error line or duplicate index fails the stream:
+// the one-answer-per-job contract must hold whatever happens to the fleet
+// while it streams.
+func (h *harness) streamBatch(addr string, body []byte, afterLines int, hook func() error) (map[int][]byte, error) {
 	resp, err := h.hc.Post("http://"+addr+"/v1/batch", "application/json", bytes.NewReader(body))
 	if err != nil {
 		return nil, err
@@ -433,6 +480,12 @@ func (h *harness) fetchBatch(addr string, body []byte) (map[int][]byte, error) {
 			return nil, err
 		}
 		items[item.Index] = n
+		if hook != nil && len(items) >= afterLines {
+			if err := hook(); err != nil {
+				return nil, err
+			}
+			hook = nil
+		}
 	}
 	return items, sc.Err()
 }

@@ -8,7 +8,7 @@
 // Usage:
 //
 //	mmlprouter -shards host:port,host:port,... [-addr :8090] [-replicas 128]
-//	           [-max-body 8388608] [-cooldown 5s]
+//	           [-replication 1] [-max-body 8388608] [-cooldown 5s]
 //
 // Endpoints (the wire contract matches mmlpserve, so clients need not know
 // whether they talk to a shard or the router):
@@ -20,8 +20,22 @@
 //	                  order with indices rewritten to the original request
 //	GET  /healthz   — router liveness plus the fleet's healthy-member count
 //	GET  /statsz    — the fleet view: router counters (routed/forwarded/
-//	                  retried/shard_down), summed per-shard batch and cache
-//	                  totals, and the raw per-shard blocks
+//	                  retried/shard_down/replicated, ring version), summed
+//	                  per-shard batch and cache totals, and the raw
+//	                  per-shard blocks
+//	GET  /admin/ring  — current ring generation, member set and drain
+//	                  progress of an in-flight cutover
+//	POST /admin/ring  — propose a new member set ({"members":[...]}). New
+//	                  requests route by the new ring immediately; in-flight
+//	                  work drains on the old one, then every affected shard
+//	                  is told to prune the keys it no longer owns. 409
+//	                  while a previous cutover still drains.
+//
+// -replication R > 1 stores every key on its first R distinct ring
+// successors: after a shard answers a solve, the router warms the other
+// replicas in the background, so a dead primary costs a failover hop
+// instead of a recompute. With the default R=1 behaviour is the classic
+// single-copy partition.
 //
 // -max-body should not exceed the shards' own -max-body: the router
 // forwards what it accepts, and a sub-batch a shard rejects (e.g. with
@@ -56,6 +70,7 @@ type routerConfig struct {
 	addr          string
 	shards        []string
 	replicas      int
+	replication   int
 	maxBody       int64
 	cooldown      time.Duration
 	shutdownGrace time.Duration
@@ -69,6 +84,7 @@ func parseFlags(args []string) (*routerConfig, error) {
 	addr := fs.String("addr", ":8090", "listen address")
 	shards := fs.String("shards", "", "comma-separated shard addresses (host:port,...)")
 	replicas := fs.Int("replicas", shard.DefaultReplicas, "virtual nodes per shard on the hash ring")
+	replication := fs.Int("replication", 1, "shards holding each key (1 = no replication; >1 adds background write-through to backup replicas)")
 	maxBody := fs.Int64("max-body", 8<<20, "largest accepted request body in bytes (keep ≤ every shard's -max-body: a sub-batch a shard rejects as oversized fails that whole group)")
 	cooldown := fs.Duration("cooldown", shard.DefaultCooldown, "how long a failed shard stays routed-around")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window")
@@ -77,8 +93,8 @@ func parseFlags(args []string) (*routerConfig, error) {
 	}
 
 	cfg := &routerConfig{
-		addr: *addr, replicas: *replicas, maxBody: *maxBody,
-		cooldown: *cooldown, shutdownGrace: *shutdownGrace,
+		addr: *addr, replicas: *replicas, replication: *replication,
+		maxBody: *maxBody, cooldown: *cooldown, shutdownGrace: *shutdownGrace,
 	}
 	if strings.TrimSpace(*shards) == "" {
 		return nil, errors.New("-shards must list at least one host:port")
@@ -97,6 +113,12 @@ func parseFlags(args []string) (*routerConfig, error) {
 	}
 	if cfg.replicas <= 0 {
 		return nil, fmt.Errorf("-replicas must be positive, got %d", cfg.replicas)
+	}
+	if cfg.replication <= 0 {
+		return nil, fmt.Errorf("-replication must be positive, got %d", cfg.replication)
+	}
+	if cfg.replication > len(cfg.shards) {
+		return nil, fmt.Errorf("-replication %d exceeds the fleet size %d", cfg.replication, len(cfg.shards))
 	}
 	if cfg.maxBody <= 0 {
 		return nil, fmt.Errorf("-max-body must be positive, got %d", cfg.maxBody)
@@ -122,10 +144,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mmlprouter:", err)
 		os.Exit(2)
 	}
-	client := shard.NewClient(ring, shard.ClientOptions{Cooldown: cfg.cooldown})
+	// The cutover hook closes over rt, assigned right after NewClient
+	// returns; the hook can only fire after a Propose, which only an HTTP
+	// request on rt can trigger, so the assignment happens-before any call.
+	var rt *router
+	client := shard.NewClient(ring, shard.ClientOptions{
+		Cooldown:      cfg.cooldown,
+		Replication:   cfg.replication,
+		OnCutoverDone: func(old, new *shard.Ring) { rt.notifyCutover(old, new) },
+	})
+	rt = newRouter(client, cfg.maxBody)
 	srv := &http.Server{
 		Addr:    cfg.addr,
-		Handler: newRouter(client, cfg.maxBody),
+		Handler: rt,
 		// WriteTimeout stays 0: merged batch streams last as long as the
 		// slowest shard's solves.
 		ReadHeaderTimeout: 10 * time.Second,

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/batch"
@@ -21,6 +22,12 @@ import (
 // statszTimeout bounds the per-shard /statsz scrape of the fleet view.
 const statszTimeout = 2 * time.Second
 
+// replicateTimeout bounds one background write-through or cutover
+// notification. Generous because a warm-up POST computes the solve on the
+// backup replica; it exists so a hung shard cannot pin the goroutine
+// forever.
+const replicateTimeout = 2 * time.Minute
+
 // router terminates the serving API and forwards every job to the shard
 // that owns its canonical key. It holds no solver state of its own: the
 // shards' local result caches, partitioned by the ring, are the fleet's
@@ -29,6 +36,12 @@ type router struct {
 	client  *shard.Client
 	maxBody int64
 	mux     *http.ServeMux
+
+	// replicated counts write-through warms delivered to backup replicas;
+	// replWG tracks the background goroutines doing them (and cutover
+	// notifications), so tests and shutdown can wait for quiescence.
+	replicated atomic.Int64
+	replWG     sync.WaitGroup
 }
 
 // newRouter wires the endpoints over a shard client.
@@ -38,6 +51,8 @@ func newRouter(client *shard.Client, maxBody int64) *router {
 	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
 	rt.mux.HandleFunc("GET /statsz", rt.handleStats)
+	rt.mux.HandleFunc("GET /admin/ring", rt.handleRingGet)
+	rt.mux.HandleFunc("POST /admin/ring", rt.handleRingPost)
 	return rt
 }
 
@@ -96,8 +111,10 @@ func (rt *router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	owner := rt.client.Owner(key)
-	resp, member, err := rt.client.Do(r.Context(), key, "/v1/solve", "application/json", body)
+	rv := rt.client.Acquire()
+	defer rt.client.Release(rv)
+	owner := rt.client.OwnerOn(rv, key)
+	resp, member, err := rt.client.DoOn(r.Context(), rv, key, "/v1/solve", "application/json", body)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, fmt.Errorf("no shard reachable (owner %s): %w", owner, err))
 		return
@@ -109,6 +126,53 @@ func (rt *router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Mmlp-Shard", member)
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		for _, m := range rt.backupsFor(rv, key, member) {
+			rt.replicate(m, "/v1/solve", body)
+		}
+	}
+}
+
+// backupsFor lists the members of k's replica set other than answered —
+// the shards write-through should warm so any replica can serve k after
+// the primary dies. Empty with Replication 1: single-copy semantics are
+// unchanged.
+func (rt *router) backupsFor(rv *shard.RingVersion, k canon.Key, answered string) []string {
+	if rt.client.Replication() <= 1 {
+		return nil
+	}
+	set := rt.client.ReplicaSet(rv, k)
+	backups := make([]string, 0, len(set))
+	for _, m := range set {
+		if m != answered {
+			backups = append(backups, m)
+		}
+	}
+	return backups
+}
+
+// replicate POSTs body to one backup replica in the background, warming
+// its cache so the replica can answer the key without a recompute once
+// the primary is gone. Members inside a cooldown window are skipped — the
+// warm is an optimisation, not a delivery guarantee, and the next
+// write-through after recovery re-warms them.
+func (rt *router) replicate(member, path string, body []byte) {
+	if rt.client.Down(member) {
+		return
+	}
+	rt.replWG.Add(1)
+	go func() {
+		defer rt.replWG.Done()
+		ctx, cancel := context.WithTimeout(context.Background(), replicateTimeout)
+		defer cancel()
+		resp, err := rt.client.Forward(ctx, member, path, "application/json", body)
+		if err != nil {
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		rt.replicated.Add(1)
+	}()
 }
 
 // group is the slice of one batch owned by a single shard.
@@ -150,9 +214,14 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		keys[i] = key
 	}
+	// Pin one ring generation for the whole batch: grouping, forwarding and
+	// straggler re-forwards all agree on a single assignment even when an
+	// /admin/ring cutover lands mid-stream.
+	rv := rt.client.Acquire()
+	defer rt.client.Release(rv)
 	groups := map[string]*group{}
 	for i := range req.Jobs {
-		owner := rt.client.Owner(keys[i])
+		owner := rt.client.OwnerOn(rv, keys[i])
 		g := groups[owner]
 		if g == nil {
 			g = &group{owner: owner, key: keys[i]}
@@ -166,9 +235,13 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	var emu sync.Mutex
 	enc := json.NewEncoder(w)
-	emit := func(item mmlp.BatchItem) {
+	answered := make([]string, len(req.Jobs)) // member that solved each job
+	emit := func(item mmlp.BatchItem, member string) {
 		emu.Lock()
 		defer emu.Unlock()
+		if item.Error == "" && item.Index >= 0 && item.Index < len(answered) {
+			answered[item.Index] = member
+		}
 		enc.Encode(item)
 		if flusher != nil {
 			flusher.Flush()
@@ -180,20 +253,42 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(g *group) {
 			defer wg.Done()
-			rt.forwardGroup(r.Context(), g, emit)
+			rt.forwardGroup(r.Context(), rv, g, emit)
 		}(g)
 	}
 	wg.Wait()
+
+	// Write-through: regroup the answered jobs by backup replica and warm
+	// each replica with one background sub-batch, so any member of a key's
+	// replica set can serve it cached after the primary dies.
+	if rt.client.Replication() > 1 {
+		backups := map[string][]mmlp.SolveRequest{}
+		for i := range req.Jobs {
+			if answered[i] == "" {
+				continue
+			}
+			for _, m := range rt.backupsFor(rv, keys[i], answered[i]) {
+				backups[m] = append(backups[m], req.Jobs[i])
+			}
+		}
+		for m, jobs := range backups {
+			if body, err := json.Marshal(mmlp.BatchRequest{Jobs: jobs}); err == nil {
+				rt.replicate(m, "/v1/batch", body)
+			}
+		}
+	}
 }
 
 // forwardGroup sends one shard's slice of the batch and streams its lines
 // back through emit. A transport failure advances to the next replica on
 // the ring with the jobs not yet answered; jobs that no member could
-// answer get error lines, honouring the one-line-per-job contract.
-func (rt *router) forwardGroup(ctx context.Context, g *group, emit func(mmlp.BatchItem)) {
+// answer get error lines, honouring the one-line-per-job contract. emit
+// receives the member that produced each line ("" for router-synthesised
+// error lines), which feeds the write-through regrouping.
+func (rt *router) forwardGroup(ctx context.Context, rv *shard.RingVersion, g *group, emit func(mmlp.BatchItem, string)) {
 	jobs, orig := g.jobs, g.orig
 	var body []byte // re-marshaled only when the remaining job set shrinks
-	err := rt.client.DoFunc(ctx, g.key, func(member string) (bool, error) {
+	err := rt.client.DoFuncOn(ctx, rv, g.key, func(member string) (bool, error) {
 		if body == nil {
 			var merr error
 			if body, merr = json.Marshal(mmlp.BatchRequest{Jobs: jobs}); merr != nil {
@@ -214,7 +309,7 @@ func (rt *router) forwardGroup(ctx context.Context, g *group, emit func(mmlp.Bat
 				eresp.Error = fmt.Sprintf("shard %s: status %d", member, resp.StatusCode)
 			}
 			for _, oi := range orig {
-				emit(mmlp.BatchItem{Index: oi, Error: eresp.Error})
+				emit(mmlp.BatchItem{Index: oi, Error: eresp.Error}, member)
 			}
 			return true, nil
 		}
@@ -231,7 +326,7 @@ func (rt *router) forwardGroup(ctx context.Context, g *group, emit func(mmlp.Bat
 					item.Index = orig[sub]
 					emitted[sub] = true
 					nEmitted++
-					emit(item)
+					emit(item, member)
 				}
 			}
 			if rerr != nil {
@@ -261,8 +356,104 @@ func (rt *router) forwardGroup(ctx context.Context, g *group, emit func(mmlp.Bat
 	})
 	if err != nil {
 		for _, oi := range orig {
-			emit(mmlp.BatchItem{Index: oi, Error: fmt.Sprintf("no shard reachable: %v", err)})
+			emit(mmlp.BatchItem{Index: oi, Error: fmt.Sprintf("no shard reachable: %v", err)}, "")
 		}
+	}
+}
+
+// ringStatus snapshots the topology for the admin surface.
+func (rt *router) ringStatus() mmlp.RingStatus {
+	st := mmlp.RingStatus{
+		Version:     rt.client.Version(),
+		Members:     rt.client.Ring().Members(),
+		Replication: rt.client.Replication(),
+	}
+	if cut := rt.client.Draining(); cut != nil {
+		st.Draining = &mmlp.DrainStatus{
+			FromVersion: cut.From,
+			FromMembers: cut.FromMembers,
+			Inflight:    cut.Draining,
+		}
+	}
+	return st
+}
+
+// handleRingGet reports the current ring generation and, while a cutover
+// drains, the old generation's remaining in-flight count. Operators poll
+// it after a proposal to know when the handover has completed.
+func (rt *router) handleRingGet(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rt.ringStatus())
+}
+
+// handleRingPost proposes a new member set. On acceptance the new ring
+// routes all subsequently admitted requests immediately; requests already
+// pinned to the old generation drain on the old assignment, and when the
+// last one finishes the router tells every affected shard to prune the
+// cache entries it no longer owns. A proposal while a previous cutover is
+// still draining is rejected with 409 — retry once GET /admin/ring shows
+// no drain.
+func (rt *router) handleRingPost(w http.ResponseWriter, r *http.Request) {
+	body, code, err := rt.readBody(w, r)
+	if err != nil {
+		writeError(w, code, err)
+		return
+	}
+	var prop mmlp.RingProposal
+	if err := json.Unmarshal(body, &prop); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON: %w", err))
+		return
+	}
+	if _, err := rt.client.Propose(prop.Members); err != nil {
+		if errors.Is(err, shard.ErrCutoverInProgress) {
+			writeError(w, http.StatusConflict, err)
+		} else {
+			writeError(w, http.StatusBadRequest, err)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(rt.ringStatus())
+}
+
+// notifyCutover is the client's OnCutoverDone hook: once the old ring has
+// drained, every member of either generation is told the new assignment so
+// it can prune cache entries it no longer holds under the new ring. A
+// member leaving the fleet gets an update whose member set excludes it and
+// prunes everything. Delivery is best-effort: pruning only reclaims
+// memory, and a shard that misses the update merely holds dead entries
+// until its LRU evicts them.
+func (rt *router) notifyCutover(old, new *shard.Ring) {
+	union := map[string]bool{}
+	for _, m := range old.Members() {
+		union[m] = true
+	}
+	for _, m := range new.Members() {
+		union[m] = true
+	}
+	upd := mmlp.ShardRingUpdate{
+		Members:     new.Members(),
+		Replicas:    new.Replicas(),
+		Replication: rt.client.Replication(),
+	}
+	for m := range union {
+		upd.Self = m
+		body, err := json.Marshal(upd)
+		if err != nil {
+			continue
+		}
+		rt.replWG.Add(1)
+		go func(m string, body []byte) {
+			defer rt.replWG.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), replicateTimeout)
+			defer cancel()
+			resp, err := rt.client.Forward(ctx, m, "/admin/ring", "application/json", body)
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}(m, body)
 	}
 }
 
@@ -318,12 +509,16 @@ func (rt *router) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	st := rt.client.Stats()
 	out.Router = mmlp.RouterStats{
-		Shards:    len(members),
-		Healthy:   len(rt.client.Healthy()),
-		Routed:    st.Routed,
-		Forwarded: st.Forwarded,
-		Retried:   st.Retried,
-		ShardDown: st.ShardDown,
+		Shards:      len(members),
+		Healthy:     len(rt.client.Healthy()),
+		RingVersion: rt.client.Version(),
+		Draining:    rt.client.Draining() != nil,
+		Replication: rt.client.Replication(),
+		Routed:      st.Routed,
+		Forwarded:   st.Forwarded,
+		Retried:     st.Retried,
+		ShardDown:   st.ShardDown,
+		Replicated:  rt.replicated.Load(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)

@@ -29,10 +29,13 @@ type fakeShard struct {
 	addr      string
 	stats     mmlp.StatsRaw
 	lineDelay time.Duration // slows the batch stream down
+	dieAfter  int           // >0: the first /v1/batch aborts after this many lines
 
-	mu     sync.Mutex
-	solves []string // bodies received on /v1/solve
-	batch  int      // jobs received on /v1/batch
+	mu          sync.Mutex
+	solves      []string // bodies received on /v1/solve
+	batch       int      // jobs received on /v1/batch
+	batchCalls  int
+	ringUpdates []mmlp.ShardRingUpdate // bodies received on /admin/ring
 }
 
 func (f *fakeShard) handler() http.Handler {
@@ -53,11 +56,18 @@ func (f *fakeShard) handler() http.Handler {
 		}
 		f.mu.Lock()
 		f.batch += len(req.Jobs)
+		f.batchCalls++
+		die := f.dieAfter > 0 && f.batchCalls == 1
 		f.mu.Unlock()
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		flusher, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)
 		for i := range req.Jobs {
+			if die && i == f.dieAfter {
+				// Crash mid-stream: the connection aborts after the lines
+				// already flushed, exactly like a shard dying mid-batch.
+				panic(http.ErrAbortHandler)
+			}
 			if f.lineDelay > 0 {
 				time.Sleep(f.lineDelay)
 			}
@@ -72,6 +82,18 @@ func (f *fakeShard) handler() http.Handler {
 			}
 		}
 	})
+	mux.HandleFunc("POST /admin/ring", func(w http.ResponseWriter, r *http.Request) {
+		var upd mmlp.ShardRingUpdate
+		if err := json.NewDecoder(r.Body).Decode(&upd); err != nil {
+			w.WriteHeader(http.StatusBadRequest)
+			return
+		}
+		f.mu.Lock()
+		f.ringUpdates = append(f.ringUpdates, upd)
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(mmlp.PruneResponse{})
+	})
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Query().Get("raw") != "1" {
 			http.Error(w, "want raw=1", http.StatusBadRequest)
@@ -85,6 +107,13 @@ func (f *fakeShard) handler() http.Handler {
 
 // testFleet boots n fake shards and a router handler over them.
 func testFleet(t *testing.T, n int, tweak func(i int, f *fakeShard)) ([]*fakeShard, *router) {
+	t.Helper()
+	return testFleetR(t, n, 1, tweak)
+}
+
+// testFleetR is testFleet with a replica-set size, wired like main: the
+// client's cutover hook delivers the router's prune notifications.
+func testFleetR(t *testing.T, n, replication int, tweak func(i int, f *fakeShard)) ([]*fakeShard, *router) {
 	t.Helper()
 	shards := make([]*fakeShard, n)
 	addrs := make([]string, n)
@@ -107,7 +136,14 @@ func testFleet(t *testing.T, n int, tweak func(i int, f *fakeShard)) ([]*fakeSha
 	if err != nil {
 		t.Fatal(err)
 	}
-	return shards, newRouter(shard.NewClient(ring, shard.ClientOptions{Cooldown: time.Minute}), 1<<20)
+	var rt *router
+	client := shard.NewClient(ring, shard.ClientOptions{
+		Cooldown:      time.Minute,
+		Replication:   replication,
+		OnCutoverDone: func(old, new *shard.Ring) { rt.notifyCutover(old, new) },
+	})
+	rt = newRouter(client, 1<<20)
+	return shards, rt
 }
 
 func post(h http.Handler, path, body string) *httptest.ResponseRecorder {

@@ -6,9 +6,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"slices"
 
 	"repro/internal/batch"
+	"repro/internal/canon"
 	"repro/internal/mmlp"
+	"repro/internal/shard"
 )
 
 // server routes HTTP traffic onto a batch.Pool.
@@ -26,6 +29,7 @@ func newServer(pool *batch.Pool, maxBody int64) *server {
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	s.mux.HandleFunc("POST /admin/ring", s.handleRing)
 	return s
 }
 
@@ -154,6 +158,38 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleRing applies a topology update after a ring cutover: the router
+// sends the new member set and this shard's own address, and the shard
+// prunes every cached result whose key it no longer holds under the new
+// assignment — keys are kept iff Self is among their first Replication
+// distinct ring successors. A shard absent from Members keeps nothing.
+// Pruning is idempotent, so re-delivered updates are harmless.
+func (s *server) handleRing(w http.ResponseWriter, r *http.Request) {
+	var upd mmlp.ShardRingUpdate
+	if code, err := s.decode(w, r, &upd); err != nil {
+		writeError(w, code, err)
+		return
+	}
+	if len(upd.Members) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("ring update has no members"))
+		return
+	}
+	ring, err := shard.New(upd.Members, upd.Replicas)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep := upd.Replication
+	if rep < 1 {
+		rep = 1
+	}
+	n := s.pool.PruneCache(func(k canon.Key) bool {
+		return slices.Contains(ring.Successors(k, rep), upd.Self)
+	})
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(mmlp.PruneResponse{Pruned: n})
+}
+
 // handleHealth reports liveness.
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
@@ -189,6 +225,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 			"misses":    st.Cache.Misses,
 			"coalesced": st.Cache.Coalesced,
 			"evictions": st.Cache.Evictions,
+			"pruned":    st.Cache.Pruned,
 			"entries":   st.Cache.Entries,
 			"bytes":     st.Cache.Bytes,
 			"max_bytes": st.Cache.MaxBytes,

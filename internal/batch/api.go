@@ -74,6 +74,7 @@ func StatsRawFromStats(st *Stats) *mmlp.StatsRaw {
 			Misses:    st.Cache.Misses,
 			Coalesced: st.Cache.Coalesced,
 			Evictions: st.Cache.Evictions,
+			Pruned:    st.Cache.Pruned,
 			Entries:   st.Cache.Entries,
 			Bytes:     st.Cache.Bytes,
 			MaxBytes:  st.Cache.MaxBytes,

@@ -92,10 +92,13 @@ func (o Options) normalizedWorkers() int {
 
 // runJob executes one job on a worker's scratch — consulting the result
 // cache first when one is configured — and records it with col. A job
-// that coalesces onto an in-flight solve of the same key blocks this
-// worker until the leader finishes (cheaper than solving twice, but see
-// the ROADMAP item on non-blocking coalescing for the burst-of-duplicates
-// trade-off).
+// that coalesces onto an in-flight solve of the same key blocks its
+// worker until the leader finishes; that is fine here because only the
+// one-shot Solve path uses runJob, and its workers have nothing better to
+// do than wait for results the batch needs anyway. The long-lived Pool
+// must keep draining a live queue, so it uses the non-blocking
+// Pool.runTask instead: duplicates subscribe to the in-flight solve and
+// the worker moves on.
 func runJob(ctx context.Context, index int, job Job, timeout time.Duration, sc *engine.Scratch, ca *engine.Cache, col *collector) Result {
 	res := Result{Index: index}
 	if err := ctx.Err(); err != nil {

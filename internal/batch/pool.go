@@ -4,7 +4,9 @@ import (
 	"context"
 	"errors"
 	"sync"
+	"time"
 
+	"repro/internal/canon"
 	"repro/internal/engine"
 )
 
@@ -29,6 +31,11 @@ type Pool struct {
 	wg    sync.WaitGroup
 	col   collector
 	cache *engine.Cache // nil when Options.CacheBytes is zero
+
+	// retryWG tracks the re-queue goroutines spawned when a subscribed
+	// task's leader fails; Close waits for them after the workers, so done
+	// callbacks never fire after Close returns.
+	retryWG sync.WaitGroup
 
 	// mu guards closed and orders Submit's channel send before Close's
 	// close(tasks): Submit holds the read side across the send, so Close
@@ -58,8 +65,84 @@ func (p *Pool) worker() {
 	defer p.wg.Done()
 	sc := engine.NewScratch()
 	for t := range p.tasks {
-		t.done(runJob(t.ctx, t.index, t.job, p.opts.JobTimeout, sc, p.cache, &p.col))
+		p.runTask(t, sc)
 	}
+}
+
+// runTask executes one queued task. A task whose key is already being
+// solved by another worker does not park behind it: the task subscribes to
+// the in-flight solve's completion callback and the worker returns to the
+// queue immediately, so a burst of duplicates on one slow cold key costs
+// one worker, not W. The subscribed task is finished by deliver on the
+// leader's goroutine.
+func (p *Pool) runTask(t task, sc *engine.Scratch) {
+	if err := t.ctx.Err(); err != nil {
+		p.col.record(0, true)
+		t.done(Result{Index: t.index, Err: err})
+		return
+	}
+	ctx := t.ctx
+	var cancel context.CancelFunc
+	if p.opts.JobTimeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, p.opts.JobTimeout)
+	}
+	start := time.Now()
+	sol, dist, cached, subscribed, err := engine.SolveCachedDetach(ctx, t.job.In, t.job.Opts, sc, p.cache,
+		func(sol *engine.Solution, dist *engine.DistInfo, err error) {
+			if cancel != nil {
+				cancel()
+			}
+			p.deliver(t, start, sol, dist, err)
+		})
+	if subscribed {
+		return
+	}
+	if cancel != nil {
+		cancel()
+	}
+	lat := time.Since(start)
+	p.col.record(lat, err != nil)
+	t.done(Result{Index: t.index, Sol: sol, Dist: dist, Cached: cached, Err: err, Latency: lat})
+}
+
+// deliver finishes a subscribed task once the flight it attached to
+// settles; it runs on the leader's worker goroutine. A successful flight
+// is the subscribed task's result (Cached, like any coalesced job; its
+// latency is measured from when the task left the queue). The leader's
+// failure is not inherited — it may be the leader's own cancellation — so
+// the task is re-queued to run afresh, on its own goroutine so the leader
+// worker is not stolen for the retry.
+func (p *Pool) deliver(t task, start time.Time, sol *engine.Solution, dist *engine.DistInfo, err error) {
+	if cerr := t.ctx.Err(); cerr != nil {
+		p.col.record(0, true)
+		t.done(Result{Index: t.index, Err: cerr})
+		return
+	}
+	if err == nil {
+		lat := time.Since(start)
+		p.col.record(lat, false)
+		t.done(Result{Index: t.index, Sol: sol, Dist: dist, Cached: true, Latency: lat})
+		return
+	}
+	p.retryWG.Add(1)
+	go func() {
+		defer p.retryWG.Done()
+		p.mu.RLock()
+		if p.closed {
+			p.mu.RUnlock()
+			p.col.record(0, true)
+			t.done(Result{Index: t.index, Err: ErrPoolClosed})
+			return
+		}
+		select {
+		case p.tasks <- t:
+			p.mu.RUnlock()
+		case <-t.ctx.Done():
+			p.mu.RUnlock()
+			p.col.record(0, true)
+			t.done(Result{Index: t.index, Err: t.ctx.Err()})
+		}
+	}()
 }
 
 // Submit enqueues one job; done is invoked exactly once, on a worker
@@ -115,11 +198,20 @@ func (p *Pool) CacheStats() *engine.CacheStats {
 // Workers returns the fixed pool size.
 func (p *Pool) Workers() int { return p.col.workers }
 
+// PruneCache removes cached results whose key fails keep and returns the
+// number removed (0 when caching is disabled). The serving layer calls it
+// when a ring cutover reassigns part of this process's key space.
+func (p *Pool) PruneCache(keep func(canon.Key) bool) int {
+	return p.cache.Prune(keep)
+}
+
 // Close stops accepting work, waits for in-flight submissions and queued
 // jobs to finish and returns. Safe to call more than once. Close never
 // deadlocks against blocked submitters: the workers keep draining the
 // queue until Close acquires the lock, at which point no submitter holds
-// it.
+// it. Re-queue goroutines (subscribed tasks whose leader failed) are
+// awaited after the workers: their retryWG.Add always happens on a worker
+// goroutine, so it is ordered before wg.Wait returns.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if !p.closed {
@@ -128,4 +220,5 @@ func (p *Pool) Close() {
 	}
 	p.mu.Unlock()
 	p.wg.Wait()
+	p.retryWG.Wait()
 }

@@ -54,6 +54,10 @@ type Stats struct {
 	Hits, Misses, Coalesced int64
 	// Evictions counts entries removed to honour the byte budget.
 	Evictions int64
+	// Pruned counts entries removed by Prune (ring cutovers); kept apart
+	// from Evictions so budget pressure and ownership changes stay
+	// distinguishable in fleet stats.
+	Pruned int64
 	// Entries and Bytes describe the current contents; MaxBytes echoes the
 	// configured budget.
 	Entries  int
@@ -68,11 +72,15 @@ type entry struct {
 	bytes int64
 }
 
-// flight is one in-progress computation other callers can wait on.
+// flight is one in-progress computation other callers can wait on (Do) or
+// subscribe to (DoDetached).
 type flight struct {
 	done chan struct{} // closed when val/err are final
 	val  any
 	err  error
+	// subs are DoDetached subscribers; appended under the shard lock while
+	// the flight is registered, collected by the leader when it settles.
+	subs []func(val any, err error)
 }
 
 // shard is one lock domain: a map, an LRU list (front = most recent) and a
@@ -91,8 +99,8 @@ type Cache struct {
 	shards []shard
 	mask   uint32
 
-	hits, misses, coalesced, evictions atomic.Int64
-	maxBytes                           int64
+	hits, misses, coalesced, evictions, pruned atomic.Int64
+	maxBytes                                   int64
 }
 
 // New builds a cache; the zero-valued Options give the defaults.
@@ -234,18 +242,96 @@ func (c *Cache) Do(ctx context.Context, key canon.Key, compute func() (any, int6
 
 		var bytes int64
 		f.val, bytes, f.err = compute()
-
-		sh.mu.Lock()
-		delete(sh.flights, key)
-		var evicted int64
-		if f.err == nil {
-			evicted = sh.put(key, f.val, bytes)
-		}
-		sh.mu.Unlock()
-		c.evictions.Add(evicted)
-		close(f.done)
+		c.settle(sh, key, f, bytes)
 		return f.val, false, f.err
 	}
+}
+
+// settle finalizes a flight the caller led: the entry is stored (on
+// success) and the flight unregistered in one critical section, so no new
+// waiter or subscriber can attach afterwards; then the waiters are released
+// and the subscribers delivered, on the leader's goroutine. Delivery order
+// is subscription order.
+func (c *Cache) settle(sh *shard, key canon.Key, f *flight, bytes int64) {
+	sh.mu.Lock()
+	delete(sh.flights, key)
+	var evicted int64
+	if f.err == nil {
+		evicted = sh.put(key, f.val, bytes)
+	}
+	subs := f.subs
+	f.subs = nil
+	sh.mu.Unlock()
+	c.evictions.Add(evicted)
+	close(f.done)
+	for _, deliver := range subs {
+		deliver(f.val, f.err)
+	}
+}
+
+// DoDetached is Do for callers that must not block on someone else's
+// computation. A cache hit, or a miss that makes the caller the leader,
+// behaves exactly like Do and returns done=true. But when another caller's
+// flight for key is already in progress, DoDetached registers deliver on it
+// and returns immediately with done=false: deliver will be invoked exactly
+// once, on the leader's goroutine after the flight settles, with the shared
+// value or the leader's error. There is no automatic retry on leader
+// failure — the subscriber sees the error and decides (the batch pool
+// re-queues the job). A subscription cannot be cancelled; deliver must be
+// safe to call even if the subscriber has since lost interest.
+// hit reports (as in Do) whether the value came from a stored entry rather
+// than this call's own compute.
+func (c *Cache) DoDetached(key canon.Key, compute func() (any, int64, error), deliver func(val any, err error)) (val any, hit, done bool, err error) {
+	sh := c.shardOf(key)
+	sh.mu.Lock()
+	if val, ok := sh.get(key); ok {
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return val, true, true, nil
+	}
+	if f, ok := sh.flights[key]; ok {
+		f.subs = append(f.subs, deliver)
+		sh.mu.Unlock()
+		c.coalesced.Add(1)
+		return nil, false, false, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	sh.flights[key] = f
+	sh.mu.Unlock()
+	c.misses.Add(1)
+
+	var bytes int64
+	f.val, bytes, f.err = compute()
+	c.settle(sh, key, f, bytes)
+	return f.val, false, true, f.err
+}
+
+// Prune removes every stored entry whose key fails keep and returns the
+// number removed. The serving layer calls it after a ring cutover so a
+// shard drops the partitions it no longer owns — keeping the fleet-wide
+// "every key cached exactly once" invariant — without disturbing entries it
+// still owns. In-flight computations are not affected; their results are
+// stored as usual and, if now unwanted, removed by the next Prune.
+func (c *Cache) Prune(keep func(canon.Key) bool) int {
+	total := 0
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for el := sh.lru.Front(); el != nil; {
+			next := el.Next()
+			e := el.Value.(*entry)
+			if !keep(e.key) {
+				sh.lru.Remove(el)
+				delete(sh.entries, e.key)
+				sh.bytes -= e.bytes
+				total++
+			}
+			el = next
+		}
+		sh.mu.Unlock()
+	}
+	c.pruned.Add(int64(total))
+	return total
 }
 
 // Stats snapshots the counters and contents. The counters are read with
@@ -257,6 +343,7 @@ func (c *Cache) Stats() Stats {
 		Misses:    c.misses.Load(),
 		Coalesced: c.coalesced.Load(),
 		Evictions: c.evictions.Load(),
+		Pruned:    c.pruned.Load(),
 		MaxBytes:  c.maxBytes,
 	}
 	for i := range c.shards {

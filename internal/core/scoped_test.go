@@ -1,0 +1,124 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/structured"
+)
+
+// agentBall returns the agents within `hops` agent-graph hops of root,
+// where two agents are adjacent when they share a constraint or an
+// objective (bipartite distance 2). The t_u recursion at radius r descends
+// through alternating objective- and constraint-hops to depth ≤ 2r+1, so a
+// ball of 2r+2 hops is always a recursion-closed scope.
+func agentBall(s *structured.Instance, root int32, hops int) []int32 {
+	seen := map[int32]bool{root: true}
+	order := []int32{root}
+	frontier := []int32{root}
+	for h := 0; h < hops && len(frontier) > 0; h++ {
+		var next []int32
+		add := func(w int32) {
+			if !seen[w] {
+				seen[w] = true
+				order = append(order, w)
+				next = append(next, w)
+			}
+		}
+		for _, v := range frontier {
+			s.PeersDo(v, add)
+			for _, i := range s.ConsOf[v] {
+				w, _, _ := s.Partner(int(i), v)
+				add(w)
+			}
+		}
+		frontier = next
+	}
+	return order
+}
+
+// TestScopedEvaluatorBitIdentical: a scoped evaluator over any
+// recursion-closed agent subset computes the same t_u bits as the
+// full-instance evaluator, for every root and several radii.
+func TestScopedEvaluatorBitIdentical(t *testing.T) {
+	instances := []*structured.Instance{
+		mustStructured(t, gen.TriNecklace(5)),
+		mustStructured(t, gen.RandomStructured(gen.StructuredConfig{Objectives: 6, MaxDegK: 3, ExtraCons: 5}, 3)),
+		mustStructured(t, gen.RandomStructured(gen.StructuredConfig{Objectives: 8, MaxDegK: 4, ExtraCons: 6}, 8)),
+	}
+	for ii, s := range instances {
+		for _, r := range []int{0, 1, 2, 3} {
+			full, err := NewEvaluator(s, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for u := int32(0); int(u) < s.N; u++ {
+				scope := agentBall(s, u, 2*r+2)
+				scoped, err := NewEvaluatorScoped(s, r, scope)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := full.ComputeT(u, 60)
+				got := scoped.ComputeT(u, 60)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("instance %d r=%d root %d: scoped t_u = %x, full = %x",
+						ii, r, u, math.Float64bits(got), math.Float64bits(want))
+				}
+			}
+		}
+	}
+}
+
+// TestScopedEvaluatorFootprint pins the memory contract that makes N
+// concurrent per-agent evaluators O(N) in total: the memo tables are sized
+// by the scope, not the instance, and on a bounded-degree instance the
+// recursion-closed scope of one root does not grow with N.
+func TestScopedEvaluatorFootprint(t *testing.T) {
+	const r = 3
+	maxScope := func(n int) int {
+		s := mustStructured(t, gen.TriNecklace(n))
+		max := 0
+		for u := int32(0); int(u) < s.N; u++ {
+			scope := agentBall(s, u, 2*r+2)
+			ev, err := NewEvaluatorScoped(s, r, scope)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The table covers exactly scope×(r+1) slots — the budget an
+			// AllocsPerRun of the old code would have charged at N×(r+1).
+			if got, want := len(ev.ev.plus), len(scope)*(r+1); got != want {
+				t.Fatalf("n=%d root %d: memo table %d slots, want %d", n, u, got, want)
+			}
+			if len(scope) > max {
+				max = len(scope)
+			}
+		}
+		return max
+	}
+	small, large := maxScope(40), maxScope(80)
+	if small != large {
+		t.Fatalf("scope grew with N on a bounded-degree instance: %d @N=40 vs %d @N=80", small, large)
+	}
+	s := mustStructured(t, gen.TriNecklace(80))
+	if small*(r+1) >= s.N {
+		t.Fatalf("scoped tables (%d slots) are no smaller than a full-instance row (%d) — the instance is too small to pin the budget", small*(r+1), s.N)
+	}
+}
+
+// TestScopedEvaluatorPanicsOutsideScope: reaching beyond the declared
+// scope must fail loudly, not alias another agent's memo row.
+func TestScopedEvaluatorPanicsOutsideScope(t *testing.T) {
+	s := mustStructured(t, gen.TriNecklace(6))
+	// Scope = only the root: any r>0 recursion leaves it immediately.
+	ev, err := NewEvaluatorScoped(s, 2, []int32{0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-scope evaluation did not panic")
+		}
+	}()
+	ev.ComputeT(0, 10)
+}

@@ -120,13 +120,28 @@ func (e *engine) checkCoverage(gs *gossip, n bipartite.Node, radius int) error {
 // checks coverage, and computes t_u on the reconstructed neighbourhood —
 // which is the local restriction of the structured instance, so the
 // centralised kernel applies verbatim.
+//
+// The evaluator is scoped to the agents whose records this node gossiped:
+// the checked radius-(4r+3) ball strictly contains everything the t_u
+// recursion can reach (bipartite distance ≤ 4r+2), and for bounded-degree
+// instances it is O(1) agents. Every agent runs its evaluator in the same
+// simulated round, so full-instance tables would put O(N²·(r+1)) words in
+// flight at the barrier; scoped tables keep the whole round at O(N).
 func (a *agentNode) recComputeT() (float64, error) {
 	e := a.e
 	e.collectFresh(a.gs, a.id)
 	if err := e.checkCoverage(a.gs, a.id, a.sch.gather); err != nil {
 		return 0, err
 	}
-	ev, err := core.NewEvaluator(e.s, a.sch.r)
+	// Agents occupy node ids [0, s.N); their records double as the
+	// evaluator scope.
+	agents := make([]int32, 0, 16)
+	for id := 0; id < e.s.N; id++ {
+		if a.gs.known[id] {
+			agents = append(agents, int32(id))
+		}
+	}
+	ev, err := core.NewEvaluatorScoped(e.s, a.sch.r, agents)
 	if err != nil {
 		return 0, err
 	}

@@ -46,6 +46,17 @@ func (c *Cache) Stats() CacheStats {
 	return c.c.Stats()
 }
 
+// Prune removes every cached result whose key fails keep and returns the
+// number removed. The serving layer calls it after a ring cutover so each
+// shard keeps only the partitions the new assignment gives it. A no-op on
+// a nil cache.
+func (c *Cache) Prune(keep func(canon.Key) bool) int {
+	if c == nil || c.c == nil {
+		return 0
+	}
+	return c.c.Prune(keep)
+}
+
 // cachedResult is what one key maps to: the solution and, for the
 // message-passing engines, the traffic report of the run that produced it.
 type cachedResult struct {
@@ -151,4 +162,60 @@ func SolveCached(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch,
 	}
 	res := v.(*cachedResult)
 	return res.sol.clone(), res.info.clone(), hit, nil
+}
+
+// SolveCachedDetach is SolveCached for callers that must not park behind
+// another caller's in-flight solve of the same key. When no such flight
+// exists it behaves exactly like SolveCached (deliver is unused) and
+// returns subscribed=false. When one does, the call registers deliver on
+// the flight and returns immediately with subscribed=true and every other
+// result zero: deliver is later invoked exactly once, on the leading
+// goroutine, with a private copy of the shared solution on success or the
+// leader's error on failure. Unlike SolveCached there is no automatic
+// retry after a leader failure — the subscriber decides (the batch pool
+// re-queues the job, applying its own timeout afresh).
+func SolveCachedDetach(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch, ca *Cache, deliver func(sol *Solution, info *DistInfo, err error)) (sol *Solution, info *DistInfo, cached, subscribed bool, err error) {
+	if ca == nil || ca.c == nil {
+		sol, info, err = SolveScratch(ctx, in, o, sc)
+		return sol, info, false, false, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	coreScratch := sc != nil
+	var cs *mmlp.CanonScratch
+	if sc != nil {
+		cs = &sc.canon
+	}
+	cin := in.CanonicalInto(cs)
+	v, hit, done, err := ca.c.DoDetached(SolveKey(cin, o), func() (any, int64, error) {
+		if err := in.Validate(); err != nil {
+			return nil, 0, err
+		}
+		wsc := sc
+		if wsc == nil {
+			wsc = NewScratch()
+		}
+		sol, info, err := solveCanonical(ctx, cin, o, wsc, coreScratch)
+		if err != nil {
+			return nil, 0, err
+		}
+		res := &cachedResult{sol: sol, info: info}
+		return res, res.bytes(), nil
+	}, func(val any, derr error) {
+		if derr != nil {
+			deliver(nil, nil, derr)
+			return
+		}
+		res := val.(*cachedResult)
+		deliver(res.sol.clone(), res.info.clone(), nil)
+	})
+	if !done {
+		return nil, nil, false, true, nil
+	}
+	if err != nil {
+		return nil, nil, false, false, err
+	}
+	res := v.(*cachedResult)
+	return res.sol.clone(), res.info.clone(), hit, false, nil
 }

@@ -158,9 +158,12 @@ type CacheStatsRaw struct {
 	Misses    int64 `json:"misses"`
 	Coalesced int64 `json:"coalesced"`
 	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
-	MaxBytes  int64 `json:"max_bytes"`
+	// Pruned counts entries dropped because a ring cutover moved their key
+	// to another shard (distinct from budget-pressure evictions).
+	Pruned   int64 `json:"pruned"`
+	Entries  int   `json:"entries"`
+	Bytes    int64 `json:"bytes"`
+	MaxBytes int64 `json:"max_bytes"`
 }
 
 // Add accumulates other into s (fleet aggregation). Latency quantiles are
@@ -195,6 +198,7 @@ func (s *StatsRaw) Add(other *StatsRaw) {
 		s.Cache.Misses += other.Cache.Misses
 		s.Cache.Coalesced += other.Cache.Coalesced
 		s.Cache.Evictions += other.Cache.Evictions
+		s.Cache.Pruned += other.Cache.Pruned
 		s.Cache.Entries += other.Cache.Entries
 		s.Cache.Bytes += other.Cache.Bytes
 		s.Cache.MaxBytes += other.Cache.MaxBytes
@@ -207,14 +211,68 @@ type RouterStats struct {
 	// currently marked down.
 	Shards  int `json:"shards"`
 	Healthy int `json:"healthy"`
+	// RingVersion is the current topology generation (1 at boot, bumped by
+	// every accepted POST /admin/ring). Draining reports that a cutover is
+	// still waiting for requests pinned to the previous generation.
+	RingVersion uint64 `json:"ring_version"`
+	Draining    bool   `json:"draining,omitempty"`
+	// Replication is the configured replica-set size R: each key lives on
+	// its first R distinct ring successors.
+	Replication int `json:"replication"`
 	// Routed counts key→shard assignments, Forwarded the HTTP forwards
 	// attempted (batch jobs forward per owning shard, not per job),
 	// Retried the forwards re-sent to a later replica, ShardDown the
-	// transitions of a member into the down state.
-	Routed    int64 `json:"routed"`
-	Forwarded int64 `json:"forwarded"`
-	Retried   int64 `json:"retried"`
-	ShardDown int64 `json:"shard_down"`
+	// transitions of a member into the down state. Replicated counts the
+	// write-through warms sent to backup replicas after a solve.
+	Routed     int64 `json:"routed"`
+	Forwarded  int64 `json:"forwarded"`
+	Retried    int64 `json:"retried"`
+	ShardDown  int64 `json:"shard_down"`
+	Replicated int64 `json:"replicated"`
+}
+
+// RingProposal is the body of POST /admin/ring on mmlprouter: the member
+// set of the next topology generation.
+type RingProposal struct {
+	Members []string `json:"members"`
+}
+
+// DrainStatus describes the in-progress half of a ring cutover.
+type DrainStatus struct {
+	// FromVersion/FromMembers identify the generation being drained.
+	FromVersion uint64   `json:"from_version"`
+	FromMembers []string `json:"from_members"`
+	// Inflight is the number of requests still pinned to it.
+	Inflight int64 `json:"inflight"`
+}
+
+// RingStatus is the body of GET /admin/ring (and the response of an
+// accepted proposal): the current topology generation plus drain progress.
+type RingStatus struct {
+	Version     uint64       `json:"version"`
+	Members     []string     `json:"members"`
+	Replication int          `json:"replication"`
+	Draining    *DrainStatus `json:"draining,omitempty"`
+}
+
+// ShardRingUpdate is the body of POST /admin/ring on mmlpserve: the router
+// tells one shard the assignment changed so it prunes cache entries it no
+// longer owns. Self is the receiving shard's own member address — a key is
+// kept iff Self is among its first Replication distinct successors on the
+// ring built from Members/Replicas.
+type ShardRingUpdate struct {
+	Members []string `json:"members"`
+	// Replicas is the ring's virtual-node count per member (0 = the ring
+	// default); it must match the router's flag for the assignments to
+	// agree.
+	Replicas    int    `json:"replicas,omitempty"`
+	Replication int    `json:"replication,omitempty"`
+	Self        string `json:"self"`
+}
+
+// PruneResponse reports how many cache entries a ShardRingUpdate removed.
+type PruneResponse struct {
+	Pruned int `json:"pruned"`
 }
 
 // ShardStats is one member's block inside FleetStats.

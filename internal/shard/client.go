@@ -3,6 +3,7 @@ package shard
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"net/http"
@@ -28,6 +29,12 @@ const DefaultCooldown = 5 * time.Second
 // as long as the instance demands before the first header is written.
 const DefaultDialTimeout = 2 * time.Second
 
+// ErrCutoverInProgress is returned by Propose while a previous cutover is
+// still draining. Ring changes are serialized: the drain invariant — every
+// request runs against exactly one of (old, new) and the old ring empties
+// monotonically — holds for one transition at a time.
+var ErrCutoverInProgress = errors.New("shard: ring cutover already in progress")
+
 // Stats is a snapshot of the client's routing counters.
 type Stats struct {
 	// Routed counts key→member assignments answered (Owner calls).
@@ -39,6 +46,39 @@ type Stats struct {
 	Retried int64
 	// ShardDown counts transitions of a member into the down state.
 	ShardDown int64
+}
+
+// RingVersion is one immutable generation of the fleet topology: a ring
+// plus a version number and the count of requests still pinned to it. The
+// client hands every request a *RingVersion via Acquire, so a cutover can
+// route new work by the new assignment while in-flight work drains on the
+// old one — no request ever sees a half-applied topology.
+type RingVersion struct {
+	version  uint64
+	ring     *Ring
+	inflight atomic.Int64
+}
+
+// Version returns the generation number (the first ring is version 1).
+func (rv *RingVersion) Version() uint64 { return rv.version }
+
+// Ring returns the immutable ring of this generation.
+func (rv *RingVersion) Ring() *Ring { return rv.ring }
+
+// Inflight returns the number of requests currently pinned to this
+// generation.
+func (rv *RingVersion) Inflight() int64 { return rv.inflight.Load() }
+
+// Cutover is a snapshot of an in-progress ring transition, for the admin
+// surface: requests admitted before the flip drain on From while new ones
+// route by To.
+type Cutover struct {
+	// From/To are the generation numbers of the draining and current rings.
+	From, To uint64
+	// FromMembers/ToMembers are the member sets of the two rings.
+	FromMembers, ToMembers []string
+	// Draining is the number of requests still pinned to the old ring.
+	Draining int64
 }
 
 // ClientOptions configures a Client.
@@ -54,19 +94,40 @@ type ClientOptions struct {
 	// connections instead of re-dialling, and a bounded dial so a
 	// blackholed member fails over promptly).
 	Transport http.RoundTripper
+	// Replication is the number of ring successors that hold each key
+	// (≤ 0 means 1, i.e. no replication). DoFunc retries target the
+	// replica set first: any of the R successors can answer a key from a
+	// warm cache, so a dead primary costs a hop, not a recompute.
+	Replication int
+	// OnCutoverDone, when set, runs (on its own goroutine) after the last
+	// request pinned to an old ring drains following a Propose. The router
+	// uses it to tell shards to prune cache entries they no longer own.
+	OnCutoverDone func(old, new *Ring)
 }
 
 // Client routes keys to fleet members and forwards HTTP requests to them.
-// It layers mutable health state over an immutable Ring: a member that
+// It layers mutable health state over immutable Rings: a member that
 // fails at the transport level (connection refused, reset, timeout — not an
 // HTTP error status, which proves the shard is alive) is marked down for a
 // cooldown and skipped by Owner and Do until it expires or a later forward
-// succeeds. Safe for concurrent use.
+// succeeds.
+//
+// The topology itself is versioned: the client starts at ring version 1 and
+// Propose installs version n+1 while version n drains (see RingVersion).
+// Callers that make several routing decisions for one request — the router's
+// batch handler groups jobs by owner, forwards, then re-forwards stragglers —
+// pin a generation with Acquire/Release so all decisions agree. Safe for
+// concurrent use.
 type Client struct {
-	ring     *Ring
-	hc       *http.Client
-	cooldown time.Duration
-	now      func() time.Time // injectable for tests
+	hc          *http.Client
+	cooldown    time.Duration
+	replication int
+	now         func() time.Time // injectable for tests
+
+	cur      atomic.Pointer[RingVersion]
+	draining atomic.Pointer[RingVersion] // non-nil while a cutover drains
+	cutMu    sync.Mutex                  // serializes Propose and cutover completion
+	onDone   func(old, new *Ring)
 
 	mu        sync.Mutex
 	downUntil map[string]time.Time
@@ -74,13 +135,16 @@ type Client struct {
 	routed, forwarded, retried, shardDown atomic.Int64
 }
 
-// NewClient builds a client over ring.
+// NewClient builds a client over ring, which becomes generation 1.
 func NewClient(ring *Ring, o ClientOptions) *Client {
 	if o.Cooldown <= 0 {
 		o.Cooldown = DefaultCooldown
 	}
 	if o.DialTimeout <= 0 {
 		o.DialTimeout = DefaultDialTimeout
+	}
+	if o.Replication <= 0 {
+		o.Replication = 1
 	}
 	tr := o.Transport
 	if tr == nil {
@@ -91,17 +155,114 @@ func NewClient(ring *Ring, o ClientOptions) *Client {
 			IdleConnTimeout:     90 * time.Second,
 		}
 	}
-	return &Client{
-		ring:      ring,
-		hc:        &http.Client{Transport: tr},
-		cooldown:  o.Cooldown,
-		now:       time.Now,
-		downUntil: make(map[string]time.Time),
+	c := &Client{
+		hc:          &http.Client{Transport: tr},
+		cooldown:    o.Cooldown,
+		replication: o.Replication,
+		now:         time.Now,
+		onDone:      o.OnCutoverDone,
+		downUntil:   make(map[string]time.Time),
+	}
+	c.cur.Store(&RingVersion{version: 1, ring: ring})
+	return c
+}
+
+// Ring returns the current generation's ring.
+func (c *Client) Ring() *Ring { return c.cur.Load().ring }
+
+// Version returns the current generation number.
+func (c *Client) Version() uint64 { return c.cur.Load().version }
+
+// Replication returns the configured replica-set size.
+func (c *Client) Replication() int { return c.replication }
+
+// Acquire pins the caller to the current ring generation; every routing
+// decision made against the returned RingVersion sees one consistent
+// topology. The caller must Release exactly once — a cutover completes
+// only when the old generation's pin count drains to zero.
+func (c *Client) Acquire() *RingVersion {
+	for {
+		rv := c.cur.Load()
+		rv.inflight.Add(1)
+		if c.cur.Load() == rv {
+			return rv
+		}
+		// A Propose slipped between the load and the increment; the pin
+		// may have landed on a generation that is already draining (or
+		// even finished). Undo it and pin the new current instead.
+		c.Release(rv)
 	}
 }
 
-// Ring returns the client's ring.
-func (c *Client) Ring() *Ring { return c.ring }
+// Release unpins a generation acquired with Acquire. Releasing the last
+// pin of a draining generation completes the cutover.
+func (c *Client) Release(rv *RingVersion) {
+	if rv.inflight.Add(-1) == 0 && c.draining.Load() == rv {
+		c.finishCutover(rv)
+	}
+}
+
+// finishCutover retires old if it is still the draining generation and
+// truly idle, then fires the completion callback.
+func (c *Client) finishCutover(old *RingVersion) {
+	c.cutMu.Lock()
+	if c.draining.Load() != old || old.inflight.Load() != 0 {
+		c.cutMu.Unlock()
+		return
+	}
+	c.draining.Store(nil)
+	cur := c.cur.Load()
+	done := c.onDone
+	c.cutMu.Unlock()
+	if done != nil {
+		go done(old.ring, cur.ring)
+	}
+}
+
+// Propose installs a new member set as the next ring generation. New
+// Acquires route by the new assignment immediately; requests pinned to the
+// old generation drain on the old one, and when the last drains the
+// cutover completes (OnCutoverDone fires). Returns ErrCutoverInProgress
+// while a previous transition is still draining — topology changes are
+// applied one at a time.
+func (c *Client) Propose(members []string) (*RingVersion, error) {
+	c.cutMu.Lock()
+	if c.draining.Load() != nil {
+		c.cutMu.Unlock()
+		return nil, ErrCutoverInProgress
+	}
+	cur := c.cur.Load()
+	ring, err := New(members, cur.ring.Replicas())
+	if err != nil {
+		c.cutMu.Unlock()
+		return nil, err
+	}
+	next := &RingVersion{version: cur.version + 1, ring: ring}
+	c.draining.Store(cur)
+	c.cur.Store(next)
+	c.cutMu.Unlock()
+	if cur.inflight.Load() == 0 {
+		c.finishCutover(cur)
+	}
+	return next, nil
+}
+
+// Draining snapshots the in-progress cutover, or nil when the topology is
+// stable.
+func (c *Client) Draining() *Cutover {
+	old := c.draining.Load()
+	if old == nil {
+		return nil
+	}
+	cur := c.cur.Load()
+	return &Cutover{
+		From:        old.version,
+		To:          cur.version,
+		FromMembers: old.ring.Members(),
+		ToMembers:   cur.ring.Members(),
+		Draining:    old.inflight.Load(),
+	}
+}
 
 // Stats snapshots the routing counters.
 func (c *Client) Stats() Stats {
@@ -128,14 +289,27 @@ func (c *Client) down(m string) bool {
 	return true
 }
 
-// markDown records a transport failure against m.
+// Down reports whether member is currently marked down. Exported for
+// callers that want to skip optional traffic (replica warming) to a corpse.
+func (c *Client) Down(member string) bool { return c.down(member) }
+
+// markDown records a transport failure against m. A failure observed while
+// m is already inside an active cooldown window is not a new outage and
+// must not slide the window forward: DoFunc's desperation passes re-probe
+// cooled-down members on every request, so extending the window on each
+// failed probe would keep a member that recovers on schedule routed-around
+// for far longer than the configured cooldown. A failure after the window
+// has lapsed (stale entry not yet swept by down) is a fresh transition and
+// both restarts the window and counts in ShardDown.
 func (c *Client) markDown(m string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, was := c.downUntil[m]; !was {
-		c.shardDown.Add(1)
+	now := c.now()
+	if until, was := c.downUntil[m]; was && now.Before(until) {
+		return
 	}
-	c.downUntil[m] = c.now().Add(c.cooldown)
+	c.shardDown.Add(1)
+	c.downUntil[m] = now.Add(c.cooldown)
 }
 
 // markUp clears m's down state after a successful forward.
@@ -145,11 +319,12 @@ func (c *Client) markUp(m string) {
 	delete(c.downUntil, m)
 }
 
-// Healthy returns the members not currently marked down, in canonical
-// order.
+// Healthy returns the current ring's members not currently marked down, in
+// canonical order.
 func (c *Client) Healthy() []string {
-	out := make([]string, 0, len(c.ring.Members()))
-	for _, m := range c.ring.Members() {
+	members := c.Ring().Members()
+	out := make([]string, 0, len(members))
+	for _, m := range members {
 		if !c.down(m) {
 			out = append(out, m)
 		}
@@ -157,28 +332,41 @@ func (c *Client) Healthy() []string {
 	return out
 }
 
-// Owner returns the healthy member that owns k: k's ring owner when it is
-// up, otherwise the first healthy successor. When every member is down the
-// plain ring owner is returned — the caller's forward will fail fast and
-// surface the outage. Routing around a down owner trades strict cache
-// partitioning for availability: the stand-in replica may cache keys the
-// owner also holds, and ownership snaps back when the owner recovers.
+// Owner routes k on the current generation; see OwnerOn.
 func (c *Client) Owner(k canon.Key) string {
+	return c.OwnerOn(c.cur.Load(), k)
+}
+
+// OwnerOn returns the healthy member that owns k on generation rv: k's
+// ring owner when it is up, otherwise the first healthy successor. When
+// every member is down the plain ring owner is returned — the caller's
+// forward will fail fast and surface the outage. Routing around a down
+// owner trades strict cache partitioning for availability: the stand-in
+// replica may cache keys the owner also holds, and ownership snaps back
+// when the owner recovers.
+func (c *Client) OwnerOn(rv *RingVersion, k canon.Key) string {
 	c.routed.Add(1)
 	// Fast path: the ring owner is healthy (the steady state). Owner runs
 	// once per routed job, so it must not pay the successor walk's
 	// allocations just to take its first element.
-	owner := c.ring.Owner(k)
+	owner := rv.ring.Owner(k)
 	if !c.down(owner) {
 		return owner
 	}
-	succ := c.ring.Successors(k, len(c.ring.Members()))
+	succ := rv.ring.Successors(k, len(rv.ring.Members()))
 	for _, m := range succ {
 		if !c.down(m) {
 			return m
 		}
 	}
 	return succ[0]
+}
+
+// ReplicaSet returns the members that hold k on generation rv: its first
+// min(Replication, fleet size) distinct ring successors, owner first. Any
+// of them can answer k from a warm cache once write-through has run.
+func (c *Client) ReplicaSet(rv *RingVersion, k canon.Key) []string {
+	return rv.ring.Successors(k, c.replication)
 }
 
 // Forward POSTs body to one member and returns the response. A transport
@@ -220,37 +408,59 @@ func (c *Client) Get(ctx context.Context, member, path string) (*http.Response, 
 	return resp, nil
 }
 
-// DoFunc drives fn against k's replicas in ring order until one handles
-// the request. fn returns done=true when the request was handled on that
-// member — even partially, so a broken mid-stream response is not replayed
-// wholesale — and done=false with an error to advance to the next replica.
-// fn is expected to reach the member through Forward/Get so transport
-// failures feed the health state. The first pass tries the healthy
-// members; the second tries the ones that were in cooldown — they may have
-// recovered, and a fully-down fleet should surface its real transport
-// error rather than a fabricated one. Each member is dialled at most once.
-// Returns fn's terminal error, or the last per-replica error when every
-// member failed.
+// DoFunc drives fn on the current generation; see DoFuncOn.
 func (c *Client) DoFunc(ctx context.Context, k canon.Key, fn func(member string) (done bool, err error)) error {
-	members := c.ring.Successors(k, len(c.ring.Members()))
-	skipped := make([]bool, len(members))
+	rv := c.Acquire()
+	defer c.Release(rv)
+	return c.DoFuncOn(ctx, rv, k, fn)
+}
+
+// DoFuncOn drives fn against k's members on generation rv until one
+// handles the request. fn returns done=true when the request was handled
+// on that member — even partially, so a broken mid-stream response is not
+// replayed wholesale — and done=false with an error to advance. fn is
+// expected to reach the member through Forward/Get so transport failures
+// feed the health state.
+//
+// The walk targets the replica set first: k's first Replication distinct
+// ring successors all hold k after write-through, so any of them answers
+// from a warm cache. Order of passes: healthy replicas in ring order, then
+// healthy non-replicas (an availability backstop that recomputes rather
+// than fails), then cooled-down replicas (they may have recovered, and a
+// fully-down fleet should surface its real transport error rather than a
+// fabricated one), then cooled-down non-replicas. With Replication 1 this
+// is exactly the classic order: healthy members in ring order, then the
+// cooled-down ones. Each member is dialled at most once. Returns fn's
+// terminal error, or the last per-replica error when every member failed.
+func (c *Client) DoFuncOn(ctx context.Context, rv *RingVersion, k canon.Key, fn func(member string) (done bool, err error)) error {
+	ring := rv.ring
+	members := ring.Successors(k, len(ring.Members()))
+	rep := c.replication
+	if rep > len(members) {
+		rep = len(members)
+	}
+	tried := make([]bool, len(members))
 	var lastErr error
-	tried := 0
-	for pass := 0; pass < 2; pass++ {
-		for i, m := range members {
-			if pass == 0 {
-				if c.down(m) {
-					skipped[i] = true
-					continue
-				}
-			} else if !skipped[i] {
-				continue // already failed in pass 0; don't re-dial the corpse
+	dials := 0
+	for pass := 0; pass < 4; pass++ {
+		lo, hi := 0, rep
+		if pass == 1 || pass == 3 {
+			lo, hi = rep, len(members)
+		}
+		probeCooled := pass >= 2
+		for i := lo; i < hi; i++ {
+			if tried[i] {
+				continue
 			}
-			if tried > 0 {
+			if !probeCooled && c.down(members[i]) {
+				continue
+			}
+			tried[i] = true
+			if dials > 0 {
 				c.retried.Add(1)
 			}
-			tried++
-			done, err := fn(m)
+			dials++
+			done, err := fn(members[i])
 			if done {
 				return err
 			}
@@ -266,15 +476,23 @@ func (c *Client) DoFunc(ctx context.Context, k canon.Key, fn func(member string)
 	return lastErr
 }
 
-// Do forwards body to k's owner, retrying on the next replicas in ring
-// order when a member fails at the transport level. The solver is a pure
-// function of the request, so re-sending to a different shard is always
-// safe. Returns the first HTTP response together with the member that
-// produced it, or the last transport error once every member has failed.
+// Do forwards body on the current generation; see DoOn.
 func (c *Client) Do(ctx context.Context, k canon.Key, path, contentType string, body []byte) (*http.Response, string, error) {
+	rv := c.Acquire()
+	defer c.Release(rv)
+	return c.DoOn(ctx, rv, k, path, contentType, body)
+}
+
+// DoOn forwards body to k's owner on generation rv, retrying through the
+// replica set (then the rest of the ring) when a member fails at the
+// transport level. The solver is a pure function of the request, so
+// re-sending to a different shard is always safe. Returns the first HTTP
+// response together with the member that produced it, or the last
+// transport error once every member has failed.
+func (c *Client) DoOn(ctx context.Context, rv *RingVersion, k canon.Key, path, contentType string, body []byte) (*http.Response, string, error) {
 	var resp *http.Response
 	var member string
-	err := c.DoFunc(ctx, k, func(m string) (bool, error) {
+	err := c.DoFuncOn(ctx, rv, k, func(m string) (bool, error) {
 		r, err := c.Forward(ctx, m, path, contentType, body)
 		if err != nil {
 			return false, err

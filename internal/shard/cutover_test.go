@@ -1,0 +1,292 @@
+package shard
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// clientOverFakes builds a client over a ring of addresses nothing listens
+// on — fine for tests that drive DoFuncOn with a stub fn or poke the health
+// state directly.
+func clientOverFakes(t *testing.T, n int, o ClientOptions) *Client {
+	t.Helper()
+	ring, err := New(testMembers(n), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewClient(ring, o)
+}
+
+// TestMarkDownWindowDiscipline is the regression for the retry/cooldown
+// double-count bug: a transport failure observed while a member is already
+// inside an active cooldown window (DoFunc's desperation passes re-probe
+// cooled members on every request) must neither extend the window nor count
+// another ShardDown transition — otherwise a member that recovers on
+// schedule stays routed-around for as long as traffic keeps probing it.
+func TestMarkDownWindowDiscipline(t *testing.T) {
+	const cd = 10 * time.Second
+	type step struct {
+		at       time.Duration // virtual clock offset
+		ev       string        // "fail", "ok", "down", "up"
+		wantDown int64         // expected ShardDown counter after the step
+	}
+	cases := []struct {
+		name  string
+		steps []step
+	}{
+		{
+			// The failed re-probe at t=5 must not slide the window to 15:
+			// the member recovers at the window's original end, t=10.
+			name: "probe failure does not extend active window",
+			steps: []step{
+				{at: 0, ev: "fail", wantDown: 1},
+				{at: 5 * time.Second, ev: "fail", wantDown: 1},
+				{at: 9 * time.Second, ev: "down", wantDown: 1},
+				{at: 11 * time.Second, ev: "up", wantDown: 1},
+			},
+		},
+		{
+			name: "recovery then fresh failure restarts window and counts",
+			steps: []step{
+				{at: 0, ev: "fail", wantDown: 1},
+				{at: 3 * time.Second, ev: "ok", wantDown: 1},
+				{at: 4 * time.Second, ev: "fail", wantDown: 2},
+				{at: 13 * time.Second, ev: "down", wantDown: 2},
+				{at: 15 * time.Second, ev: "up", wantDown: 2},
+			},
+		},
+		{
+			// The entry from the first outage is stale (window lapsed at 10)
+			// but was never swept; the failure at 12 is a fresh transition.
+			name: "failure on stale entry counts a fresh transition",
+			steps: []step{
+				{at: 0, ev: "fail", wantDown: 1},
+				{at: 12 * time.Second, ev: "fail", wantDown: 2},
+				{at: 21 * time.Second, ev: "down", wantDown: 2},
+				{at: 23 * time.Second, ev: "up", wantDown: 2},
+			},
+		},
+		{
+			name: "flap sequence counts each distinct outage once",
+			steps: []step{
+				{at: 0, ev: "fail", wantDown: 1},
+				{at: time.Second, ev: "fail", wantDown: 1},
+				{at: 2 * time.Second, ev: "ok", wantDown: 1},
+				{at: 3 * time.Second, ev: "fail", wantDown: 2},
+				{at: 4 * time.Second, ev: "fail", wantDown: 2},
+				{at: 14 * time.Second, ev: "up", wantDown: 2},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := clientOverFakes(t, 2, ClientOptions{Cooldown: cd})
+			base := time.Unix(1_000_000, 0)
+			var offset time.Duration
+			c.now = func() time.Time { return base.Add(offset) }
+			m := c.Ring().Members()[0]
+			for i, s := range tc.steps {
+				offset = s.at
+				switch s.ev {
+				case "fail":
+					c.markDown(m)
+				case "ok":
+					c.markUp(m)
+				case "down":
+					if !c.down(m) {
+						t.Fatalf("step %d (t=%v): member up, want down", i, s.at)
+					}
+				case "up":
+					if c.down(m) {
+						t.Fatalf("step %d (t=%v): member down, want up", i, s.at)
+					}
+				}
+				if got := c.Stats().ShardDown; got != s.wantDown {
+					t.Fatalf("step %d (t=%v): ShardDown = %d, want %d", i, s.at, got, s.wantDown)
+				}
+			}
+		})
+	}
+}
+
+// TestDoFuncReplicaSetOrder checks the walk order with replication enabled:
+// healthy replicas in ring order, then healthy non-replicas, then
+// cooled-down members.
+func TestDoFuncReplicaSetOrder(t *testing.T) {
+	c := clientOverFakes(t, 4, ClientOptions{Cooldown: time.Minute, Replication: 2})
+	k := testKey(42)
+	succ := c.Ring().Successors(k, 4)
+
+	walk := func() []string {
+		var order []string
+		c.DoFuncOn(context.Background(), c.Acquire(), k, func(m string) (bool, error) {
+			order = append(order, m)
+			return false, context.DeadlineExceeded // keep advancing; any error works
+		})
+		return order
+	}
+
+	// All healthy: replica set first, then the rest, each in ring order.
+	got := walk()
+	want := []string{succ[0], succ[1], succ[2], succ[3]}
+	if !equalStrings(got, want) {
+		t.Fatalf("all-healthy walk = %v, want %v", got, want)
+	}
+
+	// Primary down: the second replica leads (warm cache), then the healthy
+	// non-replicas (availability backstop), then the cooled-down primary.
+	c.markUp(succ[0]) // reset any state from the failed walk above
+	c.markUp(succ[1])
+	c.markUp(succ[2])
+	c.markUp(succ[3])
+	c.markDown(succ[0])
+	got = walk()
+	want = []string{succ[1], succ[2], succ[3], succ[0]}
+	if !equalStrings(got, want) {
+		t.Fatalf("primary-down walk = %v, want %v", got, want)
+	}
+
+	// Whole replica set down: a live non-replica answers before any corpse
+	// is probed — a recompute beats a likely-dead warm cache.
+	for _, m := range succ {
+		c.markUp(m)
+	}
+	c.markDown(succ[0])
+	c.markDown(succ[1])
+	got = walk()
+	want = []string{succ[2], succ[3], succ[0], succ[1]}
+	if !equalStrings(got, want) {
+		t.Fatalf("replica-set-down walk = %v, want %v", got, want)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestReplicaSet checks the replica set is the distinct-successor prefix.
+func TestReplicaSet(t *testing.T) {
+	c := clientOverFakes(t, 5, ClientOptions{Replication: 3})
+	k := testKey(7)
+	rv := c.Acquire()
+	defer c.Release(rv)
+	got := c.ReplicaSet(rv, k)
+	want := c.Ring().Successors(k, 3)
+	if !equalStrings(got, want) {
+		t.Fatalf("ReplicaSet = %v, want %v", got, want)
+	}
+}
+
+// TestCutoverDrain walks the full handover: a request pinned before the
+// flip keeps the old assignment, new requests route by the new ring, and
+// the cutover completes — callback fired — only when the last old pin
+// releases.
+func TestCutoverDrain(t *testing.T) {
+	done := make(chan [2]int, 1)
+	ring, err := New(testMembers(2), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(ring, ClientOptions{
+		OnCutoverDone: func(old, new *Ring) {
+			done <- [2]int{len(old.Members()), len(new.Members())}
+		},
+	})
+
+	oldRV := c.Acquire() // an in-flight request, pinned pre-flip
+	if oldRV.Version() != 1 {
+		t.Fatalf("initial version = %d, want 1", oldRV.Version())
+	}
+
+	if _, err := c.Propose(testMembers(3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Version(); got != 2 {
+		t.Fatalf("version after propose = %d, want 2", got)
+	}
+	d := c.Draining()
+	if d == nil {
+		t.Fatal("Draining() = nil during drain")
+	}
+	if d.From != 1 || d.To != 2 || d.Draining != 1 {
+		t.Fatalf("Draining() = %+v, want From=1 To=2 Draining=1", d)
+	}
+	if len(d.FromMembers) != 2 || len(d.ToMembers) != 3 {
+		t.Fatalf("Draining() member sets = %d→%d, want 2→3", len(d.FromMembers), len(d.ToMembers))
+	}
+
+	// New requests pin the new generation; their release does not finish
+	// the drain.
+	newRV := c.Acquire()
+	if newRV.Version() != 2 {
+		t.Fatalf("new acquire pinned version %d, want 2", newRV.Version())
+	}
+	c.Release(newRV)
+	if c.Draining() == nil {
+		t.Fatal("drain finished while an old pin was held")
+	}
+	select {
+	case <-done:
+		t.Fatal("cutover callback fired before the old generation drained")
+	default:
+	}
+
+	// A second topology change is rejected mid-drain.
+	if _, err := c.Propose(testMembers(4)); err != ErrCutoverInProgress {
+		t.Fatalf("Propose mid-drain = %v, want ErrCutoverInProgress", err)
+	}
+
+	// The old pin drains: the cutover completes and the callback sees the
+	// old and new rings.
+	c.Release(oldRV)
+	if c.Draining() != nil {
+		t.Fatal("Draining() non-nil after the last old pin released")
+	}
+	select {
+	case sizes := <-done:
+		if sizes != [2]int{2, 3} {
+			t.Fatalf("callback rings = %v members, want [2 3]", sizes)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cutover callback never fired")
+	}
+
+	// The fleet is stable again: the next propose succeeds.
+	if _, err := c.Propose(testMembers(4)); err != nil {
+		t.Fatalf("Propose after drain: %v", err)
+	}
+	if got := c.Version(); got != 3 {
+		t.Fatalf("version = %d, want 3", got)
+	}
+}
+
+// TestCutoverIdleCompletesImmediately: with no in-flight requests the flip
+// is instantaneous.
+func TestCutoverIdleCompletesImmediately(t *testing.T) {
+	done := make(chan struct{}, 1)
+	ring, err := New(testMembers(2), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(ring, ClientOptions{OnCutoverDone: func(old, new *Ring) { done <- struct{}{} }})
+	if _, err := c.Propose(testMembers(3)); err != nil {
+		t.Fatal(err)
+	}
+	if c.Draining() != nil {
+		t.Fatal("idle cutover left a draining generation")
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cutover callback never fired")
+	}
+}

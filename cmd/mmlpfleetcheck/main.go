@@ -1,5 +1,5 @@
 // Command mmlpfleetcheck is the multi-process integration harness behind
-// the fleet-smoke CI job. It runs three scenarios, each against a freshly
+// the fleet-smoke CI job. It runs four scenarios, each against a freshly
 // booted real fleet — N mmlpserve processes plus one mmlprouter — next to
 // one direct mmlpserve reference process:
 //
@@ -33,6 +33,16 @@
 // GET /admin/ring, and once it completes the shards prune exactly the
 // keys whose owner moved — leaving the fleet a clean one-copy partition
 // of every distinct key on the new ring.
+//
+// mixed (replication 1) runs a JSON client and a canon binary-wire client
+// against one fleet: JSON solves warm the caches, then the same problems
+// arrive respelled as canon payloads (solve and batch, with the binary
+// result frame negotiated). Every canon answer must be a cache hit on the
+// shard the ring assigns, bit-identical to the JSON reference, the fleet
+// must hold exactly one cache line per problem across both encodings, and
+// the router's canon_passthrough counter must account for every canon job
+// — proving the router routes canon traffic by hashing bytes, without
+// decoding.
 //
 // Usage:
 //
@@ -90,6 +100,7 @@ func main() {
 		{"baseline", 1, (*harness).runBaseline},
 		{"replicated-kill", 2, (*harness).runReplicatedKill},
 		{"cutover", 1, (*harness).runCutover},
+		{"mixed", 1, (*harness).runMixed},
 	}
 	for _, sc := range scenarios {
 		fmt.Printf("=== scenario %s ===\n", sc.name)
@@ -108,7 +119,7 @@ func main() {
 		}
 		fmt.Printf("scenario %s: PASS\n", sc.name)
 	}
-	fmt.Println("PASS: fleet bit-identity, partitioning, aggregation, replicated kill and ring cutover all hold")
+	fmt.Println("PASS: fleet bit-identity, partitioning, aggregation, replicated kill, ring cutover and mixed-encoding serving all hold")
 }
 
 // proc is one child process of the fleet.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"slices"
@@ -329,6 +330,186 @@ func (h *harness) runReplicatedKill() error {
 	}
 	fmt.Printf("survival: %d warm keys all answered cached by surviving replicas (shard_down=%d, replicated=%d)\n",
 		len(warm), fleet.Router.ShardDown, fleet.Router.Replicated)
+	return nil
+}
+
+// postCanon sends one canon wire payload and returns status, body and the
+// answering shard.
+func (h *harness) postCanon(addr string, payload []byte) (int, []byte, string, error) {
+	resp, err := h.hc.Post("http://"+addr+"/v1/solve", mmlp.ContentTypeCanon, bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, b, resp.Header.Get("X-Mmlp-Shard"), err
+}
+
+// canonBatchResults posts a canon batch frame with the binary result
+// encoding negotiated and returns the decoded records by index.
+func (h *harness) canonBatchResults(addr string, frame []byte) (map[int]mmlp.BatchItem, error) {
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/v1/batch", bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", mmlp.ContentTypeCanonBatch)
+	req.Header.Set("Accept", mmlp.ContentTypeCanonResults)
+	resp, err := h.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("canon batch via %s: status %d (%s)", addr, resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != mmlp.ContentTypeCanonResults {
+		return nil, fmt.Errorf("canon batch via %s: Content-Type %q", addr, ct)
+	}
+	recs, err := canon.DecodeResults(body)
+	if err != nil {
+		return nil, fmt.Errorf("canon batch via %s: result frame did not decode: %w", addr, err)
+	}
+	items := map[int]mmlp.BatchItem{}
+	for _, it := range recs {
+		if it.Error != "" {
+			return nil, fmt.Errorf("canon batch via %s: job %d failed: %s", addr, it.Index, it.Error)
+		}
+		if _, dup := items[it.Index]; dup {
+			return nil, fmt.Errorf("canon batch via %s: index %d emitted twice", addr, it.Index)
+		}
+		items[it.Index] = it
+	}
+	return items, nil
+}
+
+// runMixed is the mixed-encoding scenario: the same problems arrive as
+// JSON from one client and as canon wire payloads from another. The canon
+// spelling of a JSON-warmed key must be answered from the same shard's
+// cache (one cache line per problem across encodings — the ring routes
+// canon jobs by hashing the payload bytes, which the injective encoding
+// makes equal to the canonical key), every response must be bit-identical
+// to the direct JSON reference, and the router must report the canon
+// passthroughs it routed without decoding.
+func (h *harness) runMixed() error {
+	if err := os.MkdirAll(h.logDir, 0o755); err != nil {
+		return err
+	}
+	if err := h.boot(); err != nil {
+		return err
+	}
+	ring, err := shard.New(h.shardAddrs, h.replicas)
+	if err != nil {
+		return err
+	}
+	h.ring = ring
+	reqs, dups, keys, err := h.workload()
+	if err != nil {
+		return err
+	}
+
+	// Canon payloads encode the PERMUTED duplicates: only the canonical
+	// encoding makes a respelled problem hash to the warm key.
+	payloads := make([][]byte, len(reqs))
+	for i := range dups {
+		job, err := batch.JobFromRequest(&dups[i])
+		if err != nil {
+			return fmt.Errorf("dup job %d invalid: %w", i, err)
+		}
+		payloads[i] = engine.EncodeCanon(job.In, job.Opts)
+		if canon.HashBytes(payloads[i]) != keys[i] {
+			return fmt.Errorf("job %d: canon payload hash differs from the canonical key — encodings diverged", i)
+		}
+	}
+
+	// Phase A: the JSON client solves every distinct problem (warms the
+	// fleet) with the usual bit-identity check against the direct server.
+	ref := make([][]byte, len(reqs))
+	for i := range reqs {
+		n, cached, member, err := h.solveBothNormalized(i, &reqs[i])
+		if err != nil {
+			return fmt.Errorf("json pass: %w", err)
+		}
+		if cached {
+			return fmt.Errorf("json job %d already cached on first contact", i)
+		}
+		if want := ring.Owner(keys[i]); member != want {
+			return fmt.Errorf("json job %d served by %s, ring owner is %s", i, member, want)
+		}
+		ref[i] = n
+	}
+
+	// Phase B: the canon client sends the permuted duplicates as raw wire
+	// payloads. Every one must hit the cache line its JSON spelling warmed,
+	// on the same shard, and answer bit-identically.
+	for i, payload := range payloads {
+		code, rbody, member, err := h.postCanon(h.routerAddr, payload)
+		if err != nil || code != http.StatusOK {
+			return fmt.Errorf("canon solve %d: status %d, err %v (%s)", i, code, err, rbody)
+		}
+		if want := ring.Owner(keys[i]); member != want {
+			return fmt.Errorf("canon solve %d served by %s, ring owner is %s", i, member, want)
+		}
+		n, cached, err := normalize(rbody)
+		if err != nil {
+			return err
+		}
+		if !cached {
+			return fmt.Errorf("canon solve %d recomputed: the JSON-warmed cache line was not shared across encodings", i)
+		}
+		if !bytes.Equal(n, ref[i]) {
+			return fmt.Errorf("canon solve %d differs from the JSON reference\ncanon: %s\njson:  %s", i, n, ref[i])
+		}
+	}
+	fmt.Printf("mixed solve: %d canon payloads answered cached and bit-identical to their JSON spellings\n", len(payloads))
+
+	// Phase C: the whole canon set again as one batch frame with the
+	// binary result encoding; the merged records must match the reference.
+	frame := canon.AppendBatch(nil, payloads)
+	items, err := h.canonBatchResults(h.routerAddr, frame)
+	if err != nil {
+		return err
+	}
+	if len(items) != len(payloads) {
+		return fmt.Errorf("canon batch: %d records, want %d", len(items), len(payloads))
+	}
+	for i := range payloads {
+		it, ok := items[i]
+		if !ok {
+			return fmt.Errorf("canon batch: index %d missing", i)
+		}
+		if !it.Cached {
+			return fmt.Errorf("canon batch job %d recomputed despite a warm fleet", i)
+		}
+		n, _, err := normalize(mustJSON(it.SolveResponse))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(n, ref[i]) {
+			return fmt.Errorf("canon batch job %d differs from the JSON reference\ncanon: %s\njson:  %s", i, n, ref[i])
+		}
+	}
+	fmt.Printf("mixed batch: %d binary result records bit-identical to the JSON reference\n", len(items))
+
+	// The canon traffic added no cache entries: one line per problem across
+	// both encodings, each on the shard the ring assigns.
+	if err := h.checkPartitioning(keys); err != nil {
+		return fmt.Errorf("cross-encoding residency: %w", err)
+	}
+
+	// The router routed every canon job by hashing bytes, never decoding:
+	// one count per solve payload plus one per batch payload.
+	fleet, err := h.fleetStats()
+	if err != nil {
+		return err
+	}
+	if want := int64(2 * len(payloads)); fleet.Router.CanonPassthrough != want {
+		return fmt.Errorf("router canon_passthrough = %d, want %d", fleet.Router.CanonPassthrough, want)
+	}
+	fmt.Printf("router: canon_passthrough=%d — every canon job routed without decoding\n", fleet.Router.CanonPassthrough)
 	return nil
 }
 

@@ -1,0 +1,320 @@
+package main
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"testing"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/mmlp"
+	"repro/internal/shard"
+)
+
+func rawPost(h http.Handler, path, contentType, accept string, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func canonPayload(t testing.TB, seed int64) []byte {
+	t.Helper()
+	in := gen.Random(gen.RandomConfig{Agents: 6 + int(seed%9), MaxDegI: 3, MaxDegK: 3, ExtraCons: 2, ExtraObjs: 1}, seed)
+	return engine.EncodeCanon(in, engine.Options{R: 3})
+}
+
+// TestSolveCanonPassthrough: canon solves route by the hash of the raw
+// bytes — to the same shard the JSON spelling routes to — and the shard
+// receives the payload bytes verbatim. The router's canon counter tracks
+// every passthrough.
+func TestSolveCanonPassthrough(t *testing.T) {
+	shards, rt := testFleet(t, 3, nil)
+	byAddr := map[string]*fakeShard{}
+	for _, f := range shards {
+		byAddr[f.addr] = f
+	}
+	for seed := int64(1); seed <= 12; seed++ {
+		in := gen.Random(gen.RandomConfig{Agents: 6 + int(seed), MaxDegI: 3, MaxDegK: 3, ExtraCons: 2, ExtraObjs: 1}, seed)
+		payload := engine.EncodeCanon(in, engine.Options{R: 3})
+		// The payload's hash IS the JSON request's routing key, so both
+		// encodings of one problem land on one shard.
+		req := mmlp.SolveRequest{Instance: in, R: 3}
+		key, err := keyOf(&req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if canon.HashBytes(payload) != key {
+			t.Fatalf("seed %d: HashBytes(payload) != SolveKey — encodings diverged", seed)
+		}
+		owner := rt.client.Ring().Owner(key)
+
+		w := rawPost(rt, "/v1/solve", mmlp.ContentTypeCanon, "", payload)
+		if w.Code != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", seed, w.Code, w.Body)
+		}
+		if got := w.Header().Get("X-Mmlp-Shard"); got != owner {
+			t.Fatalf("seed %d: routed to %q, ring owner is %q", seed, got, owner)
+		}
+		f := byAddr[owner]
+		f.mu.Lock()
+		last := f.solves[len(f.solves)-1]
+		f.mu.Unlock()
+		if last != string(payload) {
+			t.Fatalf("seed %d: shard did not receive the payload verbatim", seed)
+		}
+	}
+	if got := rt.canonPassthrough.Load(); got != 12 {
+		t.Fatalf("canonPassthrough = %d, want 12", got)
+	}
+}
+
+// TestSolveCanonErrors: bodies that fail the magic sniff are rejected at
+// the router without contacting any shard.
+func TestSolveCanonErrors(t *testing.T) {
+	shards, rt := testFleet(t, 2, nil)
+	for _, body := range [][]byte{
+		[]byte("not canon"),
+		nil,
+		[]byte(canon.SolveMagic[:5]),
+	} {
+		w := rawPost(rt, "/v1/solve", mmlp.ContentTypeCanon, "", body)
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", body, w.Code)
+		}
+	}
+	for _, f := range shards {
+		f.mu.Lock()
+		n := len(f.solves)
+		f.mu.Unlock()
+		if n != 0 {
+			t.Fatalf("unsniffable canon bodies reached shard %s", f.name)
+		}
+	}
+	if got := rt.canonPassthrough.Load(); got != 0 {
+		t.Fatalf("rejected bodies counted as passthrough: %d", got)
+	}
+}
+
+// TestBatchCanonFanOut: a canon batch frame is split at frame boundaries,
+// each payload routed by its hash and re-framed per shard with the bytes
+// forwarded untouched; the merged stream has one record per payload with
+// indices remapped, under both response encodings.
+func TestBatchCanonFanOut(t *testing.T) {
+	shards, rt := testFleet(t, 3, nil)
+	const n = 24
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i] = canonPayload(t, int64(i+1))
+	}
+	frame := canon.AppendBatch(nil, payloads)
+
+	w := rawPost(rt, "/v1/batch", mmlp.ContentTypeCanonBatch, "", frame)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != mmlp.ContentTypeNDJSON {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	items := batchLines(t, w.Body.Bytes())
+	if len(items) != n {
+		t.Fatalf("got %d lines, want %d", len(items), n)
+	}
+	for i := 0; i < n; i++ {
+		item, ok := items[i]
+		if !ok {
+			t.Fatalf("index %d missing", i)
+		}
+		if item.Error != "" {
+			t.Fatalf("job %d failed: %s", i, item.Error)
+		}
+		// The fake echoes the payload length as Utility: the index rewrite
+		// must pair each record with its original payload.
+		if item.Utility != float64(len(payloads[i])) {
+			t.Fatalf("job %d: utility %v, want %v (index remap broken)", i, item.Utility, float64(len(payloads[i])))
+		}
+	}
+	// Every payload reached exactly the shard that owns its hash, verbatim.
+	byAddr := map[string]*fakeShard{}
+	for _, f := range shards {
+		byAddr[f.addr] = f
+	}
+	received := map[string]int{} // payload bytes → count across the fleet
+	for _, f := range shards {
+		f.mu.Lock()
+		for _, p := range f.canonPayloads {
+			received[string(p)]++
+			owner := rt.client.Ring().Owner(canon.HashBytes(p))
+			if byAddr[owner] != f {
+				t.Fatalf("shard %s received a payload owned by %s", f.name, owner)
+			}
+		}
+		f.mu.Unlock()
+	}
+	for i, p := range payloads {
+		if received[string(p)] == 0 {
+			t.Fatalf("payload %d never reached a shard", i)
+		}
+	}
+	if got := rt.canonPassthrough.Load(); got != n {
+		t.Fatalf("canonPassthrough = %d, want %d", got, n)
+	}
+
+	// Same frame with the binary result encoding negotiated.
+	w = rawPost(rt, "/v1/batch", mmlp.ContentTypeCanonBatch, mmlp.ContentTypeCanonResults, frame)
+	if w.Code != http.StatusOK || w.Header().Get("Content-Type") != mmlp.ContentTypeCanonResults {
+		t.Fatalf("binary results: %d %q", w.Code, w.Header().Get("Content-Type"))
+	}
+	recs, err := canon.DecodeResults(w.Body.Bytes())
+	if err != nil {
+		t.Fatalf("merged binary frame did not decode: %v", err)
+	}
+	if len(recs) != n {
+		t.Fatalf("binary frame has %d records, want %d", len(recs), n)
+	}
+	if got := rt.canonPassthrough.Load(); got != 2*n {
+		t.Fatalf("canonPassthrough = %d, want %d", got, 2*n)
+	}
+}
+
+// TestBatchCanonErrors: malformed frames 400 before any forward.
+func TestBatchCanonErrors(t *testing.T) {
+	shards, rt := testFleet(t, 2, nil)
+	valid := canonPayload(t, 1)
+	frame := canon.AppendBatch(nil, [][]byte{valid})
+	for _, c := range []struct {
+		name string
+		body []byte
+	}{
+		{"junk", []byte("junk")},
+		{"empty frame", canon.AppendBatch(nil, nil)},
+		{"truncated frame", frame[:len(frame)-2]},
+		{"solve magic as frame", valid},
+	} {
+		if w := rawPost(rt, "/v1/batch", mmlp.ContentTypeCanonBatch, "", c.body); w.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", c.name, w.Code)
+		}
+	}
+	for _, f := range shards {
+		f.mu.Lock()
+		n := f.batchCalls
+		f.mu.Unlock()
+		if n != 0 {
+			t.Fatalf("malformed frames reached shard %s", f.name)
+		}
+	}
+}
+
+// TestBatchCanonReplication: with Replication 2, answered canon payloads
+// are re-framed and written through to the backup replica verbatim.
+func TestBatchCanonReplication(t *testing.T) {
+	shards, rt := testFleetR(t, 3, 2, nil)
+	const n = 12
+	payloads := make([][]byte, n)
+	for i := range payloads {
+		payloads[i] = canonPayload(t, int64(i+1))
+	}
+	frame := canon.AppendBatch(nil, payloads)
+	if w := rawPost(rt, "/v1/batch", mmlp.ContentTypeCanonBatch, "", frame); w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	rt.replWG.Wait()
+	if rt.replicated.Load() == 0 {
+		t.Fatal("no write-through delivered")
+	}
+	// Every payload now sits on every member of its replica set.
+	received := map[string]int{}
+	for _, f := range shards {
+		f.mu.Lock()
+		for _, p := range f.canonPayloads {
+			received[string(p)]++
+		}
+		f.mu.Unlock()
+	}
+	for i, p := range payloads {
+		if received[string(p)] < 2 {
+			t.Fatalf("payload %d reached %d replicas, want 2", i, received[string(p)])
+		}
+	}
+}
+
+// FuzzCanonSniff throws arbitrary bytes at the router's canon solve
+// surface: the router must never panic, must reject everything that fails
+// the magic sniff without contacting a shard, and must forward everything
+// that passes it.
+func FuzzCanonSniff(f *testing.F) {
+	f.Add([]byte(canon.SolveMagic))
+	f.Add(canonPayload(f, 1))
+	f.Add([]byte("junk"))
+	f.Add([]byte{})
+
+	shard0 := &fakeShard{name: "shard0"}
+	srv := httptest.NewServer(shard0.handler())
+	f.Cleanup(srv.Close)
+	u, err := url.Parse(srv.URL)
+	if err != nil {
+		f.Fatal(err)
+	}
+	shard0.addr = u.Host
+	ring, err := shard.New([]string{u.Host}, 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	rt := newRouter(shard.NewClient(ring, shard.ClientOptions{Cooldown: time.Minute}), 1<<20)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("over the configured body limit; 413 is covered elsewhere")
+		}
+		before := rt.canonPassthrough.Load()
+		w := rawPost(rt, "/v1/solve", mmlp.ContentTypeCanon, "", data)
+		after := rt.canonPassthrough.Load()
+		if canon.SniffSolve(data) {
+			if w.Code != http.StatusOK {
+				t.Fatalf("sniffable payload rejected: %d %s", w.Code, w.Body)
+			}
+			if after != before+1 {
+				t.Fatalf("passthrough count %d → %d on a forwarded payload", before, after)
+			}
+		} else {
+			if w.Code != http.StatusBadRequest {
+				t.Fatalf("unsniffable payload: status %d, want 400", w.Code)
+			}
+			if after != before {
+				t.Fatalf("rejected payload moved the passthrough count")
+			}
+		}
+	})
+}
+
+// BenchmarkRouterCanonRoute measures the routing decision for one canon
+// payload — sniff, hash, owner lookup — the work the router does per job
+// before bytes move. It must stay O(1) allocations (zero: the hash and
+// the ring walk are both in-place).
+func BenchmarkRouterCanonRoute(b *testing.B) {
+	ring, err := shard.New([]string{"10.0.0.1:9101", "10.0.0.2:9101", "10.0.0.3:9101"}, 32)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := canonPayload(b, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink string
+	for i := 0; i < b.N; i++ {
+		if !canon.SniffSolve(payload) {
+			b.Fatal("payload stopped sniffing")
+		}
+		sink = ring.Owner(canon.HashBytes(payload))
+	}
+	_ = sink
+}

@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +44,11 @@ type router struct {
 	// notifications), so tests and shutdown can wait for quiescence.
 	replicated atomic.Int64
 	replWG     sync.WaitGroup
+
+	// canonPassthrough counts canon payloads routed by hashing the raw
+	// bytes — the router never decodes them. One increment per payload, so
+	// a canon batch of n jobs adds n.
+	canonPassthrough atomic.Int64
 }
 
 // newRouter wires the endpoints over a shard client.
@@ -92,29 +99,58 @@ func keyOf(req *mmlp.SolveRequest) (canon.Key, error) {
 	return engine.SolveKey(job.In, job.Opts), nil
 }
 
+// mediaType extracts the request's media type; an absent header means
+// JSON, matching mmlpserve.
+func mediaType(r *http.Request) string {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return mmlp.ContentTypeJSON
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	if err != nil {
+		return ct
+	}
+	return mt
+}
+
 // handleSolve routes one solve to its owning shard and streams the shard's
 // response back verbatim: success bodies are byte-identical to what a
-// direct client of that shard would have received.
+// direct client of that shard would have received. A canon request
+// (Content-Type application/x-mmlp-canon) is routed by hashing the raw
+// payload — the canon encoding is injective over canonical instances, so
+// the hash of the bytes IS the cache key the shard will use, and the
+// router never decodes the body.
 func (rt *router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	body, code, err := rt.readBody(w, r)
 	if err != nil {
 		writeError(w, code, err)
 		return
 	}
-	var req mmlp.SolveRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON: %w", err))
-		return
-	}
-	key, err := keyOf(&req)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+	contentType := mediaType(r)
+	var key canon.Key
+	if contentType == mmlp.ContentTypeCanon {
+		if !canon.SniffSolve(body) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("canon body does not start with %q", canon.SolveMagic))
+			return
+		}
+		key = canon.HashBytes(body)
+		rt.canonPassthrough.Add(1)
+	} else {
+		contentType = "application/json"
+		var req mmlp.SolveRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON: %w", err))
+			return
+		}
+		if key, err = keyOf(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 	rv := rt.client.Acquire()
 	defer rt.client.Release(rv)
 	owner := rt.client.OwnerOn(rv, key)
-	resp, member, err := rt.client.DoOn(r.Context(), rv, key, "/v1/solve", "application/json", body)
+	resp, member, err := rt.client.DoOn(r.Context(), rv, key, "/v1/solve", contentType, body)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, fmt.Errorf("no shard reachable (owner %s): %w", owner, err))
 		return
@@ -128,7 +164,7 @@ func (rt *router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	io.Copy(w, resp.Body)
 	if resp.StatusCode == http.StatusOK {
 		for _, m := range rt.backupsFor(rv, key, member) {
-			rt.replicate(m, "/v1/solve", body)
+			rt.replicate(m, "/v1/solve", contentType, body)
 		}
 	}
 }
@@ -156,7 +192,7 @@ func (rt *router) backupsFor(rv *shard.RingVersion, k canon.Key, answered string
 // the primary is gone. Members inside a cooldown window are skipped — the
 // warm is an optimisation, not a delivery guarantee, and the next
 // write-through after recovery re-warms them.
-func (rt *router) replicate(member, path string, body []byte) {
+func (rt *router) replicate(member, path, contentType string, body []byte) {
 	if rt.client.Down(member) {
 		return
 	}
@@ -165,7 +201,7 @@ func (rt *router) replicate(member, path string, body []byte) {
 		defer rt.replWG.Done()
 		ctx, cancel := context.WithTimeout(context.Background(), replicateTimeout)
 		defer cancel()
-		resp, err := rt.client.Forward(ctx, member, path, "application/json", body)
+		resp, err := rt.client.Forward(ctx, member, path, contentType, body)
 		if err != nil {
 			return
 		}
@@ -175,19 +211,26 @@ func (rt *router) replicate(member, path string, body []byte) {
 	}()
 }
 
-// group is the slice of one batch owned by a single shard.
+// group is the slice of one batch owned by a single shard. Exactly one of
+// jobs (JSON batch) or payloads (canon batch) is populated.
 type group struct {
-	owner string
-	key   canon.Key // a representative key, seeds the failover replica walk
-	jobs  []mmlp.SolveRequest
-	orig  []int // original indices, parallel to jobs
+	owner    string
+	key      canon.Key // a representative key, seeds the failover replica walk
+	jobs     []mmlp.SolveRequest
+	payloads [][]byte
+	orig     []int // original indices, parallel to jobs/payloads
 }
 
 // handleBatch validates the batch, fans the jobs out to their owning
 // shards as per-shard sub-batches, and re-merges the shards' NDJSON
-// streams in arrival order, rewriting each line's index back to the job's
-// position in the original request. The per-job contract matches
-// mmlpserve's: exactly one line per job, whatever happens to the fleet.
+// streams in arrival order, rewriting each record's index back to the
+// job's position in the original request. The per-job contract matches
+// mmlpserve's: exactly one record per job, whatever happens to the fleet.
+// A canon batch frame (Content-Type application/x-mmlp-canon-batch) is
+// split at frame boundaries only: each payload is routed by its hash and
+// re-framed per shard with the bytes forwarded verbatim, never decoded.
+// Accept: application/x-mmlp-canon-results selects the binary result
+// frame for the merged response under either request encoding.
 func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	body, code, err := rt.readBody(w, r)
 	if err != nil {
@@ -195,18 +238,36 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req mmlp.BatchRequest
-	if err := json.Unmarshal(body, &req); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON: %w", err))
-		return
+	var payloads [][]byte
+	var n int
+	if mediaType(r) == mmlp.ContentTypeCanonBatch {
+		if payloads, err = canon.SplitBatch(body); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed batch frame: %w", err))
+			return
+		}
+		n = len(payloads)
+	} else {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON: %w", err))
+			return
+		}
+		n = len(req.Jobs)
 	}
-	if len(req.Jobs) == 0 {
+	if n == 0 {
 		writeError(w, http.StatusBadRequest, errors.New("batch has no jobs"))
 		return
 	}
 	// Validate everything before emitting the first byte, matching the
-	// all-or-nothing 400 a single shard gives a malformed batch.
-	keys := make([]canon.Key, len(req.Jobs))
-	for i := range req.Jobs {
+	// all-or-nothing 400 a single shard gives a malformed batch. Canon
+	// payloads need no per-job validation pass here: the frame split
+	// checked each payload's magic, and deeper decode errors are the
+	// owning shard's per-job verdict.
+	keys := make([]canon.Key, n)
+	for i := range keys {
+		if payloads != nil {
+			keys[i] = canon.HashBytes(payloads[i])
+			continue
+		}
 		key, err := keyOf(&req.Jobs[i])
 		if err != nil {
 			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
@@ -214,35 +275,54 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		keys[i] = key
 	}
+	if payloads != nil {
+		rt.canonPassthrough.Add(int64(n))
+	}
 	// Pin one ring generation for the whole batch: grouping, forwarding and
 	// straggler re-forwards all agree on a single assignment even when an
 	// /admin/ring cutover lands mid-stream.
 	rv := rt.client.Acquire()
 	defer rt.client.Release(rv)
 	groups := map[string]*group{}
-	for i := range req.Jobs {
+	for i := 0; i < n; i++ {
 		owner := rt.client.OwnerOn(rv, keys[i])
 		g := groups[owner]
 		if g == nil {
 			g = &group{owner: owner, key: keys[i]}
 			groups[owner] = g
 		}
-		g.jobs = append(g.jobs, req.Jobs[i])
+		if payloads != nil {
+			g.payloads = append(g.payloads, payloads[i])
+		} else {
+			g.jobs = append(g.jobs, req.Jobs[i])
+		}
 		g.orig = append(g.orig, i)
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	var emu sync.Mutex
-	enc := json.NewEncoder(w)
-	answered := make([]string, len(req.Jobs)) // member that solved each job
+	answered := make([]string, n) // member that solved each job
+	var write func(mmlp.BatchItem)
+	if strings.Contains(r.Header.Get("Accept"), mmlp.ContentTypeCanonResults) {
+		w.Header().Set("Content-Type", mmlp.ContentTypeCanonResults)
+		w.Write(canon.AppendResultsHeader(nil))
+		var buf []byte
+		write = func(item mmlp.BatchItem) {
+			buf = canon.AppendResult(buf[:0], &item)
+			w.Write(buf)
+		}
+	} else {
+		w.Header().Set("Content-Type", mmlp.ContentTypeNDJSON)
+		enc := json.NewEncoder(w)
+		write = func(item mmlp.BatchItem) { enc.Encode(item) }
+	}
 	emit := func(item mmlp.BatchItem, member string) {
 		emu.Lock()
 		defer emu.Unlock()
 		if item.Error == "" && item.Index >= 0 && item.Index < len(answered) {
 			answered[item.Index] = member
 		}
-		enc.Encode(item)
+		write(item)
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -260,20 +340,36 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Write-through: regroup the answered jobs by backup replica and warm
 	// each replica with one background sub-batch, so any member of a key's
-	// replica set can serve it cached after the primary dies.
+	// replica set can serve it cached after the primary dies. Canon warms
+	// re-frame the original payload bytes.
 	if rt.client.Replication() > 1 {
-		backups := map[string][]mmlp.SolveRequest{}
-		for i := range req.Jobs {
-			if answered[i] == "" {
-				continue
+		if payloads != nil {
+			backups := map[string][][]byte{}
+			for i := 0; i < n; i++ {
+				if answered[i] == "" {
+					continue
+				}
+				for _, m := range rt.backupsFor(rv, keys[i], answered[i]) {
+					backups[m] = append(backups[m], payloads[i])
+				}
 			}
-			for _, m := range rt.backupsFor(rv, keys[i], answered[i]) {
-				backups[m] = append(backups[m], req.Jobs[i])
+			for m, ps := range backups {
+				rt.replicate(m, "/v1/batch", mmlp.ContentTypeCanonBatch, canon.AppendBatch(nil, ps))
 			}
-		}
-		for m, jobs := range backups {
-			if body, err := json.Marshal(mmlp.BatchRequest{Jobs: jobs}); err == nil {
-				rt.replicate(m, "/v1/batch", body)
+		} else {
+			backups := map[string][]mmlp.SolveRequest{}
+			for i := 0; i < n; i++ {
+				if answered[i] == "" {
+					continue
+				}
+				for _, m := range rt.backupsFor(rv, keys[i], answered[i]) {
+					backups[m] = append(backups[m], req.Jobs[i])
+				}
+			}
+			for m, jobs := range backups {
+				if body, err := json.Marshal(mmlp.BatchRequest{Jobs: jobs}); err == nil {
+					rt.replicate(m, "/v1/batch", "application/json", body)
+				}
 			}
 		}
 	}
@@ -284,18 +380,34 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 // the ring with the jobs not yet answered; jobs that no member could
 // answer get error lines, honouring the one-line-per-job contract. emit
 // receives the member that produced each line ("" for router-synthesised
-// error lines), which feeds the write-through regrouping.
+// error lines), which feeds the write-through regrouping. Shards always
+// answer sub-batches as NDJSON regardless of the request encoding, so the
+// merge loop below is one code path.
 func (rt *router) forwardGroup(ctx context.Context, rv *shard.RingVersion, g *group, emit func(mmlp.BatchItem, string)) {
-	jobs, orig := g.jobs, g.orig
+	jobs, payloads, orig := g.jobs, g.payloads, g.orig
+	contentType := "application/json"
+	if payloads != nil {
+		contentType = mmlp.ContentTypeCanonBatch
+	}
+	size := func() int {
+		if payloads != nil {
+			return len(payloads)
+		}
+		return len(jobs)
+	}
 	var body []byte // re-marshaled only when the remaining job set shrinks
 	err := rt.client.DoFuncOn(ctx, rv, g.key, func(member string) (bool, error) {
 		if body == nil {
-			var merr error
-			if body, merr = json.Marshal(mmlp.BatchRequest{Jobs: jobs}); merr != nil {
-				return true, merr // cannot improve on another replica
+			if payloads != nil {
+				body = canon.AppendBatch(nil, payloads)
+			} else {
+				var merr error
+				if body, merr = json.Marshal(mmlp.BatchRequest{Jobs: jobs}); merr != nil {
+					return true, merr // cannot improve on another replica
+				}
 			}
 		}
-		resp, ferr := rt.client.Forward(ctx, member, "/v1/batch", "application/json", body)
+		resp, ferr := rt.client.Forward(ctx, member, "/v1/batch", contentType, body)
 		if ferr != nil {
 			return false, ferr // nothing processed; try the next replica
 		}
@@ -313,7 +425,7 @@ func (rt *router) forwardGroup(ctx context.Context, rv *shard.RingVersion, g *gr
 			}
 			return true, nil
 		}
-		emitted := make([]bool, len(jobs))
+		emitted := make([]bool, size())
 		nEmitted := 0
 		rd := bufio.NewReader(resp.Body)
 		for {
@@ -321,7 +433,7 @@ func (rt *router) forwardGroup(ctx context.Context, rv *shard.RingVersion, g *gr
 			if len(line) > 1 {
 				var item mmlp.BatchItem
 				if jerr := json.Unmarshal(line, &item); jerr == nil &&
-					item.Index >= 0 && item.Index < len(jobs) && !emitted[item.Index] {
+					item.Index >= 0 && item.Index < len(emitted) && !emitted[item.Index] {
 					sub := item.Index
 					item.Index = orig[sub]
 					emitted[sub] = true
@@ -333,17 +445,22 @@ func (rt *router) forwardGroup(ctx context.Context, rv *shard.RingVersion, g *gr
 				break
 			}
 		}
-		if nEmitted == len(jobs) {
+		if nEmitted == size() {
 			return true, nil
 		}
 		// The stream broke mid-way: keep the answered jobs, re-forward the
 		// rest. Solves are pure functions of their requests, so re-running
 		// an answered-but-lost job on another shard is safe.
 		var njobs []mmlp.SolveRequest
+		var npayloads [][]byte
 		var norig []int
-		for i := range jobs {
+		for i := range emitted {
 			if !emitted[i] {
-				njobs = append(njobs, jobs[i])
+				if payloads != nil {
+					npayloads = append(npayloads, payloads[i])
+				} else {
+					njobs = append(njobs, jobs[i])
+				}
 				norig = append(norig, i)
 			}
 		}
@@ -351,7 +468,7 @@ func (rt *router) forwardGroup(ctx context.Context, rv *shard.RingVersion, g *gr
 		for i, oi := range norig {
 			norig[i] = orig[oi]
 		}
-		jobs, orig, body = njobs, norig, nil
+		jobs, payloads, orig, body = njobs, npayloads, norig, nil
 		return false, fmt.Errorf("shard %s: response stream truncated after %d lines", member, nEmitted)
 	})
 	if err != nil {
@@ -519,6 +636,8 @@ func (rt *router) handleStats(w http.ResponseWriter, r *http.Request) {
 		Retried:     st.Retried,
 		ShardDown:   st.ShardDown,
 		Replicated:  rt.replicated.Load(),
+
+		CanonPassthrough: rt.canonPassthrough.Load(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)

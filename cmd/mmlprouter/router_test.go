@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/canon"
 	"repro/internal/gen"
 	"repro/internal/mmlp"
 	"repro/internal/shard"
@@ -31,11 +32,12 @@ type fakeShard struct {
 	lineDelay time.Duration // slows the batch stream down
 	dieAfter  int           // >0: the first /v1/batch aborts after this many lines
 
-	mu          sync.Mutex
-	solves      []string // bodies received on /v1/solve
-	batch       int      // jobs received on /v1/batch
-	batchCalls  int
-	ringUpdates []mmlp.ShardRingUpdate // bodies received on /admin/ring
+	mu            sync.Mutex
+	solves        []string // bodies received on /v1/solve
+	batch         int      // jobs received on /v1/batch
+	batchCalls    int
+	canonPayloads [][]byte               // canon payloads received on /v1/batch
+	ringUpdates   []mmlp.ShardRingUpdate // bodies received on /admin/ring
 }
 
 func (f *fakeShard) handler() http.Handler {
@@ -49,20 +51,46 @@ func (f *fakeShard) handler() http.Handler {
 		fmt.Fprintf(w, "{\"status\":\"optimal\",\"utility\":1,\"upper_bound\":1,\"latency_ms\":0.5,\"shard\":%q}\n", f.name)
 	})
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
-		var req mmlp.BatchRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			w.WriteHeader(http.StatusBadRequest)
-			return
+		// Per-job payload echoed as Utility so index remapping is checkable:
+		// R for JSON jobs, the payload length for canon jobs (a real shard
+		// decodes the payload; the fake only needs a distinguishing echo).
+		var utilities []float64
+		if r.Header.Get("Content-Type") == mmlp.ContentTypeCanonBatch {
+			frame, err := io.ReadAll(r.Body)
+			if err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			payloads, err := canon.SplitBatch(frame)
+			if err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			for _, p := range payloads {
+				utilities = append(utilities, float64(len(p)))
+			}
+			f.mu.Lock()
+			f.canonPayloads = append(f.canonPayloads, payloads...)
+			f.mu.Unlock()
+		} else {
+			var req mmlp.BatchRequest
+			if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				return
+			}
+			for i := range req.Jobs {
+				utilities = append(utilities, float64(req.Jobs[i].R))
+			}
 		}
 		f.mu.Lock()
-		f.batch += len(req.Jobs)
+		f.batch += len(utilities)
 		f.batchCalls++
 		die := f.dieAfter > 0 && f.batchCalls == 1
 		f.mu.Unlock()
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		flusher, _ := w.(http.Flusher)
 		enc := json.NewEncoder(w)
-		for i := range req.Jobs {
+		for i, u := range utilities {
 			if die && i == f.dieAfter {
 				// Crash mid-stream: the connection aborts after the lines
 				// already flushed, exactly like a shard dying mid-batch.
@@ -74,7 +102,7 @@ func (f *fakeShard) handler() http.Handler {
 			enc.Encode(mmlp.BatchItem{
 				Index: i,
 				SolveResponse: mmlp.SolveResponse{
-					Status: "optimal", Utility: float64(req.Jobs[i].R), UpperBound: 1,
+					Status: "optimal", Utility: u, UpperBound: 1,
 				},
 			})
 			if flusher != nil {

@@ -1,0 +1,291 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/canon"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/mmlp"
+)
+
+// rawPost sends a binary body with explicit content negotiation headers.
+func rawPost(h http.Handler, path, contentType, accept string, body []byte) *httptest.ResponseRecorder {
+	req := httptest.NewRequest(http.MethodPost, path, bytes.NewReader(body))
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if accept != "" {
+		req.Header.Set("Accept", accept)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func canonInstance(seed int64) *mmlp.Instance {
+	return gen.Random(gen.RandomConfig{Agents: 12, MaxDegI: 3, MaxDegK: 3, ExtraCons: 4, ExtraObjs: 2}, seed)
+}
+
+// TestSolveEndpointCanon: a canon-encoded request returns the same JSON
+// response as the JSON spelling of the same instance, and the two
+// encodings share one cache line.
+func TestSolveEndpointCanon(t *testing.T) {
+	h := testServerOpts(t, 1<<20, batch.Options{Workers: 2, Queue: 2, CacheBytes: 1 << 20})
+	in := canonInstance(7)
+
+	jw := post(h, "/v1/solve", solveBody(t, in, `,"engine":"dist","r":3`))
+	if jw.Code != http.StatusOK {
+		t.Fatalf("json solve: %d %s", jw.Code, jw.Body)
+	}
+	var jresp mmlp.SolveResponse
+	if err := json.Unmarshal(jw.Body.Bytes(), &jresp); err != nil {
+		t.Fatal(err)
+	}
+
+	payload := engine.EncodeCanon(in, engine.Options{Engine: engine.Distributed, R: 3})
+	cw := rawPost(h, "/v1/solve", mmlp.ContentTypeCanon, "", payload)
+	if cw.Code != http.StatusOK {
+		t.Fatalf("canon solve: %d %s", cw.Code, cw.Body)
+	}
+	if ct := cw.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("canon solve Content-Type = %q", ct)
+	}
+	var cresp mmlp.SolveResponse
+	if err := json.Unmarshal(cw.Body.Bytes(), &cresp); err != nil {
+		t.Fatal(err)
+	}
+	if !cresp.Cached {
+		t.Fatal("canon request missed the cache the JSON solve warmed")
+	}
+	if cresp.Status != jresp.Status || cresp.Utility != jresp.Utility || cresp.UpperBound != jresp.UpperBound {
+		t.Fatalf("canon resp %+v differs from json resp %+v", cresp, jresp)
+	}
+	for v := range jresp.X {
+		if cresp.X[v] != jresp.X[v] {
+			t.Fatalf("X[%d] = %v, want %v", v, cresp.X[v], jresp.X[v])
+		}
+	}
+	if cresp.Rounds != jresp.Rounds || cresp.Messages != jresp.Messages || cresp.Bytes != jresp.Bytes {
+		t.Fatalf("canon traffic %+v differs from json %+v", cresp, jresp)
+	}
+}
+
+// TestSolveEndpointCanonErrors: hostile canon bodies surface as JSON
+// error responses with the right status, never a panic or a 500.
+func TestSolveEndpointCanonErrors(t *testing.T) {
+	h := testServer(t, 4096)
+	valid := engine.EncodeCanon(gen.TriNecklace(2), engine.Options{})
+	cases := []struct {
+		name string
+		body []byte
+		code int
+	}{
+		{"wrong magic", []byte("not canon at all"), http.StatusBadRequest},
+		{"truncated", valid[:len(valid)-3], http.StatusBadRequest},
+		{"trailing bytes", append(append([]byte{}, valid...), 0), http.StatusBadRequest},
+		{"magic only", []byte(canon.SolveMagic), http.StatusBadRequest},
+		{"oversized body", make([]byte, 8192), http.StatusRequestEntityTooLarge},
+	}
+	for _, c := range cases {
+		w := rawPost(h, "/v1/solve", mmlp.ContentTypeCanon, "", c.body)
+		if w.Code != c.code {
+			t.Fatalf("%s: status %d, want %d (body %s)", c.name, w.Code, c.code, w.Body)
+		}
+		var er mmlp.ErrorResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+			t.Fatalf("%s: error body %q (%v)", c.name, w.Body, err)
+		}
+	}
+}
+
+// TestBatchEndpointCanon drives both negotiation axes at once: a canon
+// batch frame in, the binary result frame out, and every record
+// bit-identical to the NDJSON answer for the same jobs.
+func TestBatchEndpointCanon(t *testing.T) {
+	h := testServerOpts(t, 1<<20, batch.Options{Workers: 2, Queue: 4, CacheBytes: 1 << 20})
+	const n = 5
+	payloads := make([][]byte, n)
+	reqs := make([]mmlp.SolveRequest, n)
+	for i := range payloads {
+		in := canonInstance(int64(i + 1))
+		payloads[i] = engine.EncodeCanon(in, engine.Options{R: 3, DisableSpecialCases: true})
+		reqs[i] = mmlp.SolveRequest{Instance: in, R: 3, DisableSpecialCases: true}
+	}
+	frame := canon.AppendBatch(nil, payloads)
+
+	// JSON batch first: it computes every answer and warms the cache, so
+	// the canon batch afterwards must hit every line.
+	body, err := json.Marshal(mmlp.BatchRequest{Jobs: reqs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jw := post(h, "/v1/batch", string(body))
+	if jw.Code != http.StatusOK {
+		t.Fatalf("json batch: %d %s", jw.Code, jw.Body)
+	}
+
+	// Canon in, binary results out.
+	w := rawPost(h, "/v1/batch", mmlp.ContentTypeCanonBatch, mmlp.ContentTypeCanonResults, frame)
+	if w.Code != http.StatusOK {
+		t.Fatalf("canon batch: %d %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); ct != mmlp.ContentTypeCanonResults {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	items, err := canon.DecodeResults(w.Body.Bytes())
+	if err != nil {
+		t.Fatalf("result frame did not decode: %v", err)
+	}
+	if len(items) != n {
+		t.Fatalf("got %d records, want %d", len(items), n)
+	}
+	byIndex := make(map[int]mmlp.BatchItem, n)
+	for _, it := range items {
+		if it.Error != "" {
+			t.Fatalf("job %d failed: %s", it.Index, it.Error)
+		}
+		if _, dup := byIndex[it.Index]; dup {
+			t.Fatalf("index %d emitted twice", it.Index)
+		}
+		byIndex[it.Index] = it
+	}
+	for _, line := range bytes.Split(bytes.TrimSpace(jw.Body.Bytes()), []byte("\n")) {
+		var want mmlp.BatchItem
+		if err := json.Unmarshal(line, &want); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		got, ok := byIndex[want.Index]
+		if !ok {
+			t.Fatalf("binary frame missing index %d", want.Index)
+		}
+		if !got.Cached {
+			t.Fatal("canon batch job missed the cache — encodings do not share lines")
+		}
+		if got.Status != want.Status || got.Utility != want.Utility || got.UpperBound != want.UpperBound {
+			t.Fatalf("job %d: binary %+v vs ndjson %+v", want.Index, got, want)
+		}
+		for v := range want.X {
+			if got.X[v] != want.X[v] {
+				t.Fatalf("job %d: X[%d] = %v, want %v", want.Index, v, got.X[v], want.X[v])
+			}
+		}
+	}
+
+	// The axes are independent: canon request with default NDJSON response.
+	w = rawPost(h, "/v1/batch", mmlp.ContentTypeCanonBatch, "", frame)
+	if w.Code != http.StatusOK || w.Header().Get("Content-Type") != mmlp.ContentTypeNDJSON {
+		t.Fatalf("canon-in ndjson-out: %d %q", w.Code, w.Header().Get("Content-Type"))
+	}
+	if got := len(bytes.Split(bytes.TrimSpace(w.Body.Bytes()), []byte("\n"))); got != n {
+		t.Fatalf("ndjson lines = %d, want %d", got, n)
+	}
+
+	// And a JSON request may ask for the binary frame.
+	w = rawPost(h, "/v1/batch", "application/json", mmlp.ContentTypeCanonResults, body)
+	if w.Code != http.StatusOK || w.Header().Get("Content-Type") != mmlp.ContentTypeCanonResults {
+		t.Fatalf("json-in binary-out: %d %q", w.Code, w.Header().Get("Content-Type"))
+	}
+	if items, err = canon.DecodeResults(w.Body.Bytes()); err != nil || len(items) != n {
+		t.Fatalf("json-in binary-out frame: %d items, %v", len(items), err)
+	}
+}
+
+// TestBatchEndpointCanonErrors: frame-level failures are request-level
+// 400s; payload-level failures are per-job error records.
+func TestBatchEndpointCanonErrors(t *testing.T) {
+	h := testServer(t, 1<<20)
+	valid := engine.EncodeCanon(gen.TriNecklace(2), engine.Options{})
+
+	if w := rawPost(h, "/v1/batch", mmlp.ContentTypeCanonBatch, "", []byte("junk")); w.Code != http.StatusBadRequest {
+		t.Fatalf("junk frame: status %d", w.Code)
+	}
+	empty := canon.AppendBatch(nil, nil)
+	if w := rawPost(h, "/v1/batch", mmlp.ContentTypeCanonBatch, "", empty); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty frame: status %d", w.Code)
+	}
+	frame := canon.AppendBatch(nil, [][]byte{valid})
+	if w := rawPost(h, "/v1/batch", mmlp.ContentTypeCanonBatch, "", frame[:len(frame)-2]); w.Code != http.StatusBadRequest {
+		t.Fatalf("truncated frame: status %d", w.Code)
+	}
+
+	// A frame whose inner payload is truncated-but-framed cannot be built
+	// with AppendBatch (it checks nothing) — hand-build one: the frame
+	// parser only verifies the solve magic, so the job is accepted and the
+	// decode error surfaces as that job's error record.
+	bad := append(append([]byte{}, valid...), 0xFF) // trailing byte: frame-valid, decode-invalid
+	frame = canon.AppendBatch(nil, [][]byte{valid, bad})
+	w := rawPost(h, "/v1/batch", mmlp.ContentTypeCanonBatch, mmlp.ContentTypeCanonResults, frame)
+	if w.Code != http.StatusOK {
+		t.Fatalf("mixed frame: status %d %s", w.Code, w.Body)
+	}
+	items, err := canon.DecodeResults(w.Body.Bytes())
+	if err != nil || len(items) != 2 {
+		t.Fatalf("mixed frame results: %d items, %v", len(items), err)
+	}
+	for _, it := range items {
+		switch it.Index {
+		case 0:
+			if it.Error != "" {
+				t.Fatalf("good job failed: %s", it.Error)
+			}
+		case 1:
+			if it.Error == "" {
+				t.Fatal("bad payload produced no error record")
+			}
+		default:
+			t.Fatalf("unexpected index %d", it.Index)
+		}
+	}
+}
+
+// benchServer builds a cached handler and warms one instance through both
+// encodings so the benchmarked request is the steady-state cache-hit path.
+func benchServer(b *testing.B) (*server, []byte, string) {
+	b.Helper()
+	pool := batch.NewPool(batch.Options{Workers: 2, Queue: 4, CacheBytes: 1 << 20})
+	b.Cleanup(pool.Close)
+	h := newServer(pool, 1<<20)
+	in := gen.Random(gen.RandomConfig{Agents: 16, MaxDegI: 3, MaxDegK: 3, ExtraCons: 4, ExtraObjs: 2}, 42)
+	payload := engine.EncodeCanon(in, engine.Options{R: 3, DisableSpecialCases: true})
+	raw, err := json.Marshal(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	body := `{"instance":` + string(raw) + `,"r":3,"disable_special_cases":true}`
+	if w := rawPost(h, "/v1/solve", mmlp.ContentTypeCanon, "", payload); w.Code != http.StatusOK {
+		b.Fatalf("warm solve: %d %s", w.Code, w.Body)
+	}
+	return h, payload, body
+}
+
+// BenchmarkWireSolveJSON measures a warm /v1/solve request on the JSON
+// encoding end-to-end: HTTP routing, body decode, cache hit, response.
+func BenchmarkWireSolveJSON(b *testing.B) {
+	h, _, body := benchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := post(h, "/v1/solve", body); w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}
+
+// BenchmarkWireSolveCanon measures the same warm request on the canon
+// encoding: the body is hashed, never decoded, and answered from cache.
+func BenchmarkWireSolveCanon(b *testing.B) {
+	h, payload, _ := benchServer(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if w := rawPost(h, "/v1/solve", mmlp.ContentTypeCanon, "", payload); w.Code != http.StatusOK {
+			b.Fatalf("status %d", w.Code)
+		}
+	}
+}

@@ -5,8 +5,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
 	"slices"
+	"strings"
 
 	"repro/internal/batch"
 	"repro/internal/canon"
@@ -56,17 +59,68 @@ func (s *server) decode(w http.ResponseWriter, r *http.Request, dst any) (int, e
 	return 0, nil
 }
 
-// handleSolve solves one instance synchronously.
-func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
-	var req mmlp.SolveRequest
-	if code, err := s.decode(w, r, &req); err != nil {
-		writeError(w, code, err)
-		return
+// mediaType extracts the request's media type; parameters (charset etc.)
+// are irrelevant here, and an absent header means JSON.
+func mediaType(r *http.Request) string {
+	ct := r.Header.Get("Content-Type")
+	if ct == "" {
+		return mmlp.ContentTypeJSON
 	}
-	job, err := batch.JobFromRequest(&req)
+	mt, _, err := mime.ParseMediaType(ct)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
+		return ct
+	}
+	return mt
+}
+
+// acceptsCanonResults reports whether the client asked for the binary
+// result frame on /v1/batch.
+func acceptsCanonResults(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), mmlp.ContentTypeCanonResults)
+}
+
+// readRaw reads a binary body whole, mapping oversized bodies to 413.
+func (s *server) readRaw(w http.ResponseWriter, r *http.Request) ([]byte, int, error) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.maxBody)
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return nil, http.StatusRequestEntityTooLarge, fmt.Errorf("request body exceeds %d bytes", tooLarge.Limit)
+		}
+		return nil, http.StatusBadRequest, err
+	}
+	return body, 0, nil
+}
+
+// handleSolve solves one instance synchronously. The request is JSON by
+// default; Content-Type: application/x-mmlp-canon submits the canon wire
+// payload instead — keyed by its hash, decoded only on a cache miss. The
+// response is JSON either way.
+func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var job batch.Job
+	if mediaType(r) == mmlp.ContentTypeCanon {
+		payload, code, err := s.readRaw(w, r)
+		if err != nil {
+			writeError(w, code, err)
+			return
+		}
+		if !canon.SniffSolve(payload) {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("canon body does not start with %q", canon.SolveMagic))
+			return
+		}
+		job = batch.JobFromCanon(payload)
+	} else {
+		var req mmlp.SolveRequest
+		if code, err := s.decode(w, r, &req); err != nil {
+			writeError(w, code, err)
+			return
+		}
+		var err error
+		if job, err = batch.JobFromRequest(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 	res := s.pool.Do(r.Context(), job)
 	if res.Err != nil {
@@ -84,32 +138,71 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(batch.ResponseFromResult(res))
 }
 
-// handleBatch solves many instances and streams one NDJSON line per job as
-// it completes. Lines carry the job's request index; they arrive in
-// completion order, not request order.
+// handleBatch solves many instances and streams one result record per job
+// as it completes. Records carry the job's request index; they arrive in
+// completion order, not request order. The request is a JSON BatchRequest
+// by default, or a canon batch frame under Content-Type
+// application/x-mmlp-canon-batch; the response is NDJSON unless Accept
+// names application/x-mmlp-canon-results, which selects the binary result
+// frame. The two axes are independent: any request encoding can pick
+// either response encoding.
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
-	var req mmlp.BatchRequest
-	if code, err := s.decode(w, r, &req); err != nil {
-		writeError(w, code, err)
-		return
-	}
-	if len(req.Jobs) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("batch has no jobs"))
-		return
-	}
-	jobs := make([]batch.Job, len(req.Jobs))
-	for i := range req.Jobs {
-		job, err := batch.JobFromRequest(&req.Jobs[i])
+	var jobs []batch.Job
+	if mediaType(r) == mmlp.ContentTypeCanonBatch {
+		frame, code, err := s.readRaw(w, r)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
+			writeError(w, code, err)
 			return
 		}
-		jobs[i] = job
+		payloads, err := canon.SplitBatch(frame)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed batch frame: %w", err))
+			return
+		}
+		if len(payloads) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("batch has no jobs"))
+			return
+		}
+		jobs = make([]batch.Job, len(payloads))
+		for i, p := range payloads {
+			jobs[i] = batch.JobFromCanon(p)
+		}
+	} else {
+		var req mmlp.BatchRequest
+		if code, err := s.decode(w, r, &req); err != nil {
+			writeError(w, code, err)
+			return
+		}
+		if len(req.Jobs) == 0 {
+			writeError(w, http.StatusBadRequest, errors.New("batch has no jobs"))
+			return
+		}
+		jobs = make([]batch.Job, len(req.Jobs))
+		for i := range req.Jobs {
+			job, err := batch.JobFromRequest(&req.Jobs[i])
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
+				return
+			}
+			jobs[i] = job
+		}
 	}
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
-	enc := json.NewEncoder(w)
+	var emit func(mmlp.BatchItem)
+	if acceptsCanonResults(r) {
+		w.Header().Set("Content-Type", mmlp.ContentTypeCanonResults)
+		w.Write(canon.AppendResultsHeader(nil))
+		var buf []byte
+		emit = func(item mmlp.BatchItem) {
+			buf = canon.AppendResult(buf[:0], &item)
+			w.Write(buf)
+		}
+	} else {
+		w.Header().Set("Content-Type", mmlp.ContentTypeNDJSON)
+		enc := json.NewEncoder(w)
+		emit = func(item mmlp.BatchItem) { enc.Encode(item) }
+	}
 
 	// Submission runs on its own goroutine so the pool's backpressure never
 	// stalls the response: completed results stream out while later jobs
@@ -137,7 +230,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for emitted := 0; submitted == -1 || emitted < submitted; {
 		select {
 		case res := <-results:
-			enc.Encode(batch.ItemFromResult(res))
+			emit(batch.ItemFromResult(res))
 			if flusher != nil {
 				flusher.Flush()
 			}
@@ -147,11 +240,11 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 			submitDone = nil // disable this case; drain the rest of results
 		}
 	}
-	// The contract is one line per job: jobs that never made it into the
+	// The contract is one record per job: jobs that never made it into the
 	// pool still get an error item, so clients keying on index can tell a
 	// dropped job from a lost response.
 	for i := submitted; i < len(jobs); i++ {
-		enc.Encode(batch.ItemFromResult(batch.Result{Index: i, Err: submitErr}))
+		emit(batch.ItemFromResult(batch.Result{Index: i, Err: submitErr}))
 	}
 	if flusher != nil {
 		flusher.Flush()

@@ -36,6 +36,12 @@ func JobFromRequest(req *mmlp.SolveRequest) (Job, error) {
 	}, nil
 }
 
+// JobFromCanon wraps one canon wire payload as a job. No decoding happens
+// here: the payload is keyed by its hash and decoded lazily on a cache
+// miss, so malformed payloads surface as job errors, exactly like invalid
+// JSON instances do.
+func JobFromCanon(payload []byte) Job { return Job{Canon: payload} }
+
 // ResponseFromResult renders a successful result on the wire. The caller
 // must not pass a failed result (nil Sol).
 func ResponseFromResult(r Result) mmlp.SolveResponse {

@@ -29,6 +29,10 @@ import (
 type Job struct {
 	In   *mmlp.Instance
 	Opts engine.Options
+	// Canon, when non-nil, is a canon wire payload carrying the whole
+	// request; In and Opts are then ignored. The job is keyed by hashing
+	// the bytes and decoded only on a cache miss (engine.SolveCanonBytes).
+	Canon []byte
 }
 
 // Result is the outcome of one job.
@@ -112,7 +116,11 @@ func runJob(ctx context.Context, index int, job Job, timeout time.Duration, sc *
 		defer cancel()
 	}
 	start := time.Now()
-	res.Sol, res.Dist, res.Cached, res.Err = engine.SolveCached(ctx, job.In, job.Opts, sc, ca)
+	if job.Canon != nil {
+		res.Sol, res.Dist, res.Cached, res.Err = engine.SolveCanonBytes(ctx, job.Canon, sc, ca)
+	} else {
+		res.Sol, res.Dist, res.Cached, res.Err = engine.SolveCached(ctx, job.In, job.Opts, sc, ca)
+	}
 	res.Latency = time.Since(start)
 	col.record(res.Latency, res.Err != nil)
 	return res

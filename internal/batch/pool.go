@@ -87,13 +87,23 @@ func (p *Pool) runTask(t task, sc *engine.Scratch) {
 		ctx, cancel = context.WithTimeout(ctx, p.opts.JobTimeout)
 	}
 	start := time.Now()
-	sol, dist, cached, subscribed, err := engine.SolveCachedDetach(ctx, t.job.In, t.job.Opts, sc, p.cache,
-		func(sol *engine.Solution, dist *engine.DistInfo, err error) {
-			if cancel != nil {
-				cancel()
-			}
-			p.deliver(t, start, sol, dist, err)
-		})
+	onFlight := func(sol *engine.Solution, dist *engine.DistInfo, err error) {
+		if cancel != nil {
+			cancel()
+		}
+		p.deliver(t, start, sol, dist, err)
+	}
+	var (
+		sol                *engine.Solution
+		dist               *engine.DistInfo
+		cached, subscribed bool
+		err                error
+	)
+	if t.job.Canon != nil {
+		sol, dist, cached, subscribed, err = engine.SolveCanonBytesDetach(ctx, t.job.Canon, sc, p.cache, onFlight)
+	} else {
+		sol, dist, cached, subscribed, err = engine.SolveCachedDetach(ctx, t.job.In, t.job.Opts, sc, p.cache, onFlight)
+	}
 	if subscribed {
 		return
 	}

@@ -1,30 +1,44 @@
-// Package canon assigns every (instance, solve options) pair a canonical
-// cryptographic key. The paper's algorithm is deterministic — identical
-// instance and options always yield bit-identical solutions — so the key is
-// a sound cache index for complete solve results (internal/cache fronts the
-// batch and serving layers with exactly that).
+// Package canon defines the canonical binary encoding of every
+// (instance, solve options) pair, the cryptographic key derived from it,
+// and — since the encoding became the fleet's binary wire format — the
+// decoders and frames of that wire surface (see wire.go).
 //
-// The key is the SHA-256 of a canonical binary encoding:
+// The paper's algorithm is deterministic: identical instance and options
+// always yield bit-identical solutions, so the SHA-256 of the canonical
+// encoding is a sound cache index for complete solve results
+// (internal/cache fronts the batch and serving layers with exactly that)
+// and a sound routing key for the shard layer.
 //
-//   - terms within a row are ordered by agent index (the semantics of
-//     mmlp.SortTerms, applied to a scratch copy so the caller's instance is
-//     never mutated);
-//   - rows within each section are ordered lexicographically by their
-//     encoded bytes — a constraint system and an objective set are sets of
-//     rows, so row order must not influence the key;
+// The encoding (version 2, magic "mmlp-canon/v2\n"):
+//
 //   - options are normalized (R 0→3, BinIters 0→100, matching the solver's
-//     defaults) so spellings of the same configuration collide;
-//   - coefficients are encoded as their exact IEEE-754 bit patterns, so any
-//     representable change — however small — changes the key.
+//     defaults) so spellings of the same configuration collide, and are
+//     written as uvarints plus one flags byte;
+//   - terms within a row are ordered by mmlp.CompareTerm (the semantics of
+//     mmlp.SortTerms, applied to a scratch copy so the caller's instance is
+//     never mutated) and written fixed-width: the agent as its sign-flipped
+//     big-endian 64-bit pattern, the coefficient as its big-endian IEEE-754
+//     bits — so any representable coefficient change, however small,
+//     changes the bytes;
+//   - rows within each section are ordered lexicographically by their
+//     encoded bytes. Because every row field is fixed-width big-endian,
+//     byte order IS canonical order: it coincides exactly with the
+//     (length, then termwise CompareTerm) order of mmlp.Canonical. A
+//     decoded wire message is therefore already in the pipeline's canonical
+//     form — no re-canonicalization, no second hashing.
 //
-// The encoding is self-delimiting (every list is preceded by its length),
-// hence injective up to the canonical reordering: two pairs share a key
-// only by SHA-256 collision or by describing the same mathematical
-// problem under the same options.
+// The encoding is self-delimiting (every list is preceded by its length)
+// and the decoder rejects non-canonical term or row order, hence each
+// equivalence class of (instance, options) pairs has exactly one wire
+// representation: two pairs share an encoding — or a key — only by
+// describing the same mathematical problem under the same options. That
+// injectivity is what lets the shard router route a canon payload by
+// hashing its raw bytes, without decoding: HashBytes(AppendSolve(in, o))
+// == Hash(in, o) by construction.
 //
 // Hashing sits on the cache-hit path of the serving layer, so the encoder
-// state (hash, row buffers, term scratch) is pooled: steady-state hashing
-// of similarly-shaped instances does not allocate.
+// state (hash, message buffer, row buffers, term scratch) is pooled:
+// steady-state hashing of similarly-shaped instances does not allocate.
 package canon
 
 import (
@@ -39,6 +53,10 @@ import (
 
 	"repro/internal/mmlp"
 )
+
+// SolveMagic opens every canon solve message. The version is part of the
+// hashed bytes, so an encoding change can never alias keys across versions.
+const SolveMagic = "mmlp-canon/v2\n"
 
 // Key identifies a canonical (instance, options) pair.
 type Key [sha256.Size]byte
@@ -76,69 +94,100 @@ func (o Options) normalized() Options {
 	return o
 }
 
+// Option flag bits (the flags byte after the varint option fields).
+const (
+	flagDisableSpecialCases = 1 << 0
+	flagSelfCheck           = 1 << 1
+	flagsReservedMask       = ^byte(flagDisableSpecialCases | flagSelfCheck)
+)
+
 // hasher is the reusable encoder state.
 type hasher struct {
 	h     hash.Hash
-	buf   [binary.MaxVarintLen64]byte
+	msg   []byte      // whole-message scratch, reused by Hash
 	rows  [][]byte    // per-row encodings; backings are reused across calls
 	terms []mmlp.Term // scratch copy, so callers' rows stay untouched
 }
 
 var hasherPool = sync.Pool{New: func() any { return &hasher{h: sha256.New()} }}
 
-// Hash computes the canonical key of (in, o). The instance is read, never
-// mutated; invalid instances hash fine (they simply never acquire a cached
-// value, because failed solves are not stored).
+// Hash computes the canonical key of (in, o): the SHA-256 of its canonical
+// wire encoding. The instance is read, never mutated; invalid instances
+// hash fine (they simply never acquire a cached value, because failed
+// solves are not stored).
 func Hash(in *mmlp.Instance, o Options) Key {
 	s := hasherPool.Get().(*hasher)
 	defer hasherPool.Put(s)
+	s.msg = s.appendSolve(s.msg[:0], in, o)
 	s.h.Reset()
-
-	s.h.Write([]byte("mmlp-canon/v1\n"))
-	o = o.normalized()
-	s.uvarint(uint64(o.Engine))
-	s.uvarint(uint64(o.R))
-	s.uvarint(uint64(o.BinIters))
-	flags := byte(0)
-	if o.DisableSpecialCases {
-		flags |= 1
-	}
-	if o.SelfCheck {
-		flags |= 2
-	}
-	s.buf[0] = flags
-	s.h.Write(s.buf[:1])
-
-	s.uvarint(uint64(in.NumAgents))
-	s.uvarint(uint64(len(in.Cons)))
-	s.rows = s.rows[:0]
-	for _, c := range in.Cons {
-		s.addRow(c.Terms)
-	}
-	s.writeSortedRows()
-	s.uvarint(uint64(len(in.Objs)))
-	s.rows = s.rows[:0]
-	for _, oj := range in.Objs {
-		s.addRow(oj.Terms)
-	}
-	s.writeSortedRows()
-
+	s.h.Write(s.msg)
 	var k Key
 	s.h.Sum(k[:0])
 	return k
 }
 
-func (s *hasher) uvarint(v uint64) {
-	s.h.Write(s.buf[:binary.PutUvarint(s.buf[:], v)])
+// HashBytes computes the key of an already-encoded canon payload. For
+// payloads produced by AppendSolve this equals Hash of the encoded pair —
+// the invariant the shard router's decode-free routing rests on.
+func HashBytes(payload []byte) Key { return Key(sha256.Sum256(payload)) }
+
+// AppendSolve appends the canonical wire encoding of (in, o) to dst and
+// returns the extended buffer. The result is exactly the byte string Hash
+// hashes, and DecodeSolve inverts it.
+func AppendSolve(dst []byte, in *mmlp.Instance, o Options) []byte {
+	s := hasherPool.Get().(*hasher)
+	defer hasherPool.Put(s)
+	return s.appendSolve(dst, in, o)
 }
 
-// addRow encodes one row: term count, then per term the agent as a signed
-// varint (robust to out-of-range indices in not-yet-validated instances)
-// and the coefficient as its big-endian IEEE-754 bits. Terms are ordered
-// by mmlp.CompareTerm — the one definition this ordering shares with
-// mmlp.Canonical, so key equality and pipeline canonicalization can never
-// drift apart. The row buffer is recycled from a previous call when one
-// is available.
+// EncodeSolve is AppendSolve into a fresh buffer.
+func EncodeSolve(in *mmlp.Instance, o Options) []byte { return AppendSolve(nil, in, o) }
+
+// appendSolve writes magic, normalized options and the canonicalized
+// instance into dst using the pooled row/term scratch.
+func (s *hasher) appendSolve(dst []byte, in *mmlp.Instance, o Options) []byte {
+	dst = append(dst, SolveMagic...)
+	o = o.normalized()
+	dst = binary.AppendUvarint(dst, uint64(o.Engine))
+	dst = binary.AppendUvarint(dst, uint64(o.R))
+	dst = binary.AppendUvarint(dst, uint64(o.BinIters))
+	flags := byte(0)
+	if o.DisableSpecialCases {
+		flags |= flagDisableSpecialCases
+	}
+	if o.SelfCheck {
+		flags |= flagSelfCheck
+	}
+	dst = append(dst, flags)
+
+	dst = binary.AppendUvarint(dst, uint64(in.NumAgents))
+	dst = binary.AppendUvarint(dst, uint64(len(in.Cons)))
+	s.rows = s.rows[:0]
+	for _, c := range in.Cons {
+		s.addRow(c.Terms)
+	}
+	dst = s.appendSortedRows(dst)
+	dst = binary.AppendUvarint(dst, uint64(len(in.Objs)))
+	s.rows = s.rows[:0]
+	for _, oj := range in.Objs {
+		s.addRow(oj.Terms)
+	}
+	return s.appendSortedRows(dst)
+}
+
+// orderAgent maps a (possibly negative, in not-yet-validated instances)
+// agent index to a big-endian-comparable 64-bit pattern: flipping the sign
+// bit makes unsigned byte comparison agree with signed numeric order.
+func orderAgent(agent int) uint64 { return uint64(int64(agent)) ^ (1 << 63) }
+
+// addRow encodes one row: a 4-byte big-endian term count, then per term the
+// sign-flipped agent pattern and the coefficient bits, 8 bytes each, all
+// big-endian. Terms are ordered by mmlp.CompareTerm — the one definition
+// this ordering shares with mmlp.Canonical, so key equality and pipeline
+// canonicalization can never drift apart. Fixed-width fields make
+// lexicographic byte order of whole rows coincide with mmlp.Canonical's
+// (length, then termwise CompareTerm) row order. The row buffer is recycled
+// from a previous call when one is available.
 func (s *hasher) addRow(terms []mmlp.Term) {
 	s.terms = append(s.terms[:0], terms...)
 	slices.SortFunc(s.terms, mmlp.CompareTerm)
@@ -146,19 +195,21 @@ func (s *hasher) addRow(terms []mmlp.Term) {
 	if n := len(s.rows); n < cap(s.rows) {
 		row = s.rows[:n+1][n][:0] // recycle the backing parked in this slot
 	}
-	row = binary.AppendUvarint(row, uint64(len(s.terms)))
+	row = binary.BigEndian.AppendUint32(row, uint32(len(s.terms)))
 	for _, t := range s.terms {
-		row = binary.AppendVarint(row, int64(t.Agent))
+		row = binary.BigEndian.AppendUint64(row, orderAgent(t.Agent))
 		row = binary.BigEndian.AppendUint64(row, math.Float64bits(t.Coef))
 	}
 	s.rows = append(s.rows, row)
 }
 
-// writeSortedRows emits the section's rows in canonical (lexicographic)
-// order. Each row is self-delimiting, so plain concatenation is injective.
-func (s *hasher) writeSortedRows() {
+// appendSortedRows emits the section's rows in canonical (lexicographic ==
+// mmlp.Canonical) order. Each row is self-delimiting, so plain
+// concatenation is injective.
+func (s *hasher) appendSortedRows(dst []byte) []byte {
 	slices.SortFunc(s.rows, bytes.Compare)
 	for _, row := range s.rows {
-		s.h.Write(row)
+		dst = append(dst, row...)
 	}
+	return dst
 }

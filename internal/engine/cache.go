@@ -70,13 +70,7 @@ type cachedResult struct {
 // fleet member. Workers is excluded: it changes parallelism, never output
 // bits.
 func SolveKey(in *mmlp.Instance, o Options) canon.Key {
-	return canon.Hash(in, canon.Options{
-		Engine:              int(o.Engine),
-		R:                   o.R,
-		BinIters:            o.BinIters,
-		DisableSpecialCases: o.DisableSpecialCases,
-		SelfCheck:           o.SelfCheck,
-	})
+	return canon.Hash(in, canonOptions(o))
 }
 
 // bytes estimates an entry's memory cost: the X vector dominates; the

@@ -1,0 +1,151 @@
+package engine
+
+// This file is the binary-wire solve path: requests that arrive as canon
+// payloads (Content-Type: application/x-mmlp-canon) are keyed by hashing
+// the raw bytes — canon's decoder accepts exactly one byte string per
+// (instance, options) class, so canon.HashBytes(payload) IS the key
+// SolveKey computes for the same request arriving as JSON — and decoded
+// only on a cache miss, straight into the worker Scratch's decode arena.
+// The warm path of a repeated canon request is therefore one SHA-256 and
+// one cache lookup: no decode, no mmlp.Instance construction at all.
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/canon"
+	"repro/internal/mmlp"
+)
+
+// canonOptions maps engine options onto the wire/key options. SolveKey and
+// EncodeCanon both go through it, so the JSON path's cache key and the
+// binary wire's payload can never disagree about what participates.
+func canonOptions(o Options) canon.Options {
+	return canon.Options{
+		Engine:              int(o.Engine),
+		R:                   o.R,
+		BinIters:            o.BinIters,
+		DisableSpecialCases: o.DisableSpecialCases,
+		SelfCheck:           o.SelfCheck,
+	}
+}
+
+// OptionsFromCanon maps decoded wire options back to engine options.
+// Workers is absent on the wire (it never changes output bits); it stays
+// zero, which scratch-based solving ignores anyway.
+func OptionsFromCanon(co canon.Options) Options {
+	return Options{
+		Engine:              Kind(co.Engine),
+		R:                   co.R,
+		BinIters:            co.BinIters,
+		DisableSpecialCases: co.DisableSpecialCases,
+		SelfCheck:           co.SelfCheck,
+	}
+}
+
+// EncodeCanon encodes one solve as a canon wire payload — what a binary
+// client sends where a JSON client sends a SolveRequest.
+func EncodeCanon(in *mmlp.Instance, o Options) []byte {
+	return canon.EncodeSolve(in, canonOptions(o))
+}
+
+// decodeCanon decodes a payload into sc's arena. Wire errors wrap
+// mmlp.ErrInvalid: a malformed payload is the binary twin of a JSON body
+// that fails validation, and the serving layer maps both to one 400 path.
+func decodeCanon(payload []byte, sc *Scratch) (*mmlp.Instance, Options, error) {
+	var dsc *canon.DecodeScratch
+	if sc != nil {
+		dsc = &sc.dec
+	}
+	in, co, err := canon.DecodeSolve(payload, dsc)
+	if err != nil {
+		return nil, Options{}, fmt.Errorf("%w: canon request: %w", mmlp.ErrInvalid, err)
+	}
+	return in, OptionsFromCanon(co), nil
+}
+
+// solveCanonBytesMiss decodes, validates and solves a canon payload — the
+// cache-miss (or cache-disabled) arm shared by both entry points. The
+// decoded instance is already in canonical form (the decoder rejects
+// anything else), so the pipeline skips re-canonicalization entirely.
+func solveCanonBytesMiss(ctx context.Context, payload []byte, sc *Scratch) (*Solution, *DistInfo, error) {
+	in, o, err := decodeCanon(payload, sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := in.Validate(); err != nil {
+		return nil, nil, err
+	}
+	coreScratch := sc != nil
+	if sc == nil {
+		sc = NewScratch()
+	}
+	return solveCanonical(ctx, in, o, sc, coreScratch)
+}
+
+// SolveCanonBytes is the canon-payload counterpart of SolveCached: the key
+// is the SHA-256 of the raw bytes, a hit replays the stored result without
+// decoding the payload at all, and a miss decodes into sc's arena and runs
+// the pipeline. Results are bit-identical to the same request sent as JSON
+// — both paths cache under the same key, so either encoding warms the
+// other. Failed decodes and failed solves are never stored.
+func SolveCanonBytes(ctx context.Context, payload []byte, sc *Scratch, ca *Cache) (sol *Solution, info *DistInfo, cached bool, err error) {
+	if ca == nil || ca.c == nil {
+		sol, info, err = solveCanonBytesMiss(ctx, payload, sc)
+		return sol, info, false, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	v, hit, err := ca.c.Do(ctx, canon.HashBytes(payload), func() (any, int64, error) {
+		sol, info, err := solveCanonBytesMiss(ctx, payload, sc)
+		if err != nil {
+			return nil, 0, err
+		}
+		res := &cachedResult{sol: sol, info: info}
+		return res, res.bytes(), nil
+	})
+	if err != nil {
+		return nil, nil, false, err
+	}
+	res := v.(*cachedResult)
+	return res.sol.clone(), res.info.clone(), hit, nil
+}
+
+// SolveCanonBytesDetach is SolveCanonBytes with SolveCachedDetach's
+// non-parking contract: when the key is already being solved, deliver is
+// registered on the in-flight solve and the call returns immediately with
+// subscribed=true; otherwise it behaves exactly like SolveCanonBytes and
+// deliver is unused. See SolveCachedDetach for the retry semantics.
+func SolveCanonBytesDetach(ctx context.Context, payload []byte, sc *Scratch, ca *Cache, deliver func(sol *Solution, info *DistInfo, err error)) (sol *Solution, info *DistInfo, cached, subscribed bool, err error) {
+	if ca == nil || ca.c == nil {
+		sol, info, err = solveCanonBytesMiss(ctx, payload, sc)
+		return sol, info, false, false, err
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	v, hit, done, err := ca.c.DoDetached(canon.HashBytes(payload), func() (any, int64, error) {
+		sol, info, err := solveCanonBytesMiss(ctx, payload, sc)
+		if err != nil {
+			return nil, 0, err
+		}
+		res := &cachedResult{sol: sol, info: info}
+		return res, res.bytes(), nil
+	}, func(val any, derr error) {
+		if derr != nil {
+			deliver(nil, nil, derr)
+			return
+		}
+		res := val.(*cachedResult)
+		deliver(res.sol.clone(), res.info.clone(), nil)
+	})
+	if !done {
+		return nil, nil, false, true, nil
+	}
+	if err != nil {
+		return nil, nil, false, false, err
+	}
+	res := v.(*cachedResult)
+	return res.sol.clone(), res.info.clone(), hit, false, nil
+}

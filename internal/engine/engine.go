@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"repro/internal/baseline"
+	"repro/internal/canon"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/mmlp"
@@ -141,6 +142,7 @@ type DistInfo struct {
 type Scratch struct {
 	core  core.Scratch
 	canon mmlp.CanonScratch
+	dec   canon.DecodeScratch
 	pipe  transform.Scratch
 	str   structured.Scratch
 }

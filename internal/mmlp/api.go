@@ -18,6 +18,17 @@ const (
 	EngineDistCompact = "dist-compact"
 )
 
+// Content types negotiated on /v1/solve and /v1/batch. JSON is the
+// default; the canon types carry the binary wire format defined in
+// internal/canon (solve payloads, batch frames, result frames).
+const (
+	ContentTypeJSON         = "application/json"
+	ContentTypeCanon        = "application/x-mmlp-canon"
+	ContentTypeCanonBatch   = "application/x-mmlp-canon-batch"
+	ContentTypeCanonResults = "application/x-mmlp-canon-results"
+	ContentTypeNDJSON       = "application/x-ndjson"
+)
+
 // SolveRequest is the body of POST /v1/solve and one element of a
 // BatchRequest.
 type SolveRequest struct {
@@ -44,6 +55,12 @@ type SolveRequest struct {
 // practical setting (the experiments use R ≤ 6) — while keeping the Θ(R)
 // per-request memory and rounds small.
 const MaxWireR = 64
+
+// MaxWireBinIters bounds bin_iters accepted over HTTP. The binary search
+// converges to the last representable bit in well under 100 iterations;
+// a million is absurd headroom, while still capping the per-agent work a
+// small request can demand.
+const MaxWireBinIters = 1 << 20
 
 // MaxWireAgents bounds num_agents accepted over HTTP. The solver allocates
 // several O(NumAgents) slices before any row is read, so the count must be
@@ -74,8 +91,8 @@ func (r *SolveRequest) Validate() error {
 	if r.R != 0 && (r.R < 2 || r.R > MaxWireR) {
 		return fmt.Errorf("%w: r must be in [2, %d], got %d", ErrInvalid, MaxWireR, r.R)
 	}
-	if r.BinIters < 0 {
-		return fmt.Errorf("%w: bin_iters must be ≥ 0, got %d", ErrInvalid, r.BinIters)
+	if r.BinIters < 0 || r.BinIters > MaxWireBinIters {
+		return fmt.Errorf("%w: bin_iters must be in [0, %d], got %d", ErrInvalid, MaxWireBinIters, r.BinIters)
 	}
 	return nil
 }
@@ -229,6 +246,9 @@ type RouterStats struct {
 	Retried    int64 `json:"retried"`
 	ShardDown  int64 `json:"shard_down"`
 	Replicated int64 `json:"replicated"`
+	// CanonPassthrough counts canon-typed jobs the router keyed by hashing
+	// the raw payload and forwarded verbatim — zero decodes on the router.
+	CanonPassthrough int64 `json:"canon_passthrough"`
 }
 
 // RingProposal is the body of POST /admin/ring on mmlprouter: the member

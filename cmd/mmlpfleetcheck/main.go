@@ -1,5 +1,5 @@
 // Command mmlpfleetcheck is the multi-process integration harness behind
-// the fleet-smoke CI job. It runs four scenarios, each against a freshly
+// the fleet-smoke CI job. It runs five scenarios, each against a freshly
 // booted real fleet — N mmlpserve processes plus one mmlprouter — next to
 // one direct mmlpserve reference process:
 //
@@ -43,6 +43,17 @@
 // the router's canon_passthrough counter must account for every canon job
 // — proving the router routes canon traffic by hashing bytes, without
 // decoding.
+//
+// observability (replication 1) boots the shards with -slow-log 0 and
+// drives traced traffic: every solve's router-minted X-Mmlp-Trace ID must
+// be unique, echoed to the client, and surface in exactly one shard's
+// slow-log; ?trace=1 stage blocks must attribute kernel time on cold
+// solves and cache-lookup time (never kernel) on hits; /metrics must parse
+// on every process with counters equal to /statsz; the fleet's latency
+// quantiles must derive from the merged per-shard histograms; and the
+// router's routed counter must equal the shards' summed jobs counters —
+// the counter-conservation invariant, also checked at the end of the
+// baseline, cutover and mixed scenarios.
 //
 // Usage:
 //
@@ -95,20 +106,23 @@ func main() {
 	scenarios := []struct {
 		name        string
 		replication int
+		slowLog     bool // boot the shards with -slow-log 0
 		run         func(*harness) error
 	}{
-		{"baseline", 1, (*harness).runBaseline},
-		{"replicated-kill", 2, (*harness).runReplicatedKill},
-		{"cutover", 1, (*harness).runCutover},
-		{"mixed", 1, (*harness).runMixed},
+		{"baseline", 1, false, (*harness).runBaseline},
+		{"replicated-kill", 2, false, (*harness).runReplicatedKill},
+		{"cutover", 1, false, (*harness).runCutover},
+		{"mixed", 1, false, (*harness).runMixed},
+		{"observability", 1, true, (*harness).runObservability},
 	}
 	for _, sc := range scenarios {
 		fmt.Printf("=== scenario %s ===\n", sc.name)
 		h := &harness{
 			bin: *bin, nShards: *shards, jobs: *jobs, seed: *seed,
 			replicas: *replicas, workers: *workers, replication: sc.replication,
-			logDir: filepath.Join(*logDir, sc.name),
-			hc:     &http.Client{Timeout: 2 * time.Minute},
+			slowLog: sc.slowLog,
+			logDir:  filepath.Join(*logDir, sc.name),
+			hc:      &http.Client{Timeout: 2 * time.Minute},
 		}
 		err := sc.run(h)
 		h.stopAll()
@@ -119,7 +133,7 @@ func main() {
 		}
 		fmt.Printf("scenario %s: PASS\n", sc.name)
 	}
-	fmt.Println("PASS: fleet bit-identity, partitioning, aggregation, replicated kill, ring cutover and mixed-encoding serving all hold")
+	fmt.Println("PASS: fleet bit-identity, partitioning, aggregation, replicated kill, ring cutover, mixed-encoding serving and observability all hold")
 }
 
 // proc is one child process of the fleet.
@@ -136,7 +150,8 @@ type harness struct {
 	seed        int64
 	replicas    int
 	workers     int
-	replication int // router -replication; 1 = classic single-copy
+	replication int  // router -replication; 1 = classic single-copy
+	slowLog     bool // boot the shards with -slow-log 0 (log every solve)
 	logDir      string
 	hc          *http.Client
 
@@ -174,7 +189,10 @@ func (h *harness) runBaseline() error {
 	if err := h.checkPartitioning(keys); err != nil {
 		return err
 	}
-	return h.checkAggregation()
+	if err := h.checkAggregation(); err != nil {
+		return err
+	}
+	return h.checkConservation(h.shardAddrs)
 }
 
 // freePorts reserves n distinct listening ports and releases them; the gap
@@ -237,11 +255,15 @@ func (h *harness) boot() error {
 		"-workers", fmt.Sprint(h.workers),
 		"-cache-bytes", fmt.Sprint(16 << 20),
 	}
+	shardArgs := cacheArgs
+	if h.slowLog {
+		shardArgs = append(slices.Clone(cacheArgs), "-slow-log", "0")
+	}
 	for i := 0; i < h.nShards; i++ {
 		addr := fmt.Sprintf("127.0.0.1:%d", ports[i])
 		h.shardAddrs = append(h.shardAddrs, addr)
 		if err := h.start(fmt.Sprintf("shard%d", i), "mmlpserve",
-			append([]string{"-addr", addr}, cacheArgs...)...); err != nil {
+			append([]string{"-addr", addr}, shardArgs...)...); err != nil {
 			return err
 		}
 	}
@@ -338,18 +360,18 @@ func (h *harness) postSolve(addr string, req *mmlp.SolveRequest) (int, []byte, s
 	return resp.StatusCode, b, resp.Header.Get("X-Mmlp-Shard"), err
 }
 
-// normalize strips the per-run fields (latency, cached) from a solve
-// response and re-encodes it, returning the canonical bytes plus the
-// stripped cached flag. Float64 values survive a JSON decode/encode round
-// trip bit-exactly, so byte equality of normalized bodies is bit-identity
-// of the solutions.
+// normalize strips the per-run fields (latency, cached, the opt-in trace
+// block) from a solve response and re-encodes it, returning the canonical
+// bytes plus the stripped cached flag. Float64 values survive a JSON
+// decode/encode round trip bit-exactly, so byte equality of normalized
+// bodies is bit-identity of the solutions.
 func normalize(body []byte) ([]byte, bool, error) {
 	var resp mmlp.SolveResponse
 	if err := json.Unmarshal(body, &resp); err != nil {
 		return nil, false, fmt.Errorf("bad solve response %q: %w", body, err)
 	}
 	cached := resp.Cached
-	resp.LatencyMS, resp.Cached = 0, false
+	resp.LatencyMS, resp.Cached, resp.Trace = 0, false, nil
 	out, err := json.Marshal(resp)
 	return out, cached, err
 }

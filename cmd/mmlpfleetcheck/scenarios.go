@@ -510,7 +510,7 @@ func (h *harness) runMixed() error {
 		return fmt.Errorf("router canon_passthrough = %d, want %d", fleet.Router.CanonPassthrough, want)
 	}
 	fmt.Printf("router: canon_passthrough=%d — every canon job routed without decoding\n", fleet.Router.CanonPassthrough)
-	return nil
+	return h.checkConservation(h.shardAddrs)
 }
 
 // runCutover is the add-a-shard scenario: boot a spare mmlpserve off the
@@ -732,5 +732,7 @@ func (h *harness) runCutover() error {
 		return fmt.Errorf("post-cutover partition: %w", err)
 	}
 	fmt.Printf("post-cutover partition: %d distinct keys occupy exactly one shard each on the 4-member ring\n", len(allKeys))
-	return nil
+	// Conservation across the cutover: the spare's jobs count toward the
+	// shard sum once it joins the ring.
+	return h.checkConservation(allAddrs)
 }

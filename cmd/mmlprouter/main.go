@@ -9,6 +9,7 @@
 //
 //	mmlprouter -shards host:port,host:port,... [-addr :8090] [-replicas 128]
 //	           [-replication 1] [-max-body 8388608] [-cooldown 5s]
+//	           [-debug-addr :6060]
 //
 // Endpoints (the wire contract matches mmlpserve, so clients need not know
 // whether they talk to a shard or the router):
@@ -18,11 +19,16 @@
 //	POST /v1/batch  — jobs fan out to their owning shards as per-shard
 //	                  sub-batches; the NDJSON streams re-merge in arrival
 //	                  order with indices rewritten to the original request
-//	GET  /healthz   — router liveness plus the fleet's healthy-member count
+//	GET  /healthz   — router liveness, the fleet's healthy-member count,
+//	                  and the build's VCS revision/dirty flag
 //	GET  /statsz    — the fleet view: router counters (routed/forwarded/
-//	                  retried/shard_down/replicated, ring version), summed
-//	                  per-shard batch and cache totals, and the raw
-//	                  per-shard blocks
+//	                  retried/shard_down/replicated, ring version, the
+//	                  forward-latency histogram), summed per-shard batch
+//	                  and cache totals with fleet latency quantiles derived
+//	                  from the merged histograms, and the raw per-shard
+//	                  blocks
+//	GET  /metrics   — the router's own counters, gauges and forward-latency
+//	                  histogram in the Prometheus text format
 //	GET  /admin/ring  — current ring generation, member set and drain
 //	                  progress of an in-flight cutover
 //	POST /admin/ring  — propose a new member set ({"members":[...]}). New
@@ -41,6 +47,12 @@
 // forwards what it accepts, and a sub-batch a shard rejects (e.g. with
 // 413) is terminal for that group's jobs — the shard processed the
 // request, so there is nothing to fail over.
+//
+// Observability: every admitted request gets an X-Mmlp-Trace ID (minted
+// here unless the client supplied one) that is echoed on the response and
+// forwarded with every shard hop, so the router response, the owning
+// shard's ?trace=1 block and its slow-log all share one ID. -debug-addr
+// serves net/http/pprof on a separate listener.
 //
 // A shard that fails at the transport level is marked down for -cooldown
 // and its keys are served by the next replica on the ring until it
@@ -74,6 +86,7 @@ type routerConfig struct {
 	maxBody       int64
 	cooldown      time.Duration
 	shutdownGrace time.Duration
+	debugAddr     string
 }
 
 // parseFlags parses and vets the command line. Invalid values are errors —
@@ -88,6 +101,7 @@ func parseFlags(args []string) (*routerConfig, error) {
 	maxBody := fs.Int64("max-body", 8<<20, "largest accepted request body in bytes (keep ≤ every shard's -max-body: a sub-batch a shard rejects as oversized fails that whole group)")
 	cooldown := fs.Duration("cooldown", shard.DefaultCooldown, "how long a failed shard stays routed-around")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -95,6 +109,7 @@ func parseFlags(args []string) (*routerConfig, error) {
 	cfg := &routerConfig{
 		addr: *addr, replicas: *replicas, replication: *replication,
 		maxBody: *maxBody, cooldown: *cooldown, shutdownGrace: *shutdownGrace,
+		debugAddr: *debugAddr,
 	}
 	if strings.TrimSpace(*shards) == "" {
 		return nil, errors.New("-shards must list at least one host:port")
@@ -154,6 +169,9 @@ func main() {
 		OnCutoverDone: func(old, new *shard.Ring) { rt.notifyCutover(old, new) },
 	})
 	rt = newRouter(client, cfg.maxBody)
+	if cfg.debugAddr != "" {
+		go serveDebug("mmlprouter", cfg.debugAddr)
+	}
 	srv := &http.Server{
 		Addr:    cfg.addr,
 		Handler: rt,

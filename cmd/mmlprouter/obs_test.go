@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mmlp"
+	"repro/internal/obs"
+)
+
+// The router mints an X-Mmlp-Trace ID per request (or adopts the client's),
+// echoes it on the response, and forwards it — plus the query string — to
+// the owning shard, so ?trace=1 and the slow-log correlation both work
+// through the routing hop.
+func TestTracePropagation(t *testing.T) {
+	shards, rt := testFleet(t, 2, nil)
+	in := gen.Random(gen.RandomConfig{Agents: 8, MaxDegI: 3, MaxDegK: 3, ExtraCons: 2, ExtraObjs: 1}, 7)
+
+	// Router-minted ID: present on the response and delivered to the shard.
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve?trace=1", strings.NewReader(solveBody(t, in, `,"r":3`)))
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	minted := w.Header().Get(obs.TraceHeader)
+	if len(minted) != 16 {
+		t.Fatalf("router-minted trace ID = %q, want 16 hex chars", minted)
+	}
+	seen := func() (traces, queries []string) {
+		for _, f := range shards {
+			f.mu.Lock()
+			traces = append(traces, f.solveTraces...)
+			queries = append(queries, f.solveQueries...)
+			f.mu.Unlock()
+		}
+		return
+	}
+	traces, queries := seen()
+	if len(traces) != 1 || traces[0] != minted {
+		t.Fatalf("shard saw traces %q, want exactly [%q]", traces, minted)
+	}
+	if queries[0] != "trace=1" {
+		t.Fatalf("shard saw query %q, want trace=1 propagated", queries[0])
+	}
+
+	// Client-supplied ID: adopted verbatim, not replaced.
+	req = httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(solveBody(t, in, `,"r":3`)))
+	req.Header.Set(obs.TraceHeader, "feedface00000007")
+	w = httptest.NewRecorder()
+	rt.ServeHTTP(w, req)
+	if got := w.Header().Get(obs.TraceHeader); got != "feedface00000007" {
+		t.Fatalf("client ID echoed as %q", got)
+	}
+	traces, _ = seen()
+	if traces[len(traces)-1] != "feedface00000007" {
+		t.Fatalf("shard saw %q, want the client-supplied ID", traces[len(traces)-1])
+	}
+
+	// Batch requests carry one ID for the whole fan-out.
+	jobs := make([]string, 0, 4)
+	for seed := int64(1); seed <= 4; seed++ {
+		jin := gen.Random(gen.RandomConfig{Agents: 6 + int(seed), MaxDegI: 3, MaxDegK: 3, ExtraCons: 2, ExtraObjs: 1}, seed)
+		raw, err := json.Marshal(jin)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, `{"instance":`+string(raw)+`,"r":2}`)
+	}
+	w = post(rt, "/v1/batch", `{"jobs":[`+strings.Join(jobs, ",")+`]}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch status %d: %s", w.Code, w.Body)
+	}
+	batchID := w.Header().Get(obs.TraceHeader)
+	if len(batchID) != 16 {
+		t.Fatalf("batch trace ID = %q", batchID)
+	}
+	var got []string
+	for _, f := range shards {
+		f.mu.Lock()
+		got = append(got, f.batchTraces...)
+		f.mu.Unlock()
+	}
+	if len(got) == 0 {
+		t.Fatal("no shard saw a batch sub-request")
+	}
+	for _, id := range got {
+		if id != batchID {
+			t.Fatalf("sub-batch carried %q, want %q on every hop", id, batchID)
+		}
+	}
+}
+
+// /statsz carries the router's forward-latency histogram after traffic.
+func TestStatszForwardHistogram(t *testing.T) {
+	_, rt := testFleet(t, 2, nil)
+	in := gen.Random(gen.RandomConfig{Agents: 8, MaxDegI: 3, MaxDegK: 3, ExtraCons: 2, ExtraObjs: 1}, 9)
+	for i := 0; i < 3; i++ {
+		if w := post(rt, "/v1/solve", solveBody(t, in, `,"r":3`)); w.Code != http.StatusOK {
+			t.Fatalf("solve %d: %d", i, w.Code)
+		}
+	}
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/statsz", nil))
+	var fleet mmlp.FleetStats
+	if err := json.Unmarshal(w.Body.Bytes(), &fleet); err != nil {
+		t.Fatal(err)
+	}
+	fh := fleet.Router.Forward
+	if fh == nil || fh.Count < 3 {
+		t.Fatalf("forward hist = %+v, want ≥3 observations", fh)
+	}
+	if fh.QuantileNS(0.5) <= 0 {
+		t.Fatalf("forward p50 = %d, want positive", fh.QuantileNS(0.5))
+	}
+}
+
+// /metrics renders the router counters, the forward histogram and the
+// build identity in parseable Prometheus text.
+func TestRouterMetrics(t *testing.T) {
+	_, rt := testFleet(t, 2, nil)
+	in := gen.Random(gen.RandomConfig{Agents: 8, MaxDegI: 3, MaxDegK: 3, ExtraCons: 2, ExtraObjs: 1}, 11)
+	if w := post(rt, "/v1/solve", solveBody(t, in, `,"r":3`)); w.Code != http.StatusOK {
+		t.Fatalf("solve: %d", w.Code)
+	}
+
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics status %d", w.Code)
+	}
+	text := w.Body.String()
+	for _, want := range []string{
+		"mmlp_router_routed_total 1\n",
+		"mmlp_router_shards 2\n",
+		"mmlp_router_healthy 2\n",
+		"mmlp_router_forward_duration_seconds_count 1\n",
+		"# TYPE mmlp_router_forward_duration_seconds histogram\n",
+		`mmlp_build_info{revision="`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics missing %q:\n%s", want, text)
+		}
+	}
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("malformed metrics line %q", line)
+		}
+	}
+}
+
+// The router's /healthz carries the build identity fields.
+func TestRouterHealthzBuildInfo(t *testing.T) {
+	_, rt := testFleet(t, 1, nil)
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	var body struct {
+		Status   string `json:"status"`
+		Revision string `json:"revision"`
+		Dirty    *bool  `json:"dirty"`
+	}
+	if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil {
+		t.Fatalf("healthz body %q: %v", w.Body, err)
+	}
+	if body.Status != "ok" || body.Revision == "" || body.Dirty == nil {
+		t.Fatalf("healthz = %+v, want status ok with revision and dirty", body)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/canon"
 	"repro/internal/engine"
 	"repro/internal/mmlp"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -58,6 +59,7 @@ func newRouter(client *shard.Client, maxBody int64) *router {
 	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
 	rt.mux.HandleFunc("GET /statsz", rt.handleStats)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("GET /admin/ring", rt.handleRingGet)
 	rt.mux.HandleFunc("POST /admin/ring", rt.handleRingPost)
 	return rt
@@ -97,6 +99,20 @@ func keyOf(req *mmlp.SolveRequest) (canon.Key, error) {
 		return canon.Key{}, err
 	}
 	return engine.SolveKey(job.In, job.Opts), nil
+}
+
+// traceFor adopts the client's X-Mmlp-Trace request ID or mints one, echoes
+// it on the response, and stashes it in a child context so Forward attaches
+// it to every hop to the shards. The router is where fleet requests are
+// born, so every solve ends up with exactly one ID shared by the client,
+// the router, and the owning shard's trace and slow-log.
+func traceFor(w http.ResponseWriter, r *http.Request) (context.Context, string) {
+	id := r.Header.Get(obs.TraceHeader)
+	if id == "" {
+		id = obs.NewTraceID()
+	}
+	w.Header().Set(obs.TraceHeader, id)
+	return obs.WithTraceID(r.Context(), id), id
 }
 
 // mediaType extracts the request's media type; an absent header means
@@ -147,10 +163,17 @@ func (rt *router) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	ctx, _ := traceFor(w, r)
+	// Propagate the query string so ?trace=1 reaches the owning shard and
+	// its per-stage trace block rides back in the relayed response.
+	path := "/v1/solve"
+	if r.URL.RawQuery != "" {
+		path += "?" + r.URL.RawQuery
+	}
 	rv := rt.client.Acquire()
 	defer rt.client.Release(rv)
 	owner := rt.client.OwnerOn(rv, key)
-	resp, member, err := rt.client.DoOn(r.Context(), rv, key, "/v1/solve", contentType, body)
+	resp, member, err := rt.client.DoOn(ctx, rv, key, path, contentType, body)
 	if err != nil {
 		writeError(w, http.StatusBadGateway, fmt.Errorf("no shard reachable (owner %s): %w", owner, err))
 		return
@@ -278,6 +301,7 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if payloads != nil {
 		rt.canonPassthrough.Add(int64(n))
 	}
+	ctx, _ := traceFor(w, r)
 	// Pin one ring generation for the whole batch: grouping, forwarding and
 	// straggler re-forwards all agree on a single assignment even when an
 	// /admin/ring cutover lands mid-stream.
@@ -333,7 +357,7 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(g *group) {
 			defer wg.Done()
-			rt.forwardGroup(r.Context(), rv, g, emit)
+			rt.forwardGroup(ctx, rv, g, emit)
 		}(g)
 	}
 	wg.Wait()
@@ -574,11 +598,14 @@ func (rt *router) notifyCutover(old, new *shard.Ring) {
 	}
 }
 
-// handleHealth reports router liveness and the fleet's health split.
+// handleHealth reports router liveness, the fleet's health split, and the
+// build identity, so an operator can tell which revision a node runs
+// without shelling into it.
 func (rt *router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	rev, dirty := obs.BuildInfo()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"shards\":%d,\"healthy\":%d}\n",
-		len(rt.client.Ring().Members()), len(rt.client.Healthy()))
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"shards\":%d,\"healthy\":%d,\"revision\":%q,\"dirty\":%v}\n",
+		len(rt.client.Ring().Members()), len(rt.client.Healthy()), rev, dirty)
 }
 
 // handleStats scrapes every shard's /statsz?raw=1 in parallel and serves
@@ -624,6 +651,9 @@ func (rt *router) handleStats(w http.ResponseWriter, r *http.Request) {
 			out.Fleet.Add(ss.Stats)
 		}
 	}
+	// Fleet quantiles come from the merged histogram — per-shard P50/P99
+	// are process-local order statistics and cannot be combined.
+	out.Fleet.DeriveQuantiles()
 	st := rt.client.Stats()
 	out.Router = mmlp.RouterStats{
 		Shards:      len(members),
@@ -638,6 +668,7 @@ func (rt *router) handleStats(w http.ResponseWriter, r *http.Request) {
 		Replicated:  rt.replicated.Load(),
 
 		CanonPassthrough: rt.canonPassthrough.Load(),
+		Forward:          rt.client.ForwardHist(),
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(out)

@@ -17,6 +17,7 @@ import (
 	"repro/internal/canon"
 	"repro/internal/gen"
 	"repro/internal/mmlp"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -34,6 +35,9 @@ type fakeShard struct {
 
 	mu            sync.Mutex
 	solves        []string // bodies received on /v1/solve
+	solveTraces   []string // X-Mmlp-Trace headers received on /v1/solve
+	solveQueries  []string // raw query strings received on /v1/solve
+	batchTraces   []string // X-Mmlp-Trace headers received on /v1/batch
 	batch         int      // jobs received on /v1/batch
 	batchCalls    int
 	canonPayloads [][]byte               // canon payloads received on /v1/batch
@@ -46,6 +50,8 @@ func (f *fakeShard) handler() http.Handler {
 		body, _ := io.ReadAll(r.Body)
 		f.mu.Lock()
 		f.solves = append(f.solves, string(body))
+		f.solveTraces = append(f.solveTraces, r.Header.Get(obs.TraceHeader))
+		f.solveQueries = append(f.solveQueries, r.URL.RawQuery)
 		f.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"status\":\"optimal\",\"utility\":1,\"upper_bound\":1,\"latency_ms\":0.5,\"shard\":%q}\n", f.name)
@@ -84,6 +90,7 @@ func (f *fakeShard) handler() http.Handler {
 		}
 		f.mu.Lock()
 		f.batch += len(utilities)
+		f.batchTraces = append(f.batchTraces, r.Header.Get(obs.TraceHeader))
 		f.batchCalls++
 		die := f.dieAfter > 0 && f.batchCalls == 1
 		f.mu.Unlock()
@@ -471,10 +478,23 @@ func TestBatchErrorsMatchServeContract(t *testing.T) {
 // own counters; a dead member appears with ok=false and is excluded from
 // the sums.
 func TestStatszAggregation(t *testing.T) {
+	// Each canned block carries a solve histogram: shard 0 solved 10 jobs
+	// around 1µs, shard 1 solved 30 around 1ms. The fleet quantiles must
+	// come from the merged histograms, not from combining the per-process
+	// P50/P99 fields.
+	solveHist := func(n int, ns int64) *obs.HistRaw {
+		var h obs.Histogram
+		for i := 0; i < n; i++ {
+			h.ObserveNS(ns)
+		}
+		return h.Snapshot()
+	}
 	stats := []mmlp.StatsRaw{
 		{Workers: 2, Jobs: 10, Errors: 1, UptimeNS: 100, P50NS: 5, P99NS: 50, MaxNS: 60, AllocsPerJob: 4,
+			Solve: solveHist(10, 1_000),
 			Cache: &mmlp.CacheStatsRaw{Hits: 7, Misses: 3, Entries: 3, Bytes: 900, MaxBytes: 1 << 20}},
 		{Workers: 2, Jobs: 30, Errors: 0, UptimeNS: 90, P50NS: 8, P99NS: 40, MaxNS: 80, AllocsPerJob: 8,
+			Solve: solveHist(30, 1_000_000),
 			Cache: &mmlp.CacheStatsRaw{Hits: 25, Misses: 5, Entries: 5, Bytes: 1500, MaxBytes: 1 << 20}},
 	}
 	shards, rt := testFleet(t, 2, func(i int, f *fakeShard) { f.stats = stats[i] })
@@ -503,8 +523,20 @@ func TestStatszAggregation(t *testing.T) {
 	if fleet.Fleet.AllocsPerJob != 7 {
 		t.Fatalf("fleet allocs/job = %v, want 7", fleet.Fleet.AllocsPerJob)
 	}
-	// Worst-shard quantiles, true max.
-	if fleet.Fleet.P99NS != 50 || fleet.Fleet.MaxNS != 80 {
+	// Quantiles derive from the merged histogram: 30 of 40 solves sit in
+	// the ~1ms bucket, so both p50 and p99 land there (≤25% bucket error),
+	// nowhere near the canned per-process P50NS/P99NS fields. MaxNS stays
+	// the true max of the raw fields.
+	if fleet.Fleet.Solve == nil || fleet.Fleet.Solve.Count != 40 {
+		t.Fatalf("fleet solve hist = %+v", fleet.Fleet.Solve)
+	}
+	if p := fleet.Fleet.P50NS; p < 1_000_000 || p > 1_250_000 {
+		t.Fatalf("fleet p50 = %d, want ~1ms from the merged histogram", p)
+	}
+	if p := fleet.Fleet.P99NS; p < 1_000_000 || p > 1_250_000 {
+		t.Fatalf("fleet p99 = %d, want ~1ms from the merged histogram", p)
+	}
+	if fleet.Fleet.MaxNS != 80 {
 		t.Fatalf("fleet latencies = %+v", fleet.Fleet)
 	}
 	if len(fleet.Shards) != 2 {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	mmlpserve [-addr :8080] [-workers N] [-queue N] [-max-body 8388608] [-job-timeout 0]
-//	          [-cache-bytes 67108864] [-cache-shards N]
+//	          [-cache-bytes 67108864] [-cache-shards N] [-slow-log 250ms] [-debug-addr :6060]
 //
 // The solver is deterministic, so results are cached under the canonical
 // (instance, options) hash: repeat solves of a slowly-changing topology
@@ -18,13 +18,22 @@
 //	POST /v1/batch  — solve many; body {"jobs": [<solve request>, ...]};
 //	                  the response streams one NDJSON line per job as it
 //	                  completes, each tagged with its request index
-//	GET  /healthz   — liveness
+//	GET  /healthz   — liveness plus the build's VCS revision/dirty flag
 //	GET  /statsz    — throughput, latency quantiles, allocs/job, and a
 //	                  "cache" block (hits/misses/evictions/coalesced,
 //	                  entries, bytes) when caching is enabled; ?raw=1
 //	                  serves the typed machine block (exact counters,
-//	                  nanosecond latencies) that mmlprouter aggregates
-//	                  into its fleet view
+//	                  nanosecond latencies, mergeable latency histograms)
+//	                  that mmlprouter aggregates into its fleet view
+//	GET  /metrics   — the same counters plus solve/per-stage latency
+//	                  histograms in the Prometheus text format
+//
+// Observability: ?trace=1 on /v1/solve adds a per-stage "trace" block to
+// the response; an X-Mmlp-Trace request header (normally set by the
+// router) is echoed on the response. -slow-log DURATION logs the full
+// stage breakdown via log/slog for any solve at or above the threshold
+// (0 logs every solve; negative, the default, disables). -debug-addr
+// serves net/http/pprof on a separate listener.
 //
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish, then the
 // pool drains and the process exits.
@@ -55,6 +64,8 @@ type serveConfig struct {
 	cacheBytes    int64
 	cacheShards   int
 	shutdownGrace time.Duration
+	slowLog       time.Duration
+	debugAddr     string
 }
 
 // parseFlags parses and vets the command line; main exits 2 on an error,
@@ -75,6 +86,8 @@ func parseFlags(args []string) (*serveConfig, error) {
 	cacheBytes := fs.Int64("cache-bytes", 64<<20, "result-cache byte budget (0 disables caching)")
 	cacheShards := fs.Int("cache-shards", 0, "result-cache shard count, rounded up to a power of two (omit for the default)")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window")
+	slowLog := fs.Duration("slow-log", -1, "log the per-stage breakdown of solves at or above this latency (0 logs every solve; negative disables)")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -103,7 +116,7 @@ func parseFlags(args []string) (*serveConfig, error) {
 	return &serveConfig{
 		addr: *addr, workers: *workers, queue: *queue, maxBody: *maxBody,
 		jobTimeout: *jobTimeout, cacheBytes: *cacheBytes, cacheShards: *cacheShards,
-		shutdownGrace: *shutdownGrace,
+		shutdownGrace: *shutdownGrace, slowLog: *slowLog, debugAddr: *debugAddr,
 	}, nil
 }
 
@@ -121,9 +134,16 @@ func main() {
 		Workers: cfg.workers, Queue: cfg.queue, JobTimeout: cfg.jobTimeout,
 		CacheBytes: cfg.cacheBytes, CacheShards: cfg.cacheShards,
 	})
+	h := newServer(pool, cfg.maxBody)
+	if cfg.slowLog >= 0 {
+		h.enableSlowLog(cfg.slowLog)
+	}
+	if cfg.debugAddr != "" {
+		go serveDebug("mmlpserve", cfg.debugAddr)
+	}
 	srv := &http.Server{
 		Addr:    cfg.addr,
-		Handler: newServer(pool, cfg.maxBody),
+		Handler: h,
 		// Bound slow/idle clients so they cannot pin connections forever;
 		// WriteTimeout stays 0 because batch NDJSON responses stream for as
 		// long as the solves take.

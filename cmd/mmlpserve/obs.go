@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/obs"
+)
+
+// serveDebug exposes net/http/pprof on its own listener — deliberately a
+// separate address from the serving port, so profiling endpoints are never
+// reachable through whatever exposes the service itself.
+func serveDebug(name, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	log.Printf("%s: pprof on %s", name, addr)
+	if err := http.ListenAndServe(addr, mux); err != nil {
+		log.Printf("%s: debug listener: %v", name, err)
+	}
+}
+
+// handleMetrics renders the pool's counters and latency histograms in the
+// Prometheus text exposition format. The same atomic counters back
+// /statsz; this endpoint only changes the spelling, so the two views can
+// never disagree.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	st := s.pool.Stats()
+	var b bytes.Buffer
+
+	obs.WriteHeader(&b, "mmlp_jobs_total", "counter", "Completed jobs.")
+	obs.WriteInt(&b, "mmlp_jobs_total", "", st.Jobs)
+	obs.WriteHeader(&b, "mmlp_errors_total", "counter", "Completed jobs that failed or were cancelled.")
+	obs.WriteInt(&b, "mmlp_errors_total", "", st.Errors)
+	obs.WriteHeader(&b, "mmlp_workers", "gauge", "Fixed worker pool size.")
+	obs.WriteInt(&b, "mmlp_workers", "", int64(st.Workers))
+	obs.WriteHeader(&b, "mmlp_uptime_seconds", "gauge", "Pool age.")
+	obs.WriteFloat(&b, "mmlp_uptime_seconds", "", st.Elapsed.Seconds())
+
+	if st.Cache != nil {
+		obs.WriteHeader(&b, "mmlp_cache_hits_total", "counter", "Result-cache hits.")
+		obs.WriteInt(&b, "mmlp_cache_hits_total", "", st.Cache.Hits)
+		obs.WriteHeader(&b, "mmlp_cache_misses_total", "counter", "Result-cache misses.")
+		obs.WriteInt(&b, "mmlp_cache_misses_total", "", st.Cache.Misses)
+		obs.WriteHeader(&b, "mmlp_cache_coalesced_total", "counter", "Lookups that joined an in-flight solve of the same key.")
+		obs.WriteInt(&b, "mmlp_cache_coalesced_total", "", st.Cache.Coalesced)
+		obs.WriteHeader(&b, "mmlp_cache_evictions_total", "counter", "Entries evicted under byte-budget pressure.")
+		obs.WriteInt(&b, "mmlp_cache_evictions_total", "", st.Cache.Evictions)
+		obs.WriteHeader(&b, "mmlp_cache_pruned_total", "counter", "Entries dropped because a ring cutover moved their key.")
+		obs.WriteInt(&b, "mmlp_cache_pruned_total", "", st.Cache.Pruned)
+		obs.WriteHeader(&b, "mmlp_cache_entries", "gauge", "Live cached results.")
+		obs.WriteInt(&b, "mmlp_cache_entries", "", int64(st.Cache.Entries))
+		obs.WriteHeader(&b, "mmlp_cache_bytes", "gauge", "Bytes held by the result cache.")
+		obs.WriteInt(&b, "mmlp_cache_bytes", "", st.Cache.Bytes)
+		obs.WriteHeader(&b, "mmlp_cache_max_bytes", "gauge", "Result-cache byte budget.")
+		obs.WriteInt(&b, "mmlp_cache_max_bytes", "", st.Cache.MaxBytes)
+	}
+
+	obs.WriteHeader(&b, "mmlp_solve_duration_seconds", "histogram", "Successful solve latency.")
+	obs.WriteHistogram(&b, "mmlp_solve_duration_seconds", "", st.Solve)
+	obs.WriteHeader(&b, "mmlp_stage_duration_seconds", "histogram", "Per-stage latency of the solve pipeline.")
+	for stg := obs.Stage(0); stg < obs.NumStages; stg++ {
+		if st.Stages[stg] == nil {
+			continue
+		}
+		obs.WriteHistogram(&b, "mmlp_stage_duration_seconds", `stage="`+stg.String()+`"`, st.Stages[stg])
+	}
+
+	writeBuildInfo(&b)
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Write(b.Bytes())
+}
+
+// writeBuildInfo emits the standard build-identity gauge.
+func writeBuildInfo(b *bytes.Buffer) {
+	rev, dirty := obs.BuildInfo()
+	obs.WriteHeader(b, "mmlp_build_info", "gauge", "Build identity (constant 1; identity in the labels).")
+	obs.WriteInt(b, "mmlp_build_info", `revision="`+rev+`",dirty="`+strconv.FormatBool(dirty)+`"`, 1)
+}
+
+// logSlow emits the full per-stage breakdown of one solve via slog. The
+// trace ID ties the line to the router's request ID, so "every router ID
+// lands in exactly one shard's slow-log" is a checkable fleet invariant
+// (fleetcheck asserts it with the threshold at 0).
+func (s *server) logSlow(traceID string, res *batch.Result, enc time.Duration) {
+	tr := res.Trace
+	tr.Set(obs.StageEncode, int64(enc))
+	attrs := make([]any, 0, 2*int(obs.NumStages)+6)
+	attrs = append(attrs,
+		"trace", traceID,
+		"latency_ms", float64(res.Latency)/1e6,
+		"cached", res.Cached,
+	)
+	for stg := obs.Stage(0); stg < obs.NumStages; stg++ {
+		if ns := tr.NS(stg); ns > 0 {
+			attrs = append(attrs, stg.String()+"_ms", float64(ns)/1e6)
+		}
+	}
+	s.logger.Info("slow solve", attrs...)
+}

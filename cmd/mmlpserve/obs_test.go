@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/batch"
+	"repro/internal/gen"
+	"repro/internal/mmlp"
+	"repro/internal/obs"
+)
+
+// A plain solve carries no trace block; ?trace=1 adds one whose stages
+// reflect the work actually done (kernel on a cold solve, cache_lookup on
+// the warm repeat), and a router-set X-Mmlp-Trace header is echoed.
+func TestSolveTraceOptIn(t *testing.T) {
+	h := testServerOpts(t, 1<<20, batch.Options{Workers: 2, Queue: 2, CacheBytes: 1 << 20})
+	in := gen.Random(gen.RandomConfig{Agents: 10, MaxDegI: 3, MaxDegK: 3, ExtraCons: 3, ExtraObjs: 2}, 3)
+	body := solveBody(t, in, `,"r":3`)
+
+	w := post(h, "/v1/solve", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	if bytes.Contains(w.Body.Bytes(), []byte(`"trace"`)) {
+		t.Fatalf("trace block present without ?trace=1: %s", w.Body)
+	}
+	if got := w.Header().Get(obs.TraceHeader); got != "" {
+		t.Fatalf("unsolicited %s header %q", obs.TraceHeader, got)
+	}
+
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve?trace=1", strings.NewReader(body))
+	req.Header.Set(obs.TraceHeader, "deadbeef00000001")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(obs.TraceHeader); got != "deadbeef00000001" {
+		t.Fatalf("trace header echo = %q", got)
+	}
+	var resp mmlp.SolveResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	// This repeat of the first solve is a cache hit: its trace must show
+	// the lookup, and must not claim kernel work that never ran.
+	if !resp.Cached {
+		t.Fatalf("repeat solve not cached: %+v", resp)
+	}
+	if _, ok := resp.Trace["cache_lookup"]; !ok {
+		t.Fatalf("cached solve trace lacks cache_lookup: %v", resp.Trace)
+	}
+	if _, ok := resp.Trace["kernel"]; ok {
+		t.Fatalf("cached solve trace claims kernel time: %v", resp.Trace)
+	}
+
+	// A distinct instance, cold: the trace must attribute kernel time.
+	in2 := gen.Random(gen.RandomConfig{Agents: 10, MaxDegI: 3, MaxDegK: 3, ExtraCons: 3, ExtraObjs: 2}, 4)
+	req2 := httptest.NewRequest(http.MethodPost, "/v1/solve?trace=1", strings.NewReader(solveBody(t, in2, `,"r":3`)))
+	rec2 := httptest.NewRecorder()
+	h.ServeHTTP(rec2, req2)
+	var resp2 mmlp.SolveResponse
+	if err := json.Unmarshal(rec2.Body.Bytes(), &resp2); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.Cached {
+		t.Fatal("distinct instance reported cached")
+	}
+	if _, ok := resp2.Trace["kernel"]; !ok {
+		t.Fatalf("cold solve trace lacks kernel: %v", resp2.Trace)
+	}
+	if _, ok := resp2.Trace["queue_wait"]; !ok {
+		t.Fatalf("cold solve trace lacks queue_wait: %v", resp2.Trace)
+	}
+}
+
+// /metrics renders parseable Prometheus text whose counters agree with
+// the pool's stats, including the solve histogram and build identity.
+func TestMetricsEndpoint(t *testing.T) {
+	h := testServerOpts(t, 1<<20, batch.Options{Workers: 2, Queue: 2, CacheBytes: 1 << 20})
+	in := gen.Random(gen.RandomConfig{Agents: 8, MaxDegI: 2, MaxDegK: 2, ExtraCons: 2, ExtraObjs: 1}, 5)
+	for i := 0; i < 2; i++ { // one miss, one hit
+		if w := post(h, "/v1/solve", solveBody(t, in, "")); w.Code != http.StatusOK {
+			t.Fatalf("solve %d: status %d", i, w.Code)
+		}
+	}
+
+	req := httptest.NewRequest(http.MethodGet, "/metrics", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		"mmlp_jobs_total 2\n",
+		"mmlp_errors_total 0\n",
+		"mmlp_cache_hits_total 1\n",
+		"mmlp_cache_misses_total 1\n",
+		"mmlp_solve_duration_seconds_count 2\n",
+		`mmlp_stage_duration_seconds_count{stage="kernel"} 1`,
+		"# TYPE mmlp_solve_duration_seconds histogram\n",
+		`mmlp_build_info{revision="`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("metrics output missing %q:\n%s", want, text)
+		}
+	}
+	// Every non-comment line must be "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSpace(text), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("malformed metrics line %q", line)
+		}
+	}
+}
+
+// /healthz carries the build identity fields.
+func TestHealthzBuildInfo(t *testing.T) {
+	h := testServer(t, 1<<20)
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	var body struct {
+		Status   string `json:"status"`
+		Revision string `json:"revision"`
+		Dirty    *bool  `json:"dirty"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("healthz body %q: %v", rec.Body, err)
+	}
+	if body.Status != "ok" || body.Revision == "" || body.Dirty == nil {
+		t.Fatalf("healthz = %+v, want status ok with revision and dirty", body)
+	}
+}
+
+// With the threshold at 0 every successful solve logs its breakdown,
+// carrying the request's trace ID and per-stage attributes.
+func TestSlowLog(t *testing.T) {
+	h := testServer(t, 1<<20)
+	var buf bytes.Buffer
+	h.logger = slog.New(slog.NewTextHandler(&buf, nil))
+	h.enableSlowLog(0)
+
+	in := gen.Random(gen.RandomConfig{Agents: 8, MaxDegI: 2, MaxDegK: 2, ExtraCons: 2, ExtraObjs: 1}, 6)
+	req := httptest.NewRequest(http.MethodPost, "/v1/solve", strings.NewReader(solveBody(t, in, "")))
+	req.Header.Set(obs.TraceHeader, "cafe000000000042")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+
+	logged := buf.String()
+	for _, want := range []string{"slow solve", "trace=cafe000000000042", "kernel_ms=", "encode_ms=", "latency_ms="} {
+		if !strings.Contains(logged, want) {
+			t.Fatalf("slow-log missing %q:\n%s", want, logged)
+		}
+	}
+
+	// Below-threshold solves stay silent.
+	h.slowLog = 1 << 40 // ~18 minutes
+	buf.Reset()
+	if w := post(h, "/v1/solve", solveBody(t, in, "")); w.Code != http.StatusOK {
+		t.Fatalf("status %d", w.Code)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("fast solve logged: %s", buf.String())
+	}
+}

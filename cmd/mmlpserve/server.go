@@ -6,14 +6,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime"
 	"net/http"
 	"slices"
 	"strings"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/canon"
 	"repro/internal/mmlp"
+	"repro/internal/obs"
 	"repro/internal/shard"
 )
 
@@ -22,18 +25,33 @@ type server struct {
 	pool    *batch.Pool
 	maxBody int64
 	mux     *http.ServeMux
+
+	// slowLogOn/slowLog gate the per-request breakdown log on /v1/solve:
+	// disabled by default, enabled by -slow-log (0 logs every solve).
+	// logger is injectable for tests; defaults to slog's process logger.
+	slowLogOn bool
+	slowLog   time.Duration
+	logger    *slog.Logger
 }
 
 // newServer wires the endpoints. maxBody bounds every request body; bodies
 // beyond it are rejected with 413.
 func newServer(pool *batch.Pool, maxBody int64) *server {
-	s := &server{pool: pool, maxBody: maxBody, mux: http.NewServeMux()}
+	s := &server{pool: pool, maxBody: maxBody, mux: http.NewServeMux(), logger: slog.Default()}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /admin/ring", s.handleRing)
 	return s
+}
+
+// enableSlowLog turns on the slow-solve breakdown log for solves at or
+// above threshold (0 = every solve).
+func (s *server) enableSlowLog(threshold time.Duration) {
+	s.slowLogOn = true
+	s.slowLog = threshold
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -122,6 +140,7 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	traceID := r.Header.Get(obs.TraceHeader)
 	res := s.pool.Do(r.Context(), job)
 	if res.Err != nil {
 		code := http.StatusInternalServerError
@@ -134,8 +153,23 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, res.Err)
 		return
 	}
+	if traceID != "" {
+		w.Header().Set(obs.TraceHeader, traceID)
+	}
+	resp := batch.ResponseFromResult(res)
+	// The RawQuery guard keeps query parsing (which allocates) off the
+	// default path: plain solves stay within the warm-path alloc budget.
+	if r.URL.RawQuery != "" && r.URL.Query().Get("trace") == "1" {
+		resp.Trace = res.Trace.MSMap()
+	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(batch.ResponseFromResult(res))
+	encStart := time.Now()
+	json.NewEncoder(w).Encode(resp)
+	enc := time.Since(encStart)
+	s.pool.ObserveStage(obs.StageEncode, enc)
+	if s.slowLogOn && res.Latency >= s.slowLog {
+		s.logSlow(traceID, &res, enc)
+	}
 }
 
 // handleBatch solves many instances and streams one result record per job
@@ -283,10 +317,12 @@ func (s *server) handleRing(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(mmlp.PruneResponse{Pruned: n})
 }
 
-// handleHealth reports liveness.
+// handleHealth reports liveness plus the build's VCS identity, so fleet
+// scrapes can tell what each shard is running.
 func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	rev, dirty := obs.BuildInfo()
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintf(w, "{\"status\":\"ok\",\"workers\":%d}\n", s.pool.Workers())
+	fmt.Fprintf(w, "{\"status\":\"ok\",\"workers\":%d,\"revision\":%q,\"dirty\":%v}\n", s.pool.Workers(), rev, dirty)
 }
 
 // handleStats reports the pool's aggregate activity. The cache block is

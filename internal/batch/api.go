@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/mmlp"
+	"repro/internal/obs"
 )
 
 // JobFromRequest converts a validated wire request into a solver job.
@@ -73,6 +74,16 @@ func StatsRawFromStats(st *Stats) *mmlp.StatsRaw {
 		P99NS:        st.P99.Nanoseconds(),
 		MaxNS:        st.Max.Nanoseconds(),
 		AllocsPerJob: st.AllocsPerJob,
+		Solve:        st.Solve,
+	}
+	for s := obs.Stage(0); s < obs.NumStages; s++ {
+		if st.Stages[s] == nil {
+			continue
+		}
+		if raw.Stages == nil {
+			raw.Stages = make(map[string]*obs.HistRaw, int(obs.NumStages))
+		}
+		raw.Stages[s.String()] = st.Stages[s]
 	}
 	if st.Cache != nil {
 		raw.Cache = &mmlp.CacheStatsRaw{

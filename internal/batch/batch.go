@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/mmlp"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -52,6 +53,10 @@ type Result struct {
 	// Latency is the wall-clock solve time (zero when the job was cancelled
 	// before it started).
 	Latency time.Duration
+	// Trace is the per-stage timing breakdown of this job (zero-valued on
+	// failure). A fixed-size value, not a pointer: copying a Result copies
+	// the record, and no per-job allocation is ever needed for it.
+	Trace obs.Trace
 }
 
 // Options configures a pool or a one-shot batch.
@@ -107,7 +112,7 @@ func runJob(ctx context.Context, index int, job Job, timeout time.Duration, sc *
 	res := Result{Index: index}
 	if err := ctx.Err(); err != nil {
 		res.Err = err
-		col.record(0, true)
+		col.record(0, true, nil)
 		return res
 	}
 	if timeout > 0 {
@@ -122,7 +127,8 @@ func runJob(ctx context.Context, index int, job Job, timeout time.Duration, sc *
 		res.Sol, res.Dist, res.Cached, res.Err = engine.SolveCached(ctx, job.In, job.Opts, sc, ca)
 	}
 	res.Latency = time.Since(start)
-	col.record(res.Latency, res.Err != nil)
+	res.Trace = sc.Trace
+	col.record(res.Latency, res.Err != nil, &res.Trace)
 	return res
 }
 
@@ -160,7 +166,7 @@ func Solve(ctx context.Context, jobs []Job, o Options) ([]Result, *Stats, error)
 		for i := range results {
 			if results[i].Sol == nil && results[i].Err == nil {
 				results[i] = Result{Index: i, Err: err}
-				col.record(0, true) // never handed out: count it like a cancelled job
+				col.record(0, true, nil) // never handed out: count it like a cancelled job
 			}
 		}
 	}

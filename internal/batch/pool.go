@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/canon"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // ErrPoolClosed is returned by Submit and Do once Close has begun.
@@ -19,6 +20,7 @@ type task struct {
 	job   Job
 	index int
 	done  func(Result)
+	enq   time.Time // when Submit enqueued it, for the queue-wait span
 }
 
 // Pool is a long-lived sharded solver: a fixed set of worker goroutines,
@@ -77,7 +79,7 @@ func (p *Pool) worker() {
 // leader's goroutine.
 func (p *Pool) runTask(t task, sc *engine.Scratch) {
 	if err := t.ctx.Err(); err != nil {
-		p.col.record(0, true)
+		p.col.record(0, true, nil)
 		t.done(Result{Index: t.index, Err: err})
 		return
 	}
@@ -111,8 +113,13 @@ func (p *Pool) runTask(t task, sc *engine.Scratch) {
 		cancel()
 	}
 	lat := time.Since(start)
-	p.col.record(lat, err != nil)
-	t.done(Result{Index: t.index, Sol: sol, Dist: dist, Cached: cached, Err: err, Latency: lat})
+	// Copy the trace out of the scratch before the worker reuses it, and
+	// stamp queue-wait after the copy: the engine entry point reset the
+	// trace, so setting it earlier would be wiped.
+	tr := sc.Trace
+	tr.Set(obs.StageQueueWait, int64(start.Sub(t.enq)))
+	p.col.record(lat, err != nil, &tr)
+	t.done(Result{Index: t.index, Sol: sol, Dist: dist, Cached: cached, Err: err, Latency: lat, Trace: tr})
 }
 
 // deliver finishes a subscribed task once the flight it attached to
@@ -124,14 +131,20 @@ func (p *Pool) runTask(t task, sc *engine.Scratch) {
 // worker is not stolen for the retry.
 func (p *Pool) deliver(t task, start time.Time, sol *engine.Solution, dist *engine.DistInfo, err error) {
 	if cerr := t.ctx.Err(); cerr != nil {
-		p.col.record(0, true)
+		p.col.record(0, true, nil)
 		t.done(Result{Index: t.index, Err: cerr})
 		return
 	}
 	if err == nil {
 		lat := time.Since(start)
-		p.col.record(lat, false)
-		t.done(Result{Index: t.index, Sol: sol, Dist: dist, Cached: true, Latency: lat})
+		// A subscriber's life is queue wait plus the wait behind the
+		// leader's flight; the latter is this job's cache-lookup span
+		// (coalesced lookups are cache reads that happen to block).
+		var tr obs.Trace
+		tr.Set(obs.StageQueueWait, int64(start.Sub(t.enq)))
+		tr.Set(obs.StageCacheLookup, int64(lat))
+		p.col.record(lat, false, &tr)
+		t.done(Result{Index: t.index, Sol: sol, Dist: dist, Cached: true, Latency: lat, Trace: tr})
 		return
 	}
 	p.retryWG.Add(1)
@@ -140,7 +153,7 @@ func (p *Pool) deliver(t task, start time.Time, sol *engine.Solution, dist *engi
 		p.mu.RLock()
 		if p.closed {
 			p.mu.RUnlock()
-			p.col.record(0, true)
+			p.col.record(0, true, nil)
 			t.done(Result{Index: t.index, Err: ErrPoolClosed})
 			return
 		}
@@ -149,7 +162,7 @@ func (p *Pool) deliver(t task, start time.Time, sol *engine.Solution, dist *engi
 			p.mu.RUnlock()
 		case <-t.ctx.Done():
 			p.mu.RUnlock()
-			p.col.record(0, true)
+			p.col.record(0, true, nil)
 			t.done(Result{Index: t.index, Err: t.ctx.Err()})
 		}
 	}()
@@ -168,7 +181,7 @@ func (p *Pool) Submit(ctx context.Context, index int, job Job, done func(Result)
 		return ErrPoolClosed
 	}
 	select {
-	case p.tasks <- task{ctx: ctx, job: job, index: index, done: done}:
+	case p.tasks <- task{ctx: ctx, job: job, index: index, done: done, enq: time.Now()}:
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -207,6 +220,16 @@ func (p *Pool) CacheStats() *engine.CacheStats {
 
 // Workers returns the fixed pool size.
 func (p *Pool) Workers() int { return p.col.workers }
+
+// ObserveStage feeds one externally measured span into the pool's stage
+// histograms — the serving layer uses it for the response-encode stage,
+// which by construction cannot be timed inside the solve it describes.
+// Wait-free and allocation-free.
+func (p *Pool) ObserveStage(s obs.Stage, d time.Duration) {
+	if s < obs.NumStages {
+		p.col.stages[s].Observe(d)
+	}
+}
 
 // PruneCache removes cached results whose key fails keep and returns the
 // number removed (0 when caching is disabled). The serving layer calls it

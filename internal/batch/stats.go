@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // ringSize bounds the latency samples kept for the quantile estimates; the
@@ -37,11 +38,23 @@ type Stats struct {
 	// Cache carries the result cache's counters, nil when caching is
 	// disabled.
 	Cache *engine.CacheStats
+	// Solve is the mergeable log-bucketed histogram of successful solve
+	// latency (all-time, unlike the sampled P50/P99 window); Stages holds
+	// one histogram per pipeline stage, nil where a stage was never
+	// observed. Fleet aggregation merges these bucket-wise, which is what
+	// makes fleet quantiles true quantiles.
+	Solve  *obs.HistRaw
+	Stages [obs.NumStages]*obs.HistRaw
 }
 
-// collector accumulates stats concurrently.
+// collector accumulates stats concurrently. The histograms sit outside
+// the mutex: their bins are individually atomic and wait-free, so stage
+// observations never contend with the sampled-window bookkeeping.
 type collector struct {
 	workers int
+
+	solve  obs.Histogram
+	stages [obs.NumStages]obs.Histogram
 
 	mu      sync.Mutex
 	jobs    int64
@@ -74,8 +87,19 @@ func readMallocs() uint64 {
 }
 
 // record notes one completed job. Only successful solves become latency
-// samples; failures and cancellations count toward Jobs/Errors alone.
-func (c *collector) record(latency time.Duration, failed bool) {
+// samples; failures and cancellations count toward Jobs/Errors alone. tr,
+// when non-nil, feeds the per-stage histograms (zero stages are skipped:
+// a cache hit has no kernel span, and recording it as 0 would drag the
+// stage quantiles down).
+func (c *collector) record(latency time.Duration, failed bool, tr *obs.Trace) {
+	if !failed && latency > 0 {
+		c.solve.Observe(latency)
+		for s := obs.Stage(0); s < obs.NumStages; s++ {
+			if ns := tr.NS(s); ns > 0 {
+				c.stages[s].ObserveNS(ns)
+			}
+		}
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.jobs++
@@ -121,6 +145,12 @@ func (c *collector) snapshot() *Stats {
 	}
 	if st.Jobs > 0 {
 		st.AllocsPerJob = float64(readMallocs()-c.startMallocs) / float64(st.Jobs)
+	}
+	st.Solve = c.solve.Snapshot()
+	for s := range c.stages {
+		if snap := c.stages[s].Snapshot(); snap.Count > 0 {
+			st.Stages[s] = snap
+		}
 	}
 	return st
 }

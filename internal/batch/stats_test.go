@@ -3,6 +3,8 @@ package batch
 import (
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // TestQuantileEmptyWindow: quantiles over zero samples are 0, never a
@@ -25,14 +27,44 @@ func TestSnapshotAllFailures(t *testing.T) {
 	var c collector
 	c.start(2)
 	for i := 0; i < 5; i++ {
-		c.record(0, true) // cancelled before start
+		c.record(0, true, nil) // cancelled before start
 	}
-	c.record(0, false) // successful but sub-resolution latency: no sample
+	c.record(0, false, nil) // successful but sub-resolution latency: no sample
 	st := c.snapshot()
 	if st.Jobs != 6 || st.Errors != 5 {
 		t.Fatalf("jobs/errors = %d/%d, want 6/5", st.Jobs, st.Errors)
 	}
 	if st.P50 != 0 || st.P99 != 0 || st.Max != 0 {
 		t.Fatalf("quantiles on an empty window = %v/%v/%v, want zeros", st.P50, st.P99, st.Max)
+	}
+	if st.Solve == nil || st.Solve.Count != 0 {
+		t.Fatalf("failure-only histogram = %+v, want present and empty", st.Solve)
+	}
+}
+
+// TestCollectorHistograms: successful solves land in the all-time solve
+// histogram, stage spans land in their per-stage histograms, and zero
+// stages are skipped rather than recorded as 0.
+func TestCollectorHistograms(t *testing.T) {
+	var c collector
+	c.start(1)
+	var tr obs.Trace
+	tr.Set(obs.StageKernel, int64(2*time.Millisecond))
+	tr.Set(obs.StageQueueWait, int64(time.Millisecond))
+	c.record(5*time.Millisecond, false, &tr)
+	c.record(7*time.Millisecond, false, nil) // no trace: solve hist only
+	c.record(0, true, &tr)                   // failure: nothing observed
+	st := c.snapshot()
+	if st.Solve.Count != 2 {
+		t.Fatalf("solve count = %d, want 2", st.Solve.Count)
+	}
+	if h := st.Stages[obs.StageKernel]; h == nil || h.Count != 1 {
+		t.Fatalf("kernel stage hist = %+v, want count 1", h)
+	}
+	if h := st.Stages[obs.StageQueueWait]; h == nil || h.Count != 1 {
+		t.Fatalf("queue_wait stage hist = %+v, want count 1", h)
+	}
+	if st.Stages[obs.StageEncode] != nil {
+		t.Fatal("unobserved stage should snapshot nil")
 	}
 }

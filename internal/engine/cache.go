@@ -2,10 +2,12 @@ package engine
 
 import (
 	"context"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/canon"
 	"repro/internal/mmlp"
+	"repro/internal/obs"
 )
 
 // This file is the cache-aware solve path. The algorithm is deterministic
@@ -130,11 +132,24 @@ func SolveCached(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch,
 	}
 	coreScratch := sc != nil
 	var cs *mmlp.CanonScratch
+	var tr *obs.Trace
 	if sc != nil {
 		cs = &sc.canon
+		tr = &sc.Trace
 	}
+	tr.Reset()
+	tc := time.Now()
 	cin := in.CanonicalInto(cs)
-	v, hit, err := ca.c.Do(ctx, SolveKey(cin, o), func() (any, int64, error) {
+	tr.Add(obs.StageCanonicalize, time.Since(tc))
+	th := time.Now()
+	key := SolveKey(cin, o)
+	tr.Add(obs.StageHash, time.Since(th))
+	// The cache-lookup span covers the index probe plus any wait behind a
+	// coalesced flight: on a miss it closes when the compute closure
+	// starts, on a hit (or coalesced wait) when Do returns.
+	tl := time.Now()
+	v, hit, err := ca.c.Do(ctx, key, func() (any, int64, error) {
+		tr.Add(obs.StageCacheLookup, time.Since(tl))
 		// Validate the original, not the canonical copy, so error messages
 		// name the caller's row indices; invalid misses stay uncached.
 		if err := in.Validate(); err != nil {
@@ -153,6 +168,9 @@ func SolveCached(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch,
 	})
 	if err != nil {
 		return nil, nil, false, err
+	}
+	if hit {
+		tr.Add(obs.StageCacheLookup, time.Since(tl))
 	}
 	res := v.(*cachedResult)
 	return res.sol.clone(), res.info.clone(), hit, nil
@@ -178,11 +196,21 @@ func SolveCachedDetach(ctx context.Context, in *mmlp.Instance, o Options, sc *Sc
 	}
 	coreScratch := sc != nil
 	var cs *mmlp.CanonScratch
+	var tr *obs.Trace
 	if sc != nil {
 		cs = &sc.canon
+		tr = &sc.Trace
 	}
+	tr.Reset()
+	tc := time.Now()
 	cin := in.CanonicalInto(cs)
-	v, hit, done, err := ca.c.DoDetached(SolveKey(cin, o), func() (any, int64, error) {
+	tr.Add(obs.StageCanonicalize, time.Since(tc))
+	th := time.Now()
+	key := SolveKey(cin, o)
+	tr.Add(obs.StageHash, time.Since(th))
+	tl := time.Now()
+	v, hit, done, err := ca.c.DoDetached(key, func() (any, int64, error) {
+		tr.Add(obs.StageCacheLookup, time.Since(tl))
 		if err := in.Validate(); err != nil {
 			return nil, 0, err
 		}
@@ -209,6 +237,9 @@ func SolveCachedDetach(ctx context.Context, in *mmlp.Instance, o Options, sc *Sc
 	}
 	if err != nil {
 		return nil, nil, false, false, err
+	}
+	if hit {
+		tr.Add(obs.StageCacheLookup, time.Since(tl))
 	}
 	res := v.(*cachedResult)
 	return res.sol.clone(), res.info.clone(), hit, false, nil

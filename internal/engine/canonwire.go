@@ -12,9 +12,11 @@ package engine
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/canon"
 	"repro/internal/mmlp"
+	"repro/internal/obs"
 )
 
 // canonOptions maps engine options onto the wire/key options. SolveKey and
@@ -69,6 +71,10 @@ func decodeCanon(payload []byte, sc *Scratch) (*mmlp.Instance, Options, error) {
 // decoded instance is already in canonical form (the decoder rejects
 // anything else), so the pipeline skips re-canonicalization entirely.
 func solveCanonBytesMiss(ctx context.Context, payload []byte, sc *Scratch) (*Solution, *DistInfo, error) {
+	// The wire decode is this path's twin of JSON canonicalization, so it
+	// is timed under the canonicalize trace slot. The entry points reset
+	// the trace; this arm only accumulates.
+	td := time.Now()
 	in, o, err := decodeCanon(payload, sc)
 	if err != nil {
 		return nil, nil, err
@@ -80,6 +86,7 @@ func solveCanonBytesMiss(ctx context.Context, payload []byte, sc *Scratch) (*Sol
 	if sc == nil {
 		sc = NewScratch()
 	}
+	sc.Trace.Add(obs.StageCanonicalize, time.Since(td))
 	return solveCanonical(ctx, in, o, sc, coreScratch)
 }
 
@@ -90,6 +97,11 @@ func solveCanonBytesMiss(ctx context.Context, payload []byte, sc *Scratch) (*Sol
 // — both paths cache under the same key, so either encoding warms the
 // other. Failed decodes and failed solves are never stored.
 func SolveCanonBytes(ctx context.Context, payload []byte, sc *Scratch, ca *Cache) (sol *Solution, info *DistInfo, cached bool, err error) {
+	var tr *obs.Trace
+	if sc != nil {
+		tr = &sc.Trace
+	}
+	tr.Reset()
 	if ca == nil || ca.c == nil {
 		sol, info, err = solveCanonBytesMiss(ctx, payload, sc)
 		return sol, info, false, err
@@ -97,7 +109,12 @@ func SolveCanonBytes(ctx context.Context, payload []byte, sc *Scratch, ca *Cache
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	v, hit, err := ca.c.Do(ctx, canon.HashBytes(payload), func() (any, int64, error) {
+	th := time.Now()
+	key := canon.HashBytes(payload)
+	tr.Add(obs.StageHash, time.Since(th))
+	tl := time.Now()
+	v, hit, err := ca.c.Do(ctx, key, func() (any, int64, error) {
+		tr.Add(obs.StageCacheLookup, time.Since(tl))
 		sol, info, err := solveCanonBytesMiss(ctx, payload, sc)
 		if err != nil {
 			return nil, 0, err
@@ -107,6 +124,9 @@ func SolveCanonBytes(ctx context.Context, payload []byte, sc *Scratch, ca *Cache
 	})
 	if err != nil {
 		return nil, nil, false, err
+	}
+	if hit {
+		tr.Add(obs.StageCacheLookup, time.Since(tl))
 	}
 	res := v.(*cachedResult)
 	return res.sol.clone(), res.info.clone(), hit, nil
@@ -118,6 +138,11 @@ func SolveCanonBytes(ctx context.Context, payload []byte, sc *Scratch, ca *Cache
 // subscribed=true; otherwise it behaves exactly like SolveCanonBytes and
 // deliver is unused. See SolveCachedDetach for the retry semantics.
 func SolveCanonBytesDetach(ctx context.Context, payload []byte, sc *Scratch, ca *Cache, deliver func(sol *Solution, info *DistInfo, err error)) (sol *Solution, info *DistInfo, cached, subscribed bool, err error) {
+	var tr *obs.Trace
+	if sc != nil {
+		tr = &sc.Trace
+	}
+	tr.Reset()
 	if ca == nil || ca.c == nil {
 		sol, info, err = solveCanonBytesMiss(ctx, payload, sc)
 		return sol, info, false, false, err
@@ -125,7 +150,12 @@ func SolveCanonBytesDetach(ctx context.Context, payload []byte, sc *Scratch, ca 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	v, hit, done, err := ca.c.DoDetached(canon.HashBytes(payload), func() (any, int64, error) {
+	th := time.Now()
+	key := canon.HashBytes(payload)
+	tr.Add(obs.StageHash, time.Since(th))
+	tl := time.Now()
+	v, hit, done, err := ca.c.DoDetached(key, func() (any, int64, error) {
+		tr.Add(obs.StageCacheLookup, time.Since(tl))
 		sol, info, err := solveCanonBytesMiss(ctx, payload, sc)
 		if err != nil {
 			return nil, 0, err
@@ -145,6 +175,9 @@ func SolveCanonBytesDetach(ctx context.Context, payload []byte, sc *Scratch, ca 
 	}
 	if err != nil {
 		return nil, nil, false, false, err
+	}
+	if hit {
+		tr.Add(obs.StageCacheLookup, time.Since(tl))
 	}
 	res := v.(*cachedResult)
 	return res.sol.clone(), res.info.clone(), hit, false, nil

@@ -15,12 +15,14 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/baseline"
 	"repro/internal/canon"
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/mmlp"
+	"repro/internal/obs"
 	"repro/internal/structured"
 	"repro/internal/transform"
 )
@@ -145,6 +147,13 @@ type Scratch struct {
 	dec   canon.DecodeScratch
 	pipe  transform.Scratch
 	str   structured.Scratch
+
+	// Trace is the per-request stage-timing record, reset by every entry
+	// point (SolveScratch, SolveCached, SolveCanonBytes, ...) and filled
+	// as the pipeline runs. A fixed array inside the scratch, it adds no
+	// allocations to the solve path; callers that want it must copy it
+	// out before the worker reuses the scratch.
+	Trace obs.Trace
 }
 
 // NewScratch returns an empty scratch for one worker.
@@ -175,6 +184,7 @@ func SolveScratch(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch
 	if sc == nil {
 		sc = NewScratch()
 	}
+	sc.Trace.Reset()
 	if err := in.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -184,7 +194,10 @@ func SolveScratch(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch
 	// these equivalence classes — without this, a permuted duplicate of a
 	// cached instance could hit an entry whose bits a cold solve of the
 	// permutation would not reproduce.
-	return solveCanonical(ctx, in.CanonicalInto(&sc.canon), o, sc, coreScratch)
+	tc := time.Now()
+	cin := in.CanonicalInto(&sc.canon)
+	sc.Trace.Add(obs.StageCanonicalize, time.Since(tc))
+	return solveCanonical(ctx, cin, o, sc, coreScratch)
 }
 
 // solveCanonical runs the pipeline stages on a validated instance already
@@ -207,23 +220,37 @@ func solveCanonical(ctx context.Context, in *mmlp.Instance, o Options, sc *Scrat
 		return nil, nil, err
 	}
 
+	// Stage windows for the request trace: transform covers preprocessing
+	// through the structured-form conversion, kernel the engine proper,
+	// back-map the lift/strictify/utility tail. Early returns close the
+	// transform window so partial pipelines still attribute their cost.
+	tt := time.Now()
 	pp := transform.PreprocessScratch(in, &sc.pipe)
 	switch pp.Outcome {
 	case transform.ZeroOptimum:
+		sc.Trace.Add(obs.StageTransform, time.Since(tt))
 		return &Solution{Status: StatusZeroOptimum, X: pp.Lift(nil), Utility: 0, UpperBound: 0}, info, nil
 	case transform.UnboundedOptimum:
+		sc.Trace.Add(obs.StageTransform, time.Since(tt))
 		return &Solution{Status: StatusUnbounded}, info, nil
 	}
 	red := pp.Out
 
-	// Trivial cases: the optimal local algorithms of [17].
+	// Trivial cases: the optimal local algorithms of [17]. The dispatched
+	// baseline solve is the kernel of these requests.
 	if !o.DisableSpecialCases {
 		if red.DegreeI() <= 1 {
+			sc.Trace.Add(obs.StageTransform, time.Since(tt))
+			tk := time.Now()
 			x := in.Strictify(pp.Lift(baseline.SolveSingletonConstraints(red)))
+			sc.Trace.Add(obs.StageKernel, time.Since(tk))
 			return &Solution{Status: StatusOptimal, X: x, Utility: in.Utility(x), UpperBound: in.Utility(x)}, info, nil
 		}
 		if red.DegreeK() <= 1 {
+			sc.Trace.Add(obs.StageTransform, time.Since(tt))
+			tk := time.Now()
 			x := in.Strictify(pp.Lift(baseline.SolveSingletonObjectives(red)))
+			sc.Trace.Add(obs.StageKernel, time.Since(tk))
 			return &Solution{Status: StatusOptimal, X: x, Utility: in.Utility(x), UpperBound: in.Utility(x)}, info, nil
 		}
 	}
@@ -242,7 +269,9 @@ func solveCanonical(ctx context.Context, in *mmlp.Instance, o Options, sc *Scrat
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
+	sc.Trace.Add(obs.StageTransform, time.Since(tt))
 
+	tk := time.Now()
 	copts := core.Options{R: o.R, Workers: o.Workers, BinIters: o.BinIters}
 	var xs []float64
 	var ub float64
@@ -287,6 +316,7 @@ func solveCanonical(ctx context.Context, in *mmlp.Instance, o Options, sc *Scrat
 	default:
 		return nil, nil, fmt.Errorf("maxminlp: unknown engine %v", o.Engine)
 	}
+	sc.Trace.Add(obs.StageKernel, time.Since(tk))
 
 	// The centralised kernel checks ctx in its t_u loop, but the
 	// message-passing engines run to completion, so a deadline that
@@ -296,11 +326,14 @@ func solveCanonical(ctx context.Context, in *mmlp.Instance, o Options, sc *Scrat
 		return nil, nil, err
 	}
 
+	tb := time.Now()
 	x := in.Strictify(pp.Lift(pipe.Back(xs)))
-	return &Solution{
+	sol := &Solution{
 		Status:     StatusApproximate,
 		X:          x,
 		Utility:    in.Utility(x),
 		UpperBound: ub,
-	}, info, nil
+	}
+	sc.Trace.Add(obs.StageBackMap, time.Since(tb))
+	return sol, info, nil
 }

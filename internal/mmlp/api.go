@@ -1,6 +1,10 @@
 package mmlp
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
 
 // This file defines the wire format of the serving layer (cmd/mmlpserve).
 // The types are purely syntactic — engine names and statuses travel as
@@ -119,6 +123,11 @@ type SolveResponse struct {
 	// Cached reports that the result was answered from the server's result
 	// cache (bit-identical to a fresh solve); omitted when false.
 	Cached bool `json:"cached,omitempty"`
+	// Trace is the opt-in per-stage latency breakdown (?trace=1 on
+	// /v1/solve): stage name → milliseconds. The encode stage cannot
+	// appear in its own response; it is observed into the histograms and
+	// the slow-log instead.
+	Trace map[string]float64 `json:"trace,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/batch.
@@ -154,8 +163,12 @@ type StatsRaw struct {
 	// Jobs counts completed jobs, Errors the subset that failed.
 	Jobs   int64 `json:"jobs"`
 	Errors int64 `json:"errors"`
-	// UptimeNS is the pool's age; P50NS/P99NS/MaxNS describe successful
-	// solve latency (see batch.Stats).
+	// UptimeNS is the pool's age. P50NS/P99NS are PER-PROCESS quantiles
+	// over the process's recent sample window (see batch.Stats); they are
+	// not summable and are meaningful only on a single shard's block. The
+	// fleet aggregate recomputes them from the merged Solve histogram
+	// (StatsRaw.DeriveQuantiles). MaxNS is an exact maximum and does
+	// combine.
 	UptimeNS int64 `json:"uptime_ns"`
 	P50NS    int64 `json:"p50_ns"`
 	P99NS    int64 `json:"p99_ns"`
@@ -164,6 +177,13 @@ type StatsRaw struct {
 	AllocsPerJob float64 `json:"allocs_per_job"`
 	// Cache carries the result-cache counters; nil when caching is disabled.
 	Cache *CacheStatsRaw `json:"cache,omitempty"`
+	// Solve is the all-time histogram of successful solve latency; Stages
+	// maps pipeline stage names (canonicalize, hash, cache_lookup,
+	// queue_wait, transform, kernel, back_map, encode) to their
+	// histograms. The bucket layout is fixed fleet-wide, so Add merges
+	// them bucket-wise and fleet quantiles are true quantiles.
+	Solve  *obs.HistRaw            `json:"solve_hist,omitempty"`
+	Stages map[string]*obs.HistRaw `json:"stage_hist,omitempty"`
 }
 
 // CacheStatsRaw is the machine form of one process's result-cache counters.
@@ -183,9 +203,14 @@ type CacheStatsRaw struct {
 	MaxBytes int64 `json:"max_bytes"`
 }
 
-// Add accumulates other into s (fleet aggregation). Latency quantiles are
-// not summable, so P50/P99 take the max — "worst shard" — while MaxNS is
-// the true fleet maximum; UptimeNS keeps the oldest shard's age.
+// Add accumulates other into s (fleet aggregation). Exact counters sum
+// and MaxNS takes the true fleet maximum; UptimeNS keeps the oldest
+// shard's age. The per-process sampled quantiles P50NS/P99NS are NOT
+// combined — no function of per-shard quantiles is a fleet quantile —
+// the Solve/Stages histograms merge bucket-wise instead, and the caller
+// derives fleet quantiles from them with DeriveQuantiles. s never
+// aliases other's histogram memory afterwards, so merging scraped blocks
+// into a zero StatsRaw is safe.
 func (s *StatsRaw) Add(other *StatsRaw) {
 	// Allocs-per-job averages job-weighted, so the fleet figure matches
 	// what one process doing all the work would have reported.
@@ -198,14 +223,28 @@ func (s *StatsRaw) Add(other *StatsRaw) {
 	if other.UptimeNS > s.UptimeNS {
 		s.UptimeNS = other.UptimeNS
 	}
-	if other.P50NS > s.P50NS {
-		s.P50NS = other.P50NS
-	}
-	if other.P99NS > s.P99NS {
-		s.P99NS = other.P99NS
-	}
 	if other.MaxNS > s.MaxNS {
 		s.MaxNS = other.MaxNS
+	}
+	if other.Solve != nil {
+		if s.Solve == nil {
+			s.Solve = &obs.HistRaw{}
+		}
+		s.Solve.Merge(other.Solve)
+	}
+	for name, h := range other.Stages {
+		if h == nil {
+			continue
+		}
+		if s.Stages == nil {
+			s.Stages = make(map[string]*obs.HistRaw, len(other.Stages))
+		}
+		dst := s.Stages[name]
+		if dst == nil {
+			dst = &obs.HistRaw{}
+			s.Stages[name] = dst
+		}
+		dst.Merge(h)
 	}
 	if other.Cache != nil {
 		if s.Cache == nil {
@@ -220,6 +259,18 @@ func (s *StatsRaw) Add(other *StatsRaw) {
 		s.Cache.Bytes += other.Cache.Bytes
 		s.Cache.MaxBytes += other.Cache.MaxBytes
 	}
+}
+
+// DeriveQuantiles overwrites P50NS/P99NS with true quantiles of the
+// merged Solve histogram. The router calls it on the fleet aggregate
+// after summing every shard's block; on a StatsRaw without a histogram it
+// leaves the fields untouched.
+func (s *StatsRaw) DeriveQuantiles() {
+	if s.Solve == nil || s.Solve.Count == 0 {
+		return
+	}
+	s.P50NS = s.Solve.QuantileNS(0.50)
+	s.P99NS = s.Solve.QuantileNS(0.99)
 }
 
 // RouterStats is the router's own activity block inside FleetStats.
@@ -249,6 +300,9 @@ type RouterStats struct {
 	// CanonPassthrough counts canon-typed jobs the router keyed by hashing
 	// the raw payload and forwarded verbatim — zero decodes on the router.
 	CanonPassthrough int64 `json:"canon_passthrough"`
+	// Forward is the histogram of successful forward round-trip times
+	// (request sent to response headers received, per HTTP forward).
+	Forward *obs.HistRaw `json:"forward_hist,omitempty"`
 }
 
 // RingProposal is the body of POST /admin/ring on mmlprouter: the member

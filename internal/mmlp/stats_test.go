@@ -1,0 +1,98 @@
+package mmlp
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// shardRaw fabricates one shard's stats block: jobs solves all at the
+// given latency, so its histogram and sampled quantiles agree exactly.
+func shardRaw(jobs int, lat time.Duration) *StatsRaw {
+	var h obs.Histogram
+	for i := 0; i < jobs; i++ {
+		h.Observe(lat)
+	}
+	return &StatsRaw{
+		Jobs:  int64(jobs),
+		P50NS: int64(lat),
+		P99NS: int64(lat),
+		MaxNS: int64(lat),
+		Solve: h.Snapshot(),
+	}
+}
+
+// Regression for the fleet-quantile bug: two shards reporting p99s of 5ms
+// and 50ms must not yield a fleet "p99" that is neither (nor, as the old
+// max-of-quantiles did, 50ms regardless of how little traffic the slow
+// shard saw). With 900 jobs at 5ms and 100 at 50ms the exact fleet p99 is
+// a 50ms sample and the exact p50 a 5ms one; the merged histogram must
+// land each within one bucket of its exact value.
+func TestFleetQuantilesFromMergedHistograms(t *testing.T) {
+	fast := shardRaw(900, 5*time.Millisecond)
+	slow := shardRaw(100, 50*time.Millisecond)
+
+	var fleet StatsRaw
+	fleet.Add(fast)
+	fleet.Add(slow)
+	fleet.DeriveQuantiles()
+
+	if fleet.Solve == nil || fleet.Solve.Count != 1000 {
+		t.Fatalf("merged solve histogram = %+v, want count 1000", fleet.Solve)
+	}
+	// Histogram quantiles report the holding bucket's upper bound: the
+	// estimate lives within one bucket (≤25% relative) of the exact value.
+	if fleet.P50NS < int64(5*time.Millisecond) || fleet.P50NS > int64(7*time.Millisecond) {
+		t.Fatalf("fleet p50 = %v, want within one bucket of 5ms", time.Duration(fleet.P50NS))
+	}
+	if fleet.P99NS < int64(50*time.Millisecond) || fleet.P99NS > int64(63*time.Millisecond) {
+		t.Fatalf("fleet p99 = %v, want within one bucket of 50ms", time.Duration(fleet.P99NS))
+	}
+	if fleet.MaxNS != int64(50*time.Millisecond) {
+		t.Fatalf("fleet max = %v", time.Duration(fleet.MaxNS))
+	}
+
+	// The inverse weighting — 100 fast jobs, 900 slow — must drag the
+	// fleet p50 up to 50ms. The old code reported identical "fleet"
+	// numbers for both traffic mixes.
+	var fleet2 StatsRaw
+	fleet2.Add(shardRaw(100, 5*time.Millisecond))
+	fleet2.Add(shardRaw(900, 50*time.Millisecond))
+	fleet2.DeriveQuantiles()
+	if fleet2.P50NS < int64(50*time.Millisecond) {
+		t.Fatalf("inverted fleet p50 = %v, want ≥ 50ms", time.Duration(fleet2.P50NS))
+	}
+
+	// Merging must not alias a shard's histogram: the per-shard blocks are
+	// republished verbatim next to the fleet aggregate.
+	before := fast.Solve.Count
+	fleet.Solve.Merge(slow.Solve)
+	if fast.Solve.Count != before {
+		t.Fatal("fleet merge aliased a shard's histogram")
+	}
+}
+
+// Stage histograms merge per stage name, and per-process sampled
+// quantiles stay per-process (untouched by Add).
+func TestStatsRawAddStages(t *testing.T) {
+	a := shardRaw(2, time.Millisecond)
+	a.Stages = map[string]*obs.HistRaw{"kernel": shardRaw(2, time.Millisecond).Solve}
+	b := shardRaw(3, 2*time.Millisecond)
+	b.Stages = map[string]*obs.HistRaw{
+		"kernel":     shardRaw(3, 2*time.Millisecond).Solve,
+		"queue_wait": shardRaw(1, time.Microsecond).Solve,
+	}
+	var fleet StatsRaw
+	fleet.Add(a)
+	fleet.Add(b)
+	if got := fleet.Stages["kernel"].Count; got != 5 {
+		t.Fatalf("merged kernel count = %d, want 5", got)
+	}
+	if got := fleet.Stages["queue_wait"].Count; got != 1 {
+		t.Fatalf("merged queue_wait count = %d, want 1", got)
+	}
+	if fleet.P50NS != 0 || fleet.P99NS != 0 {
+		t.Fatalf("Add must not fabricate fleet quantiles: p50=%d p99=%d", fleet.P50NS, fleet.P99NS)
+	}
+}

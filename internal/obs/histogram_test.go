@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Buckets must tile the int64 range: every value lands in exactly one
+// bucket, bucket indices are monotone in the value, and each bucket's
+// upper bound actually belongs to it.
+func TestBucketLayout(t *testing.T) {
+	if got := bucketOf(0); got != 0 {
+		t.Fatalf("bucketOf(0) = %d", got)
+	}
+	if got := bucketOf(-5); got != 0 {
+		t.Fatalf("bucketOf(-5) = %d", got)
+	}
+	if got := bucketOf(math.MaxInt64); got != NumBuckets-1 {
+		t.Fatalf("bucketOf(MaxInt64) = %d, want %d", got, NumBuckets-1)
+	}
+	if got := UpperBoundNS(NumBuckets - 1); got != math.MaxInt64 {
+		t.Fatalf("UpperBoundNS(last) = %d, want MaxInt64", got)
+	}
+	for i := 0; i < NumBuckets; i++ {
+		ub := UpperBoundNS(i)
+		if bucketOf(ub) != i {
+			t.Fatalf("bucket %d: UpperBoundNS=%d maps to bucket %d", i, ub, bucketOf(ub))
+		}
+		if ub < math.MaxInt64 && bucketOf(ub+1) != i+1 {
+			t.Fatalf("bucket %d: ub+1=%d maps to bucket %d, want %d", i, ub+1, bucketOf(ub+1), i+1)
+		}
+		if i > 0 && ub <= UpperBoundNS(i-1) {
+			t.Fatalf("upper bounds not strictly increasing at %d", i)
+		}
+	}
+	// Relative width of each octave bucket stays within the 25% design
+	// error: ub/lb <= 1.5 for p >= subBits+1.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10000; trial++ {
+		v := rng.Int63()
+		b := bucketOf(v)
+		if v > UpperBoundNS(b) {
+			t.Fatalf("value %d above its bucket %d upper bound %d", v, b, UpperBoundNS(b))
+		}
+		if b > 0 && v <= UpperBoundNS(b-1) {
+			t.Fatalf("value %d at or below previous bucket bound", v)
+		}
+	}
+}
+
+// Property: merged bucket counts equal the sum of the inputs' counts,
+// bucket by bucket, and count/sum/max combine exactly.
+func TestMergeIsBucketwiseSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		var a, b Histogram
+		for i := 0; i < 200; i++ {
+			a.ObserveNS(rng.Int63n(1e9))
+			b.ObserveNS(rng.Int63n(1e7))
+		}
+		ra, rb := a.Snapshot(), b.Snapshot()
+		merged := &HistRaw{}
+		merged.Merge(ra)
+		merged.Merge(rb)
+
+		da, db, dm := ra.dense(), rb.dense(), merged.dense()
+		for i := range dm {
+			if dm[i] != da[i]+db[i] {
+				t.Fatalf("bucket %d: merged %d != %d + %d", i, dm[i], da[i], db[i])
+			}
+		}
+		if merged.Count != ra.Count+rb.Count {
+			t.Fatalf("count %d != %d + %d", merged.Count, ra.Count, rb.Count)
+		}
+		if merged.SumNS != ra.SumNS+rb.SumNS {
+			t.Fatalf("sum mismatch")
+		}
+		if want := max(ra.MaxNS, rb.MaxNS); merged.MaxNS != want {
+			t.Fatalf("max %d, want %d", merged.MaxNS, want)
+		}
+		// Merge must never alias the operands' slices: mutating the
+		// merged form cannot change a shard's snapshot.
+		if len(merged.Bucket) > 0 {
+			merged.N[0]++
+			if da2 := ra.dense(); da2 != da {
+				t.Fatal("Merge aliased input slices")
+			}
+			merged.N[0]--
+		}
+	}
+}
+
+// Property: the histogram quantile is within one bucket boundary of the
+// exact sample quantile — i.e. the exact value's bucket upper bound.
+func TestQuantileWithinOneBucket(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		var h Histogram
+		n := 500 + rng.Intn(500)
+		samples := make([]int64, n)
+		for i := range samples {
+			// Mix of scales so many octaves are occupied.
+			samples[i] = rng.Int63n(int64(1) << (10 + uint(rng.Intn(30))))
+			h.ObserveNS(samples[i])
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		raw := h.Snapshot()
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			exact := samples[int(q*float64(n-1))]
+			got := raw.QuantileNS(q)
+			// Nearest-rank over buckets returns the upper bound of the
+			// bucket holding the exact sample quantile.
+			if want := UpperBoundNS(bucketOf(exact)); got != want {
+				t.Fatalf("q=%v: got %d, want bucket bound %d (exact %d)", q, got, want, exact)
+			}
+			if got < exact {
+				t.Fatalf("q=%v: estimate %d below exact %d", q, got, exact)
+			}
+			if exact >= 4 && float64(got) > 1.5*float64(exact) {
+				t.Fatalf("q=%v: estimate %d more than 1.5x exact %d", q, got, exact)
+			}
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	var empty HistRaw
+	if got := empty.QuantileNS(0.5); got != 0 {
+		t.Fatalf("empty quantile = %d", got)
+	}
+	var nilRaw *HistRaw
+	if got := nilRaw.QuantileNS(0.5); got != 0 {
+		t.Fatalf("nil quantile = %d", got)
+	}
+	var h Histogram
+	h.ObserveNS(1000)
+	raw := h.Snapshot()
+	if got, want := raw.QuantileNS(0.5), UpperBoundNS(bucketOf(1000)); got != want {
+		t.Fatalf("single-sample quantile %d, want %d", got, want)
+	}
+}
+
+// Malformed wire input (hostile or corrupted shard JSON) must be skipped,
+// not panic the aggregator.
+func TestMergeHostileInput(t *testing.T) {
+	dst := &HistRaw{}
+	dst.Merge(&HistRaw{
+		Count:  5,
+		Bucket: []int{-1, NumBuckets, 3, 4},
+		N:      []int64{7, 7, -2, 9}, // bad index, bad index, bad count, ok
+	})
+	if dst.Count != 9 || len(dst.Bucket) != 1 || dst.Bucket[0] != 4 {
+		t.Fatalf("hostile merge: %+v", dst)
+	}
+	dst.Merge(&HistRaw{Bucket: []int{1, 2, 3}, N: []int64{5}}) // truncated N
+	if dst.Count != 14 {
+		t.Fatalf("truncated merge: %+v", dst)
+	}
+}
+
+// Concurrent Observe with concurrent Snapshot+Merge must be race-free
+// (run under -race in CI) and lose no observations once writers stop.
+func TestConcurrentObserveMerge(t *testing.T) {
+	var h Histogram
+	const writers, perWriter = 8, 2000
+	stop := make(chan struct{})
+	var readerDone sync.WaitGroup
+	readerDone.Add(1)
+	go func() { // concurrent reader: snapshots + merges while writes fly
+		defer readerDone.Done()
+		acc := &HistRaw{}
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				acc.Merge(h.Snapshot())
+				acc.QuantileNS(0.99)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < perWriter; i++ {
+				h.Observe(time.Duration(rng.Int63n(1e8)))
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	close(stop)
+	readerDone.Wait()
+
+	raw := h.Snapshot()
+	if raw.Count != writers*perWriter {
+		t.Fatalf("count %d, want %d", raw.Count, writers*perWriter)
+	}
+}
+
+func BenchmarkObsObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.ObserveNS(int64(i) * 1023)
+	}
+	// Snapshot allocates its sparse form; keep it out of the measured
+	// window so the 0 allocs/op budget pins ObserveNS alone.
+	b.StopTimer()
+	if h.Snapshot().Count != int64(b.N) {
+		b.Fatal("lost observations")
+	}
+}

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"runtime/debug"
+	"strconv"
+	"sync"
+)
+
+// Prometheus text-format exposition, hand-rolled so /metrics needs no
+// dependency. Conventions: counters end in _total, durations are
+// histograms in seconds, HELP/TYPE appear once per family, and stage
+// breakdowns share one family with a stage="" label.
+
+// WriteHeader emits the # HELP / # TYPE pair for a metric family.
+func WriteHeader(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+}
+
+// WriteInt emits one integer-valued series. labels is either empty or a
+// comma-joined list like `stage="kernel"` (no surrounding braces).
+func WriteInt(w io.Writer, name, labels string, v int64) {
+	fmt.Fprintf(w, "%s%s %d\n", name, wrapLabels(labels), v)
+}
+
+// WriteFloat emits one float-valued series.
+func WriteFloat(w io.Writer, name, labels string, v float64) {
+	fmt.Fprintf(w, "%s%s %s\n", name, wrapLabels(labels), formatFloat(v))
+}
+
+// WriteHistogram emits the _bucket/_sum/_count series for one histogram,
+// with le boundaries in seconds. Only occupied buckets get a line (plus
+// the mandatory +Inf), keeping a 252-bin layout compact on the wire; the
+// cumulative counts are still well-formed because le values stay
+// ascending.
+func WriteHistogram(w io.Writer, name, labels string, r *HistRaw) {
+	d := r.dense()
+	var cum int64
+	for i, n := range d {
+		if n == 0 {
+			continue
+		}
+		cum += n
+		le := formatFloat(float64(UpperBoundNS(i)) / 1e9)
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, joinLabels(labels), le, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, joinLabels(labels), cum)
+	var sum float64
+	if r != nil {
+		sum = float64(r.SumNS) / 1e9
+	}
+	fmt.Fprintf(w, "%s_sum%s %s\n", name, wrapLabels(labels), formatFloat(sum))
+	fmt.Fprintf(w, "%s_count%s %d\n", name, wrapLabels(labels), cum)
+}
+
+func wrapLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+func joinLabels(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var (
+	buildOnce  sync.Once
+	buildRev   = "unknown"
+	buildDirty bool
+)
+
+// BuildInfo returns the VCS revision and dirty flag stamped into the
+// binary by the Go toolchain ("unknown"/false when built without VCS
+// metadata, e.g. from a source tarball or with -buildvcs=false).
+func BuildInfo() (revision string, dirty bool) {
+	buildOnce.Do(func() {
+		info, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				if s.Value != "" {
+					buildRev = s.Value
+				}
+			case "vcs.modified":
+				buildDirty = s.Value == "true"
+			}
+		}
+	})
+	return buildRev, buildDirty
+}

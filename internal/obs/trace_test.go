@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.Reset()
+	tr.Add(StageKernel, time.Millisecond)
+	tr.Set(StageEncode, 5)
+	if got := tr.NS(StageKernel); got != 0 {
+		t.Fatalf("nil trace NS = %d", got)
+	}
+}
+
+func TestTraceRecordAndRender(t *testing.T) {
+	var tr Trace
+	tr.Add(StageKernel, 2*time.Millisecond)
+	tr.Add(StageKernel, time.Millisecond) // spans accumulate
+	tr.Set(StageQueueWait, int64(500*time.Microsecond))
+	tr.Add(StageTransform, -time.Second) // negative spans ignored
+	tr.Add(NumStages, time.Second)       // out of range ignored
+
+	if got := tr.NS(StageKernel); got != int64(3*time.Millisecond) {
+		t.Fatalf("kernel = %d", got)
+	}
+	m := tr.MSMap()
+	if len(m) != 2 || m["kernel"] != 3 || m["queue_wait"] != 0.5 {
+		t.Fatalf("MSMap = %v", m)
+	}
+	cp := tr // value copy is independent
+	cp.Reset()
+	if tr.NS(StageKernel) == 0 {
+		t.Fatal("reset of copy mutated original")
+	}
+
+	for s := Stage(0); s < NumStages; s++ {
+		if s.String() == "" || s.String() == "unknown" {
+			t.Fatalf("stage %d unnamed", s)
+		}
+	}
+	if NumStages.String() != "unknown" {
+		t.Fatal("out-of-range stage name")
+	}
+}
+
+func TestTraceIDContext(t *testing.T) {
+	if got := TraceID(context.Background()); got != "" {
+		t.Fatalf("empty ctx trace id = %q", got)
+	}
+	ctx := WithTraceID(context.Background(), "abc123")
+	if got := TraceID(ctx); got != "abc123" {
+		t.Fatalf("trace id = %q", got)
+	}
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || a == b {
+		t.Fatalf("trace ids %q, %q", a, b)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/canon"
+	"repro/internal/obs"
 )
 
 // DefaultCooldown is how long a member stays marked down after a transport
@@ -133,6 +134,7 @@ type Client struct {
 	downUntil map[string]time.Time
 
 	routed, forwarded, retried, shardDown atomic.Int64
+	forwardHist                           obs.Histogram
 }
 
 // NewClient builds a client over ring, which becomes generation 1.
@@ -371,7 +373,11 @@ func (c *Client) ReplicaSet(rv *RingVersion, k canon.Key) []string {
 
 // Forward POSTs body to one member and returns the response. A transport
 // failure marks the member down; an HTTP response of any status marks it
-// up. The caller owns the response body.
+// up. The caller owns the response body. A request ID stashed in ctx with
+// obs.WithTraceID rides along as the X-Mmlp-Trace header, so one ID
+// follows the request from the router into the owning shard's trace and
+// slow-log; successful forwards feed the forward-latency histogram
+// (sent → response headers received).
 func (c *Client) Forward(ctx context.Context, member, path, contentType string, body []byte) (*http.Response, error) {
 	c.forwarded.Add(1)
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, "http://"+member+path, bytes.NewReader(body))
@@ -379,6 +385,10 @@ func (c *Client) Forward(ctx context.Context, member, path, contentType string, 
 		return nil, err
 	}
 	req.Header.Set("Content-Type", contentType)
+	if id := obs.TraceID(ctx); id != "" {
+		req.Header.Set(obs.TraceHeader, id)
+	}
+	start := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		if ctx.Err() == nil { // the shard failed, not the caller
@@ -386,8 +396,14 @@ func (c *Client) Forward(ctx context.Context, member, path, contentType string, 
 		}
 		return nil, err
 	}
+	c.forwardHist.Observe(time.Since(start))
 	c.markUp(member)
 	return resp, nil
+}
+
+// ForwardHist snapshots the forward-latency histogram.
+func (c *Client) ForwardHist() *obs.HistRaw {
+	return c.forwardHist.Snapshot()
 }
 
 // Get fetches path from one member (health probes, /statsz scrapes). Like

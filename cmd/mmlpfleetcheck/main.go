@@ -1,5 +1,5 @@
 // Command mmlpfleetcheck is the multi-process integration harness behind
-// the fleet-smoke CI job. It runs five scenarios, each against a freshly
+// the fleet-smoke CI job. It runs seven scenarios, each against a freshly
 // booted real fleet — N mmlpserve processes plus one mmlprouter — next to
 // one direct mmlpserve reference process:
 //
@@ -30,9 +30,11 @@
 // cutover boots a spare shard and proposes a four-member ring through
 // POST /admin/ring while a batch is streaming: the in-flight batch drains
 // bit-identically on the old assignment, the drain is observable through
-// GET /admin/ring, and once it completes the shards prune exactly the
-// keys whose owner moved — leaving the fleet a clean one-copy partition
-// of every distinct key on the new ring.
+// GET /admin/ring, a second proposal during the drain is refused with 409
+// plus a Retry-After derived from the drain's progress, and once the drain
+// completes the shards prune exactly the keys whose owner moved — leaving
+// the fleet a clean one-copy partition of every distinct key on the new
+// ring.
 //
 // mixed (replication 1) runs a JSON client and a canon binary-wire client
 // against one fleet: JSON solves warm the caches, then the same problems
@@ -54,6 +56,25 @@
 // router's routed counter must equal the shards' summed jobs counters —
 // the counter-conservation invariant, also checked at the end of the
 // baseline, cutover and mixed scenarios.
+//
+// brownout (replication 1) boots shard0 with a deterministic -fault-spec
+// that adds 800ms of latency to every /v1/ request and arms the router's
+// retry budget: solves and batches must stay bit-identical to the direct
+// reference, the slow shard must never be treated as dead (no cooldown, no
+// failover hops, no budget spend), the fault counter must show the chaos
+// layer actually fired, and counters must conserve.
+//
+// overload (replication 1) boots the shards with -queue 1 -shed and storms
+// the router with more concurrent distinct slow keys than the fleet has
+// worker+queue slots: admission control must answer the overflow with 429
+// plus a positive Retry-After (relayed through the router, shard not
+// marked down), clients that honour the hint must eventually land every
+// job with answers bit-identical to the direct reference, the deadline
+// header must parse at the router (and reject malformed values with 400),
+// a propagated deadline that expires while a job queues behind wedged
+// workers must surface as 504 with the shard's deadline_expired counter
+// incremented and no connection hung, and the admission ledger must
+// conserve: routed == jobs + shed across the fleet.
 //
 // Usage:
 //
@@ -114,6 +135,8 @@ func main() {
 		{"cutover", 1, false, (*harness).runCutover},
 		{"mixed", 1, false, (*harness).runMixed},
 		{"observability", 1, true, (*harness).runObservability},
+		{"brownout", 1, false, (*harness).runBrownout},
+		{"overload", 1, false, (*harness).runOverload},
 	}
 	for _, sc := range scenarios {
 		fmt.Printf("=== scenario %s ===\n", sc.name)
@@ -133,7 +156,7 @@ func main() {
 		}
 		fmt.Printf("scenario %s: PASS\n", sc.name)
 	}
-	fmt.Println("PASS: fleet bit-identity, partitioning, aggregation, replicated kill, ring cutover, mixed-encoding serving and observability all hold")
+	fmt.Println("PASS: fleet bit-identity, partitioning, aggregation, replicated kill, ring cutover, mixed-encoding serving, observability, brownout survival and overload shedding all hold")
 }
 
 // proc is one child process of the fleet.
@@ -154,6 +177,14 @@ type harness struct {
 	slowLog     bool // boot the shards with -slow-log 0 (log every solve)
 	logDir      string
 	hc          *http.Client
+
+	// Chaos hooks, set by a scenario before boot: extra boot flags for
+	// every shard (e.g. -queue 1 -shed), for one shard by index (e.g. a
+	// -fault-spec brownout), and for the router (e.g. -retry-budget). The
+	// direct reference server never gets them — it is the healthy control.
+	shardExtraAll []string
+	shardExtra    map[int][]string
+	routerExtra   []string
 
 	procs      []*proc
 	shardAddrs []string
@@ -262,8 +293,10 @@ func (h *harness) boot() error {
 	for i := 0; i < h.nShards; i++ {
 		addr := fmt.Sprintf("127.0.0.1:%d", ports[i])
 		h.shardAddrs = append(h.shardAddrs, addr)
-		if err := h.start(fmt.Sprintf("shard%d", i), "mmlpserve",
-			append([]string{"-addr", addr}, shardArgs...)...); err != nil {
+		args := append([]string{"-addr", addr}, shardArgs...)
+		args = append(args, h.shardExtraAll...)
+		args = append(args, h.shardExtra[i]...)
+		if err := h.start(fmt.Sprintf("shard%d", i), "mmlpserve", args...); err != nil {
 			return err
 		}
 	}
@@ -281,6 +314,7 @@ func (h *harness) boot() error {
 	if h.replication > 1 {
 		routerArgs = append(routerArgs, "-replication", fmt.Sprint(h.replication))
 	}
+	routerArgs = append(routerArgs, h.routerExtra...)
 	if err := h.start("router", "mmlprouter", routerArgs...); err != nil {
 		return err
 	}

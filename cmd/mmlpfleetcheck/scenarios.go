@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"os"
 	"slices"
+	"strconv"
 	"time"
 
 	"repro/internal/batch"
@@ -608,7 +609,25 @@ func (h *harness) runCutover() error {
 		if resp.StatusCode != http.StatusOK {
 			return fmt.Errorf("propose ring: status %d", resp.StatusCode)
 		}
-		return json.NewDecoder(resp.Body).Decode(&accepted)
+		if err := json.NewDecoder(resp.Body).Decode(&accepted); err != nil {
+			return err
+		}
+		// A second proposal while the first still drains must be refused
+		// with 409 and tell the operator when to retry: the pinned batch is
+		// still streaming, so the drain is provably in progress right now.
+		resp2, err := h.hc.Post("http://"+h.routerAddr+"/admin/ring", "application/json", bytes.NewReader(prop))
+		if err != nil {
+			return fmt.Errorf("second propose: %w", err)
+		}
+		defer resp2.Body.Close()
+		io.Copy(io.Discard, resp2.Body)
+		if resp2.StatusCode != http.StatusConflict {
+			return fmt.Errorf("second proposal during the drain: status %d, want 409", resp2.StatusCode)
+		}
+		if secs, aerr := strconv.Atoi(resp2.Header.Get("Retry-After")); aerr != nil || secs < 1 {
+			return fmt.Errorf("409 during the drain carried Retry-After %q, want a positive second count", resp2.Header.Get("Retry-After"))
+		}
+		return nil
 	})
 	if err != nil {
 		return fmt.Errorf("batch with mid-stream cutover: %w", err)

@@ -9,6 +9,7 @@
 //
 //	mmlprouter -shards host:port,host:port,... [-addr :8090] [-replicas 128]
 //	           [-replication 1] [-max-body 8388608] [-cooldown 5s]
+//	           [-default-deadline 0] [-retry-budget 0] [-retry-backoff 25ms]
 //	           [-debug-addr :6060]
 //
 // Endpoints (the wire contract matches mmlpserve, so clients need not know
@@ -59,6 +60,18 @@
 // recovers; solves are pure functions of their requests, so the failover
 // is always safe (at the temporary cost of duplicate cache entries for
 // keys solved on a stand-in).
+//
+// Overload behavior: an X-Mmlp-Deadline-Ms request header (the client's
+// remaining budget in whole milliseconds) becomes the request's deadline
+// and is re-minted — shrunk by the time already spent — on every shard
+// hop; -default-deadline supplies one for clients that sent none. Failover
+// hops back off exponentially from -retry-backoff (capped at 1s, with
+// seeded jitter; 0 disables the sleeps), and -retry-budget N arms a token
+// bucket refilled by successes: when it runs dry, a request due a retry
+// hop fails fast with 503 instead of piling on, so a browned-out fleet
+// degrades instead of collapsing. A shard's 429 (its -shed admission
+// verdict) is relayed verbatim, Retry-After included, without marking the
+// shard down — refusing work is a healthy answer.
 package main
 
 import (
@@ -79,14 +92,17 @@ import (
 
 // routerConfig is the parsed and validated flag set.
 type routerConfig struct {
-	addr          string
-	shards        []string
-	replicas      int
-	replication   int
-	maxBody       int64
-	cooldown      time.Duration
-	shutdownGrace time.Duration
-	debugAddr     string
+	addr            string
+	shards          []string
+	replicas        int
+	replication     int
+	maxBody         int64
+	cooldown        time.Duration
+	shutdownGrace   time.Duration
+	debugAddr       string
+	defaultDeadline time.Duration
+	retryBudget     int
+	retryBackoff    time.Duration
 }
 
 // parseFlags parses and vets the command line. Invalid values are errors —
@@ -102,6 +118,9 @@ func parseFlags(args []string) (*routerConfig, error) {
 	cooldown := fs.Duration("cooldown", shard.DefaultCooldown, "how long a failed shard stays routed-around")
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
+	defaultDeadline := fs.Duration("default-deadline", 0, "deadline minted for requests without an X-Mmlp-Deadline-Ms header (0 = none)")
+	retryBudget := fs.Int("retry-budget", 0, "retry token bucket: failover hops the router may spend beyond each request's first attempt, refilled by successes (0 disables budgeting)")
+	retryBackoff := fs.Duration("retry-backoff", shard.DefaultRetryBackoff, "base wait before a failover hop, doubled per hop with seeded jitter (0 disables the sleeps)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -109,7 +128,8 @@ func parseFlags(args []string) (*routerConfig, error) {
 	cfg := &routerConfig{
 		addr: *addr, replicas: *replicas, replication: *replication,
 		maxBody: *maxBody, cooldown: *cooldown, shutdownGrace: *shutdownGrace,
-		debugAddr: *debugAddr,
+		debugAddr: *debugAddr, defaultDeadline: *defaultDeadline,
+		retryBudget: *retryBudget, retryBackoff: *retryBackoff,
 	}
 	if strings.TrimSpace(*shards) == "" {
 		return nil, errors.New("-shards must list at least one host:port")
@@ -141,6 +161,15 @@ func parseFlags(args []string) (*routerConfig, error) {
 	if cfg.cooldown <= 0 {
 		return nil, fmt.Errorf("-cooldown must be positive, got %v", cfg.cooldown)
 	}
+	if cfg.defaultDeadline < 0 {
+		return nil, fmt.Errorf("-default-deadline must be ≥ 0 (0 disables), got %v", cfg.defaultDeadline)
+	}
+	if cfg.retryBudget < 0 {
+		return nil, fmt.Errorf("-retry-budget must be ≥ 0 (0 disables), got %d", cfg.retryBudget)
+	}
+	if cfg.retryBackoff < 0 {
+		return nil, fmt.Errorf("-retry-backoff must be ≥ 0 (0 disables), got %v", cfg.retryBackoff)
+	}
 	return cfg, nil
 }
 
@@ -166,9 +195,12 @@ func main() {
 	client := shard.NewClient(ring, shard.ClientOptions{
 		Cooldown:      cfg.cooldown,
 		Replication:   cfg.replication,
+		RetryBudget:   cfg.retryBudget,
+		RetryBackoff:  cfg.retryBackoff,
 		OnCutoverDone: func(old, new *shard.Ring) { rt.notifyCutover(old, new) },
 	})
 	rt = newRouter(client, cfg.maxBody)
+	rt.setDefaultDeadline(cfg.defaultDeadline)
 	if cfg.debugAddr != "" {
 		go serveDebug("mmlprouter", cfg.debugAddr)
 	}

@@ -43,6 +43,8 @@ func (rt *router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.WriteInt(&b, "mmlp_router_retried_total", "", st.Retried)
 	obs.WriteHeader(&b, "mmlp_router_shard_down_total", "counter", "Transport failures that put a shard into cooldown.")
 	obs.WriteInt(&b, "mmlp_router_shard_down_total", "", st.ShardDown)
+	obs.WriteHeader(&b, "mmlp_router_retry_budget_exhausted_total", "counter", "Requests failed fast (503) because the retry token bucket ran dry.")
+	obs.WriteInt(&b, "mmlp_router_retry_budget_exhausted_total", "", st.BudgetExhausted)
 	obs.WriteHeader(&b, "mmlp_router_replicated_total", "counter", "Write-through warms delivered to backup replicas.")
 	obs.WriteInt(&b, "mmlp_router_replicated_total", "", rt.replicated.Load())
 	obs.WriteHeader(&b, "mmlp_router_canon_passthrough_total", "counter", "Canon payloads routed by hashing the raw bytes.")

@@ -9,6 +9,7 @@ import (
 	"io"
 	"mime"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,12 @@ type router struct {
 	// bytes — the router never decodes them. One increment per payload, so
 	// a canon batch of n jobs adds n.
 	canonPassthrough atomic.Int64
+
+	// defaultDeadline, when positive, is the deadline minted for requests
+	// that arrive without an X-Mmlp-Deadline-Ms header, so every shard hop
+	// carries a bound even when the client never set one. Zero preserves
+	// the classic unbounded behaviour.
+	defaultDeadline time.Duration
 }
 
 // newRouter wires the endpoints over a shard client.
@@ -66,6 +73,33 @@ func newRouter(client *shard.Client, maxBody int64) *router {
 }
 
 func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// setDefaultDeadline arms -default-deadline. Call before serving.
+func (rt *router) setDefaultDeadline(d time.Duration) { rt.defaultDeadline = d }
+
+// deadlineCtx derives the request's working context. An X-Mmlp-Deadline-Ms
+// header (the client's remaining budget in whole milliseconds) becomes a
+// context deadline that shard.Client.Forward re-mints — shrunk by the time
+// already spent here — on every shard hop; absent the header, the
+// configured -default-deadline applies. cancel is nil when neither bounds
+// the request; the error reports a malformed header (a client bug worth a
+// 400, not silent unbounded work).
+func (rt *router) deadlineCtx(r *http.Request) (ctx context.Context, cancel context.CancelFunc, err error) {
+	ctx = r.Context()
+	if h := r.Header.Get(obs.DeadlineHeader); h != "" {
+		ms, perr := strconv.ParseInt(h, 10, 64)
+		if perr != nil || ms <= 0 {
+			return nil, nil, fmt.Errorf("bad %s header %q: want a positive integer millisecond count", obs.DeadlineHeader, h)
+		}
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+		return ctx, cancel, nil
+	}
+	if rt.defaultDeadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, rt.defaultDeadline)
+		return ctx, cancel, nil
+	}
+	return ctx, nil, nil
+}
 
 // writeError matches mmlpserve's uniform error body, so clients see one
 // wire contract whether they talk to a shard or the router.
@@ -102,17 +136,18 @@ func keyOf(req *mmlp.SolveRequest) (canon.Key, error) {
 }
 
 // traceFor adopts the client's X-Mmlp-Trace request ID or mints one, echoes
-// it on the response, and stashes it in a child context so Forward attaches
-// it to every hop to the shards. The router is where fleet requests are
-// born, so every solve ends up with exactly one ID shared by the client,
-// the router, and the owning shard's trace and slow-log.
-func traceFor(w http.ResponseWriter, r *http.Request) (context.Context, string) {
+// it on the response, and stashes it in a child of ctx (normally the
+// deadline-bearing context from deadlineCtx) so Forward attaches it to
+// every hop to the shards. The router is where fleet requests are born, so
+// every solve ends up with exactly one ID shared by the client, the
+// router, and the owning shard's trace and slow-log.
+func traceFor(ctx context.Context, w http.ResponseWriter, r *http.Request) (context.Context, string) {
 	id := r.Header.Get(obs.TraceHeader)
 	if id == "" {
 		id = obs.NewTraceID()
 	}
 	w.Header().Set(obs.TraceHeader, id)
-	return obs.WithTraceID(r.Context(), id), id
+	return obs.WithTraceID(ctx, id), id
 }
 
 // mediaType extracts the request's media type; an absent header means
@@ -163,7 +198,15 @@ func (rt *router) handleSolve(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ctx, _ := traceFor(w, r)
+	ctx, cancel, err := rt.deadlineCtx(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+	ctx, _ = traceFor(ctx, w, r)
 	// Propagate the query string so ?trace=1 reaches the owning shard and
 	// its per-stage trace block rides back in the relayed response.
 	path := "/v1/solve"
@@ -175,12 +218,24 @@ func (rt *router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	owner := rt.client.OwnerOn(rv, key)
 	resp, member, err := rt.client.DoOn(ctx, rv, key, path, contentType, body)
 	if err != nil {
-		writeError(w, http.StatusBadGateway, fmt.Errorf("no shard reachable (owner %s): %w", owner, err))
+		// A dry retry budget is the router refusing to spend more hops, not
+		// the fleet being unreachable: 503 tells the client to back off and
+		// retry, where 502 would read as an outage.
+		code := http.StatusBadGateway
+		if errors.Is(err, shard.ErrRetryBudgetExhausted) {
+			code = http.StatusServiceUnavailable
+		}
+		writeError(w, code, fmt.Errorf("no shard reachable (owner %s): %w", owner, err))
 		return
 	}
 	defer resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
+	}
+	// Relay the shard's retry hint so a shed (429) or overloaded answer
+	// keeps its Retry-After through the extra hop.
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
 	}
 	w.Header().Set("X-Mmlp-Shard", member)
 	w.WriteHeader(resp.StatusCode)
@@ -301,7 +356,15 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if payloads != nil {
 		rt.canonPassthrough.Add(int64(n))
 	}
-	ctx, _ := traceFor(w, r)
+	ctx, cancel, err := rt.deadlineCtx(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+	ctx, _ = traceFor(ctx, w, r)
 	// Pin one ring generation for the whole batch: grouping, forwarding and
 	// straggler re-forwards all agree on a single assignment even when an
 	// /admin/ring cutover lands mid-stream.
@@ -547,6 +610,17 @@ func (rt *router) handleRingPost(w http.ResponseWriter, r *http.Request) {
 	}
 	if _, err := rt.client.Propose(prop.Members); err != nil {
 		if errors.Is(err, shard.ErrCutoverInProgress) {
+			// Hint when to retry from the drain's progress: roughly a second
+			// per in-flight request still pinned to the old ring, clamped so
+			// a long drain never suggests an unbounded wait.
+			secs := int64(1)
+			if cut := rt.client.Draining(); cut != nil && cut.Draining > secs {
+				secs = cut.Draining
+			}
+			if secs > 30 {
+				secs = 30
+			}
+			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
 			writeError(w, http.StatusConflict, err)
 		} else {
 			writeError(w, http.StatusBadRequest, err)
@@ -666,6 +740,8 @@ func (rt *router) handleStats(w http.ResponseWriter, r *http.Request) {
 		Retried:     st.Retried,
 		ShardDown:   st.ShardDown,
 		Replicated:  rt.replicated.Load(),
+
+		RetryBudgetExhausted: st.BudgetExhausted,
 
 		CanonPassthrough: rt.canonPassthrough.Load(),
 		Forward:          rt.client.ForwardHist(),

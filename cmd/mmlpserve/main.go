@@ -6,6 +6,7 @@
 //
 //	mmlpserve [-addr :8080] [-workers N] [-queue N] [-max-body 8388608] [-job-timeout 0]
 //	          [-cache-bytes 67108864] [-cache-shards N] [-slow-log 250ms] [-debug-addr :6060]
+//	          [-shed] [-fault-spec RULES]
 //
 // The solver is deterministic, so results are cached under the canonical
 // (instance, options) hash: repeat solves of a slowly-changing topology
@@ -35,6 +36,17 @@
 // (0 logs every solve; negative, the default, disables). -debug-addr
 // serves net/http/pprof on a separate listener.
 //
+// Overload behavior: an X-Mmlp-Deadline-Ms request header (normally
+// minted by the router from the client deadline) becomes a context
+// deadline, so work that can no longer make it back in time is abandoned
+// — a job whose deadline passes while still queued is answered 504
+// without touching the solver. With -shed, /v1/solve stops queueing
+// behind a full queue and answers 429 with a Retry-After derived from
+// the live queue-wait median instead. -fault-spec RULES enables the
+// deterministic chaos layer (internal/fault) for testing: latency,
+// error, blackhole, slow-body and truncation faults by path and rate;
+// off by default and zero-cost when off.
+//
 // SIGINT/SIGTERM shut down gracefully: in-flight requests finish, then the
 // pool drains and the process exits.
 package main
@@ -52,6 +64,7 @@ import (
 	"time"
 
 	"repro/internal/batch"
+	"repro/internal/fault"
 )
 
 // serveConfig is the parsed and validated flag set.
@@ -66,6 +79,8 @@ type serveConfig struct {
 	shutdownGrace time.Duration
 	slowLog       time.Duration
 	debugAddr     string
+	shed          bool
+	fault         *fault.Injector // parsed -fault-spec; nil when disabled
 }
 
 // parseFlags parses and vets the command line; main exits 2 on an error,
@@ -88,7 +103,13 @@ func parseFlags(args []string) (*serveConfig, error) {
 	shutdownGrace := fs.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window")
 	slowLog := fs.Duration("slow-log", -1, "log the per-stage breakdown of solves at or above this latency (0 logs every solve; negative disables)")
 	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
+	shed := fs.Bool("shed", false, "shed /v1/solve on a full queue (429 + Retry-After) instead of applying backpressure")
+	faultSpec := fs.String("fault-spec", "", "fault-injection rules for chaos testing (e.g. 'path=/v1/ latency=800ms'; empty disables)")
 	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	injector, err := fault.Parse(*faultSpec)
+	if err != nil {
 		return nil, err
 	}
 
@@ -117,6 +138,7 @@ func parseFlags(args []string) (*serveConfig, error) {
 		addr: *addr, workers: *workers, queue: *queue, maxBody: *maxBody,
 		jobTimeout: *jobTimeout, cacheBytes: *cacheBytes, cacheShards: *cacheShards,
 		shutdownGrace: *shutdownGrace, slowLog: *slowLog, debugAddr: *debugAddr,
+		shed: *shed, fault: injector,
 	}, nil
 }
 
@@ -138,12 +160,18 @@ func main() {
 	if cfg.slowLog >= 0 {
 		h.enableSlowLog(cfg.slowLog)
 	}
+	if cfg.shed {
+		h.enableShed()
+	}
+	h.setFault(cfg.fault)
 	if cfg.debugAddr != "" {
 		go serveDebug("mmlpserve", cfg.debugAddr)
 	}
 	srv := &http.Server{
-		Addr:    cfg.addr,
-		Handler: h,
+		Addr: cfg.addr,
+		// The fault wrap is the identity when -fault-spec is empty, so the
+		// production handler chain is untouched by the chaos layer.
+		Handler: cfg.fault.Wrap(h),
 		// Bound slow/idle clients so they cannot pin connections forever;
 		// WriteTimeout stays 0 because batch NDJSON responses stream for as
 		// long as the solves take.

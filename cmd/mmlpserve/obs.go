@@ -40,6 +40,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.WriteInt(&b, "mmlp_jobs_total", "", st.Jobs)
 	obs.WriteHeader(&b, "mmlp_errors_total", "counter", "Completed jobs that failed or were cancelled.")
 	obs.WriteInt(&b, "mmlp_errors_total", "", st.Errors)
+	obs.WriteHeader(&b, "mmlp_shed_total", "counter", "Submissions refused at admission on a full queue (HTTP 429).")
+	obs.WriteInt(&b, "mmlp_shed_total", "", st.Shed)
+	obs.WriteHeader(&b, "mmlp_deadline_expired_total", "counter", "Jobs whose propagated deadline passed while queued (HTTP 504).")
+	obs.WriteInt(&b, "mmlp_deadline_expired_total", "", st.DeadlineExpired)
+	obs.WriteHeader(&b, "mmlp_faults_injected_total", "counter", "Faults fired by the -fault-spec chaos layer.")
+	obs.WriteInt(&b, "mmlp_faults_injected_total", "", s.fault.Count())
 	obs.WriteHeader(&b, "mmlp_workers", "gauge", "Fixed worker pool size.")
 	obs.WriteInt(&b, "mmlp_workers", "", int64(st.Workers))
 	obs.WriteHeader(&b, "mmlp_uptime_seconds", "gauge", "Pool age.")

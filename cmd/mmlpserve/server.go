@@ -10,11 +10,13 @@ import (
 	"mime"
 	"net/http"
 	"slices"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/canon"
+	"repro/internal/fault"
 	"repro/internal/mmlp"
 	"repro/internal/obs"
 	"repro/internal/shard"
@@ -25,6 +27,18 @@ type server struct {
 	pool    *batch.Pool
 	maxBody int64
 	mux     *http.ServeMux
+
+	// shed switches /v1/solve admission to the non-blocking TrySubmit
+	// path: a full queue answers 429 + Retry-After instead of parking the
+	// connection. /v1/batch keeps the blocking path regardless — its
+	// backpressure is streaming-shaped by design (results flow while later
+	// jobs wait), so parking the submitter goroutine there is correct.
+	shed bool
+
+	// fault is the chaos-injection layer (-fault-spec); nil in production.
+	// Held here only so its counter reaches /statsz and /metrics — the
+	// injection itself wraps the whole handler in main.
+	fault *fault.Injector
 
 	// slowLogOn/slowLog gate the per-request breakdown log on /v1/solve:
 	// disabled by default, enabled by -slow-log (0 logs every solve).
@@ -52,6 +66,43 @@ func newServer(pool *batch.Pool, maxBody int64) *server {
 func (s *server) enableSlowLog(threshold time.Duration) {
 	s.slowLogOn = true
 	s.slowLog = threshold
+}
+
+// enableShed switches /v1/solve to load-shedding admission.
+func (s *server) enableShed() { s.shed = true }
+
+// setFault attaches the chaos injector for stats surfacing.
+func (s *server) setFault(in *fault.Injector) { s.fault = in }
+
+// deadlineCtx applies a propagated X-Mmlp-Deadline-Ms header to the
+// request context. With no header (the common case) it returns the
+// context untouched and allocates nothing — the header constant is in
+// canonical MIME form, so the absent-header Get is a map miss. cancel is
+// non-nil exactly when a deadline was applied.
+func deadlineCtx(r *http.Request) (ctx context.Context, cancel context.CancelFunc, err error) {
+	ctx = r.Context()
+	h := r.Header.Get(obs.DeadlineHeader)
+	if h == "" {
+		return ctx, nil, nil
+	}
+	ms, perr := strconv.ParseInt(h, 10, 64)
+	if perr != nil || ms <= 0 {
+		return nil, nil, fmt.Errorf("bad %s header %q: want a positive integer millisecond count", obs.DeadlineHeader, h)
+	}
+	ctx, cancel = context.WithTimeout(ctx, time.Duration(ms)*time.Millisecond)
+	return ctx, cancel, nil
+}
+
+// retryAfterSecs renders a Retry-After value from the live queue-wait
+// median: the time by which half of recently admitted jobs had left the
+// queue is the natural "come back when a slot has likely opened" hint.
+// Whole seconds (the header's unit), minimum 1.
+func retryAfterSecs(p50 time.Duration) string {
+	secs := (p50 + time.Second - 1) / time.Second
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(int64(secs), 10)
 }
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -141,12 +192,35 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	traceID := r.Header.Get(obs.TraceHeader)
-	res := s.pool.Do(r.Context(), job)
+	ctx, cancel, err := deadlineCtx(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+	var res batch.Result
+	if s.shed {
+		res = s.doShed(ctx, job)
+		if errors.Is(res.Err, batch.ErrQueueFull) {
+			w.Header().Set("Retry-After", retryAfterSecs(s.pool.QueueWaitP50()))
+			writeError(w, http.StatusTooManyRequests, res.Err)
+			return
+		}
+	} else {
+		res = s.pool.Do(ctx, job)
+	}
 	if res.Err != nil {
 		code := http.StatusInternalServerError
 		switch {
 		case errors.Is(res.Err, mmlp.ErrInvalid):
 			code = http.StatusBadRequest
+		case errors.Is(res.Err, batch.ErrExpiredInQueue):
+			// The deadline died in the queue: the kernel never ran. 504
+			// tells the client (and the router) this was pure queueing
+			// lateness, not a failed solve.
+			code = http.StatusGatewayTimeout
 		case errors.Is(res.Err, context.Canceled), errors.Is(res.Err, context.DeadlineExceeded):
 			code = http.StatusServiceUnavailable
 		}
@@ -170,6 +244,16 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if s.slowLogOn && res.Latency >= s.slowLog {
 		s.logSlow(traceID, &res, enc)
 	}
+}
+
+// doShed is Pool.Do over the non-blocking admission path: a full queue
+// surfaces as ErrQueueFull instead of blocking the connection.
+func (s *server) doShed(ctx context.Context, job batch.Job) batch.Result {
+	ch := make(chan batch.Result, 1)
+	if err := s.pool.TrySubmit(ctx, 0, job, func(r batch.Result) { ch <- r }); err != nil {
+		return batch.Result{Err: err}
+	}
+	return <-ch
 }
 
 // handleBatch solves many instances and streams one result record per job
@@ -222,6 +306,17 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	// The propagated deadline bounds every job in the batch: jobs still
+	// queued when it passes are reported expired instead of solved late.
+	ctx, cancel, err := deadlineCtx(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+
 	flusher, _ := w.(http.Flusher)
 	var emit func(mmlp.BatchItem)
 	if acceptsCanonResults(r) {
@@ -250,7 +345,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	go func() {
 		n := 0
 		for i := range jobs {
-			if err := s.pool.Submit(r.Context(), i, jobs[i], func(res batch.Result) { results <- res }); err != nil {
+			if err := s.pool.Submit(ctx, i, jobs[i], func(res batch.Result) { results <- res }); err != nil {
 				submitDone <- submitOutcome{n, err} // client gone or pool closing
 				return
 			}
@@ -333,20 +428,27 @@ func (s *server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.pool.Stats()
 	if r.URL.Query().Get("raw") == "1" {
+		raw := batch.StatsRawFromStats(st)
+		raw.FaultsInjected = s.fault.Count()
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(batch.StatsRawFromStats(st))
+		json.NewEncoder(w).Encode(raw)
 		return
 	}
 	body := map[string]any{
-		"workers":        st.Workers,
-		"jobs":           st.Jobs,
-		"errors":         st.Errors,
-		"jobs_per_sec":   st.JobsPerSec,
-		"p50_ms":         float64(st.P50.Microseconds()) / 1e3,
-		"p99_ms":         float64(st.P99.Microseconds()) / 1e3,
-		"max_ms":         float64(st.Max.Microseconds()) / 1e3,
-		"allocs_per_job": st.AllocsPerJob,
-		"uptime_sec":     st.Elapsed.Seconds(),
+		"workers":          st.Workers,
+		"jobs":             st.Jobs,
+		"errors":           st.Errors,
+		"shed":             st.Shed,
+		"deadline_expired": st.DeadlineExpired,
+		"jobs_per_sec":     st.JobsPerSec,
+		"p50_ms":           float64(st.P50.Microseconds()) / 1e3,
+		"p99_ms":           float64(st.P99.Microseconds()) / 1e3,
+		"max_ms":           float64(st.Max.Microseconds()) / 1e3,
+		"allocs_per_job":   st.AllocsPerJob,
+		"uptime_sec":       st.Elapsed.Seconds(),
+	}
+	if n := s.fault.Count(); n > 0 {
+		body["faults_injected"] = n
 	}
 	if st.Cache != nil {
 		body["cache"] = map[string]any{

@@ -66,15 +66,17 @@ func ResponseFromResult(r Result) mmlp.SolveResponse {
 // served under /statsz?raw=1 and scraped by the shard router.
 func StatsRawFromStats(st *Stats) *mmlp.StatsRaw {
 	raw := &mmlp.StatsRaw{
-		Workers:      st.Workers,
-		Jobs:         st.Jobs,
-		Errors:       st.Errors,
-		UptimeNS:     st.Elapsed.Nanoseconds(),
-		P50NS:        st.P50.Nanoseconds(),
-		P99NS:        st.P99.Nanoseconds(),
-		MaxNS:        st.Max.Nanoseconds(),
-		AllocsPerJob: st.AllocsPerJob,
-		Solve:        st.Solve,
+		Workers:         st.Workers,
+		Jobs:            st.Jobs,
+		Errors:          st.Errors,
+		UptimeNS:        st.Elapsed.Nanoseconds(),
+		P50NS:           st.P50.Nanoseconds(),
+		P99NS:           st.P99.Nanoseconds(),
+		MaxNS:           st.Max.Nanoseconds(),
+		AllocsPerJob:    st.AllocsPerJob,
+		Shed:            st.Shed,
+		DeadlineExpired: st.DeadlineExpired,
+		Solve:           st.Solve,
 	}
 	for s := obs.Stage(0); s < obs.NumStages; s++ {
 		if st.Stages[s] == nil {

@@ -1,0 +1,217 @@
+package batch_test
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/batch"
+	"repro/internal/engine"
+	"repro/internal/gen"
+)
+
+// tinyJob is a real but near-instant solve, for tests that exercise the
+// queue rather than the kernel.
+func tinyJob(i int) batch.Job {
+	return batch.Job{In: gen.TriNecklace(3 + i%4), Opts: engine.Options{R: 2}}
+}
+
+// blockWorker wedges the pool's single worker inside a done callback and
+// returns a release function. On return the worker is provably busy, so
+// subsequent submissions land in the queue.
+func blockWorker(t testing.TB, p *batch.Pool) (release func()) {
+	t.Helper()
+	started := make(chan struct{})
+	releaseCh := make(chan struct{})
+	err := p.Submit(context.Background(), 0, tinyJob(0), func(batch.Result) {
+		close(started)
+		<-releaseCh
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	return func() { close(releaseCh) }
+}
+
+// TestTrySubmitShedsOnFullQueue: with the worker wedged and the queue
+// full, TrySubmit must refuse immediately with ErrQueueFull, never invoke
+// done, and count the refusal as a shed — while Submit would have parked.
+func TestTrySubmitShedsOnFullQueue(t *testing.T) {
+	p := batch.NewPool(batch.Options{Workers: 1, Queue: 1})
+	defer p.Close()
+	release := blockWorker(t, p)
+
+	queuedCh := make(chan batch.Result, 1)
+	if err := p.Submit(context.Background(), 1, tinyJob(1), func(r batch.Result) { queuedCh <- r }); err != nil {
+		t.Fatal(err)
+	}
+
+	var shedDone atomic.Int32
+	start := time.Now()
+	err := p.TrySubmit(context.Background(), 2, tinyJob(2), func(batch.Result) { shedDone.Add(1) })
+	if !errors.Is(err, batch.ErrQueueFull) {
+		t.Fatalf("TrySubmit on a full queue: err = %v, want ErrQueueFull", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("TrySubmit took %v; it must not block", elapsed)
+	}
+	if st := p.Stats(); st.Shed != 1 {
+		t.Fatalf("Stats.Shed = %d, want 1", st.Shed)
+	}
+
+	release()
+	if r := <-queuedCh; r.Err != nil {
+		t.Fatalf("queued job failed after release: %v", r.Err)
+	}
+	if shedDone.Load() != 0 {
+		t.Fatal("done fired for a shed submission")
+	}
+	// The shed never entered the queue: offered == Jobs + Shed.
+	waitFor(t, "both admitted jobs to complete", func() bool { return p.Stats().Jobs == 2 })
+	if st := p.Stats(); st.Jobs+st.Shed != 3 {
+		t.Fatalf("offered-load ledger broken: Jobs=%d Shed=%d, want sum 3", st.Jobs, st.Shed)
+	}
+}
+
+// TestQueueExpiryIsTypedAndCounted: a job whose deadline passes while it
+// waits in the queue must be reported through done with an error that is
+// both ErrExpiredInQueue and context.DeadlineExceeded, counted in
+// DeadlineExpired, and never touch the kernel. A plain cancellation takes
+// the same path but stays untyped and uncounted.
+func TestQueueExpiryIsTypedAndCounted(t *testing.T) {
+	p := batch.NewPool(batch.Options{Workers: 1, Queue: 4})
+	defer p.Close()
+	release := blockWorker(t, p)
+
+	// Dead on arrival: the deadline is already past at Submit time. The
+	// non-blocking-first send must still enqueue it (queue has space), so
+	// it is accounted by the dequeue-time expiry check rather than lost to
+	// the Submit-side ctx race.
+	expiredCtx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	expCh := make(chan batch.Result, 1)
+	if err := p.Submit(expiredCtx, 1, tinyJob(1), func(r batch.Result) { expCh <- r }); err != nil {
+		t.Fatalf("Submit with queue space must enqueue even when ctx is dead, got %v", err)
+	}
+
+	cancelledCtx, cancelNow := context.WithCancel(context.Background())
+	cancelNow()
+	canCh := make(chan batch.Result, 1)
+	if err := p.Submit(cancelledCtx, 2, tinyJob(2), func(r batch.Result) { canCh <- r }); err != nil {
+		t.Fatal(err)
+	}
+
+	release()
+	exp := <-expCh
+	if !errors.Is(exp.Err, batch.ErrExpiredInQueue) {
+		t.Fatalf("queue-expired job error = %v, want ErrExpiredInQueue", exp.Err)
+	}
+	if !errors.Is(exp.Err, context.DeadlineExceeded) {
+		t.Fatalf("queue-expired job error = %v, must still match DeadlineExceeded", exp.Err)
+	}
+	can := <-canCh
+	if !errors.Is(can.Err, context.Canceled) || errors.Is(can.Err, batch.ErrExpiredInQueue) {
+		t.Fatalf("cancelled job error = %v, want plain context.Canceled", can.Err)
+	}
+	waitFor(t, "all three jobs accounted", func() bool { return p.Stats().Jobs == 3 })
+	st := p.Stats()
+	if st.DeadlineExpired != 1 {
+		t.Fatalf("DeadlineExpired = %d, want 1 (cancellations don't count)", st.DeadlineExpired)
+	}
+	if st.Errors != 2 {
+		t.Fatalf("Errors = %d, want 2 (the expired and the cancelled job)", st.Errors)
+	}
+}
+
+// TestSubmitStormWithCloseAndCancel is the satellite-1 interleaving
+// audit as a -race test: many submitters with racing cancellations and
+// dead-on-arrival deadlines, a concurrent Close — and the exactly-once
+// contract must hold for every single submission: an error from
+// Submit/TrySubmit means done never fires; nil means done fires exactly
+// once. No queue-slot leaks, no double delivery, no hang.
+func TestSubmitStormWithCloseAndCancel(t *testing.T) {
+	const n = 240
+	p := batch.NewPool(batch.Options{Workers: 2, Queue: 2, CacheBytes: 4 << 20})
+
+	var (
+		wg       sync.WaitGroup
+		doneFire [n]atomic.Int32
+		submitOK [n]atomic.Bool
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			switch i % 4 {
+			case 1: // cancelled at a racing moment
+				c, cancel := context.WithCancel(ctx)
+				go func() {
+					time.Sleep(time.Duration(i%5) * time.Millisecond)
+					cancel()
+				}()
+				ctx = c
+			case 2: // short (possibly already-expired) deadline
+				c, cancel := context.WithTimeout(ctx, time.Duration(i%3)*time.Millisecond)
+				defer cancel()
+				ctx = c
+			}
+			done := func(batch.Result) { doneFire[i].Add(1) }
+			var err error
+			if i%4 == 3 {
+				err = p.TrySubmit(ctx, i, tinyJob(i), done)
+			} else {
+				err = p.Submit(ctx, i, tinyJob(i), done)
+			}
+			submitOK[i].Store(err == nil)
+		}(i)
+	}
+	time.Sleep(3 * time.Millisecond)
+	p.Close() // races the submitters by design
+	wg.Wait()
+	p.Close() // idempotent; all done callbacks have fired once it returns
+
+	for i := 0; i < n; i++ {
+		fired := doneFire[i].Load()
+		if submitOK[i].Load() && fired != 1 {
+			t.Fatalf("submission %d accepted but done fired %d times, want exactly 1", i, fired)
+		}
+		if !submitOK[i].Load() && fired != 0 {
+			t.Fatalf("submission %d rejected but done fired %d times, want 0", i, fired)
+		}
+	}
+}
+
+// BenchmarkPoolTrySubmit pins the admission check itself: refusing a job
+// on a full queue must be allocation-free, or load shedding would burn
+// memory exactly when the process is trying to protect itself. The
+// budget in BENCH_budget.json holds it at 0 allocs/op.
+func BenchmarkPoolTrySubmit(b *testing.B) {
+	p := batch.NewPool(batch.Options{Workers: 1, Queue: 1})
+	defer p.Close()
+	release := blockWorker(b, p)
+	defer release()
+	if err := p.Submit(context.Background(), 1, tinyJob(1), func(batch.Result) {}); err != nil {
+		b.Fatal(err)
+	}
+
+	ctx := context.Background()
+	job := tinyJob(2)
+	done := func(batch.Result) {}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := p.TrySubmit(ctx, 2, job, done); err != batch.ErrQueueFull {
+			b.Fatalf("TrySubmit = %v, want ErrQueueFull", err)
+		}
+	}
+	// Accounting runs until the function returns, which would fold the
+	// deferred teardown (worker wake-up, the parked job's solve, pool
+	// close) into the measurement — at -benchtime 1x that teardown IS the
+	// number. Stop explicitly so the op under test is all that's counted.
+	b.StopTimer()
+}

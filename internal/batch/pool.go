@@ -3,6 +3,7 @@ package batch
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -13,6 +14,17 @@ import (
 
 // ErrPoolClosed is returned by Submit and Do once Close has begun.
 var ErrPoolClosed = errors.New("batch: pool is closed")
+
+// ErrQueueFull is returned by TrySubmit when the queue has no space; the
+// caller is expected to shed the request (HTTP 429) rather than wait.
+var ErrQueueFull = errors.New("batch: queue full")
+
+// ErrExpiredInQueue marks a job whose deadline passed while it waited in
+// the queue (or behind a coalesced flight): the kernel never ran. The
+// error also matches context.DeadlineExceeded via errors.Is; the serving
+// layer maps it to 504. The job still counts toward Jobs/Errors, so
+// offered == (jobs - expired) + shed + expired holds at every scrape.
+var ErrExpiredInQueue = errors.New("batch: deadline expired while queued")
 
 // task is one queued unit of pool work.
 type task struct {
@@ -80,7 +92,7 @@ func (p *Pool) worker() {
 func (p *Pool) runTask(t task, sc *engine.Scratch) {
 	if err := t.ctx.Err(); err != nil {
 		p.col.record(0, true, nil)
-		t.done(Result{Index: t.index, Err: err})
+		t.done(Result{Index: t.index, Err: p.queueDeath(err)})
 		return
 	}
 	ctx := t.ctx
@@ -132,7 +144,7 @@ func (p *Pool) runTask(t task, sc *engine.Scratch) {
 func (p *Pool) deliver(t task, start time.Time, sol *engine.Solution, dist *engine.DistInfo, err error) {
 	if cerr := t.ctx.Err(); cerr != nil {
 		p.col.record(0, true, nil)
-		t.done(Result{Index: t.index, Err: cerr})
+		t.done(Result{Index: t.index, Err: p.queueDeath(cerr)})
 		return
 	}
 	if err == nil {
@@ -163,18 +175,77 @@ func (p *Pool) deliver(t task, start time.Time, sol *engine.Solution, dist *engi
 		case <-t.ctx.Done():
 			p.mu.RUnlock()
 			p.col.record(0, true, nil)
-			t.done(Result{Index: t.index, Err: t.ctx.Err()})
+			t.done(Result{Index: t.index, Err: p.queueDeath(t.ctx.Err())})
 		}
 	}()
+}
+
+// queueDeath classifies the context error of a job that died waiting —
+// in the queue, behind a coalesced flight, or during a re-queue — before
+// any kernel work. A deadline death is wrapped so the serving layer can
+// tell "expired while waiting" (504) apart from "expired mid-solve"
+// (503), and counted; a plain cancellation passes through untouched.
+func (p *Pool) queueDeath(err error) error {
+	if !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	p.col.deadlineExpired.Add(1)
+	return fmt.Errorf("%w: %w", ErrExpiredInQueue, err)
 }
 
 // Submit enqueues one job; done is invoked exactly once, on a worker
 // goroutine, with the job's result. Submit blocks while the queue is full
 // (backpressure) and returns ctx's error — without invoking done — when
 // the context expires first. A job whose context expires while it is still
-// queued is not solved; its result carries the context error. Once Close
-// has begun, Submit returns ErrPoolClosed.
+// queued is not solved; its result carries the context error (wrapped in
+// ErrExpiredInQueue for deadline deaths). Once Close has begun, Submit
+// returns ErrPoolClosed.
+//
+// The contract either way is exclusive: Submit returns nil and done fires
+// exactly once, or Submit returns an error and done never fires. A
+// submitter that loses the ctx race never leaks its queue slot — the send
+// and the ctx branch are one select, so exactly one side commits.
+//
+// Holding mu.RLock across the (possibly blocking) send is deliberate and
+// deadlock-free: the workers drain the queue without touching mu, so a
+// blocked submitter always eventually sends or cancels and releases the
+// lock, at which point Close's write lock can proceed. What the lock
+// buys is ordering: Close can never close(tasks) under a submitter that
+// has passed the closed check, so the send below never panics.
 func (p *Pool) Submit(ctx context.Context, index int, job Job, done func(Result)) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrPoolClosed
+	}
+	t := task{ctx: ctx, job: job, index: index, done: done, enq: time.Now()}
+	// Try a non-blocking send first: when there is queue space, enqueueing
+	// must win deterministically even if ctx is already done (a two-way
+	// select with both sides ready picks at random). A dead-on-arrival job
+	// then travels the normal queue path and is reported through done by
+	// the dequeue-time expiry check — which is what keeps the admission
+	// ledger exact: every job offered to a shard is accounted as solved,
+	// shed, or expired, never silently dropped.
+	select {
+	case p.tasks <- t:
+		return nil
+	default:
+	}
+	select {
+	case p.tasks <- t:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TrySubmit is Submit without backpressure: a full queue returns
+// ErrQueueFull immediately — counted as a shed in Stats — instead of
+// blocking. This is the admission-control path behind the serving
+// layer's -shed flag; the caller turns ErrQueueFull into 429 with a
+// Retry-After derived from QueueWaitP50. Allocation-free on both the
+// accept and the shed path.
+func (p *Pool) TrySubmit(ctx context.Context, index int, job Job, done func(Result)) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
@@ -183,9 +254,19 @@ func (p *Pool) Submit(ctx context.Context, index int, job Job, done func(Result)
 	select {
 	case p.tasks <- task{ctx: ctx, job: job, index: index, done: done, enq: time.Now()}:
 		return nil
-	case <-ctx.Done():
-		return ctx.Err()
+	default:
+		p.col.shed.Add(1)
+		return ErrQueueFull
 	}
+}
+
+// QueueWaitP50 reads the median queue-wait from the live stage histogram
+// — the Retry-After hint for shed requests: half of recently admitted
+// jobs started within this long of enqueueing. Zero when nothing has
+// been dequeued yet. Allocates a snapshot; callers sit on the shed path,
+// not the warm path.
+func (p *Pool) QueueWaitP50() time.Duration {
+	return time.Duration(p.col.stages[obs.StageQueueWait].Snapshot().QuantileNS(0.50))
 }
 
 // Do solves one job synchronously on the pool and returns its result.

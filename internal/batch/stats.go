@@ -4,6 +4,7 @@ import (
 	"runtime/metrics"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/engine"
@@ -35,6 +36,12 @@ type Stats struct {
 	// measured process-wide (runtime mallocs delta / jobs); it is meaningful
 	// when the pool dominates the process's activity.
 	AllocsPerJob float64
+	// Shed counts submissions refused by TrySubmit on a full queue; shed
+	// jobs never enter the queue and are NOT part of Jobs, so the offered
+	// load on a pool is Jobs + Shed. DeadlineExpired counts jobs whose
+	// deadline passed while they waited (queue, coalesced flight, or
+	// re-queue) — those ARE part of Jobs and Errors; the kernel never ran.
+	Shed, DeadlineExpired int64
 	// Cache carries the result cache's counters, nil when caching is
 	// disabled.
 	Cache *engine.CacheStats
@@ -55,6 +62,11 @@ type collector struct {
 
 	solve  obs.Histogram
 	stages [obs.NumStages]obs.Histogram
+
+	// Overload counters, wait-free like the histograms: shed is bumped by
+	// TrySubmit's refusal path, deadlineExpired by queueDeath.
+	shed            atomic.Int64
+	deadlineExpired atomic.Int64
 
 	mu      sync.Mutex
 	jobs    int64
@@ -127,11 +139,13 @@ func (c *collector) snapshot() *Stats {
 	lat := make([]time.Duration, n)
 	copy(lat, c.ring[:n])
 	st := &Stats{
-		Workers: c.workers,
-		Jobs:    c.jobs,
-		Errors:  c.errors,
-		Max:     c.max,
-		Elapsed: time.Since(c.started),
+		Workers:         c.workers,
+		Jobs:            c.jobs,
+		Errors:          c.errors,
+		Max:             c.max,
+		Elapsed:         time.Since(c.started),
+		Shed:            c.shed.Load(),
+		DeadlineExpired: c.deadlineExpired.Load(),
 	}
 	c.mu.Unlock()
 

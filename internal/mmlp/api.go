@@ -175,6 +175,16 @@ type StatsRaw struct {
 	MaxNS    int64 `json:"max_ns"`
 	// AllocsPerJob is the process-wide heap allocation rate per job.
 	AllocsPerJob float64 `json:"allocs_per_job"`
+	// Shed counts submissions refused at admission (full queue under
+	// -shed; answered 429 and never queued — not part of Jobs), and
+	// DeadlineExpired the jobs whose propagated deadline passed while they
+	// waited in the queue (answered 504; part of Jobs and Errors). The
+	// offered load on a shard is therefore Jobs + Shed.
+	Shed            int64 `json:"shed,omitempty"`
+	DeadlineExpired int64 `json:"deadline_expired,omitempty"`
+	// FaultsInjected counts faults fired by the -fault-spec chaos layer;
+	// always zero in production (the layer is off by default).
+	FaultsInjected int64 `json:"faults_injected,omitempty"`
 	// Cache carries the result-cache counters; nil when caching is disabled.
 	Cache *CacheStatsRaw `json:"cache,omitempty"`
 	// Solve is the all-time histogram of successful solve latency; Stages
@@ -220,6 +230,9 @@ func (s *StatsRaw) Add(other *StatsRaw) {
 	s.Workers += other.Workers
 	s.Jobs += other.Jobs
 	s.Errors += other.Errors
+	s.Shed += other.Shed
+	s.DeadlineExpired += other.DeadlineExpired
+	s.FaultsInjected += other.FaultsInjected
 	if other.UptimeNS > s.UptimeNS {
 		s.UptimeNS = other.UptimeNS
 	}
@@ -297,6 +310,9 @@ type RouterStats struct {
 	Retried    int64 `json:"retried"`
 	ShardDown  int64 `json:"shard_down"`
 	Replicated int64 `json:"replicated"`
+	// RetryBudgetExhausted counts requests failed fast (503) because a
+	// retry hop was due and the router's retry token bucket was empty.
+	RetryBudgetExhausted int64 `json:"retry_budget_exhausted,omitempty"`
 	// CanonPassthrough counts canon-typed jobs the router keyed by hashing
 	// the raw payload and forwarded verbatim — zero decodes on the router.
 	CanonPassthrough int64 `json:"canon_passthrough"`

@@ -113,6 +113,15 @@ func (t Trace) MSMap() map[string]float64 {
 // echoes it on the response so one ID follows a request across the fleet.
 const TraceHeader = "X-Mmlp-Trace"
 
+// DeadlineHeader carries a request's remaining time budget, in integer
+// milliseconds, across process hops: the router mints it from the client
+// deadline (or its -default-deadline) and the shard turns it back into a
+// context deadline, so a job that can no longer make it is abandoned at
+// the earliest hop instead of computing an answer nobody is waiting for.
+// The constant is already in canonical MIME form, so reading it from a
+// request that doesn't carry it costs no allocation.
+const DeadlineHeader = "X-Mmlp-Deadline-Ms"
+
 type traceIDKey struct{}
 
 // WithTraceID stashes a request ID in the context for the forward path.

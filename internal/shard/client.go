@@ -5,8 +5,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -36,6 +38,26 @@ const DefaultDialTimeout = 2 * time.Second
 // monotonically — holds for one transition at a time.
 var ErrCutoverInProgress = errors.New("shard: ring cutover already in progress")
 
+// ErrRetryBudgetExhausted is returned by DoFuncOn when a retry hop is due
+// but the token bucket is empty: the fleet is failing broadly enough that
+// retrying would amplify the outage instead of riding it out. The serving
+// layer maps it to 503 — fail fast, let the client back off.
+var ErrRetryBudgetExhausted = errors.New("shard: retry budget exhausted")
+
+// Retry-backoff defaults, used when ClientOptions enables backoff without
+// overriding the shape: first retry hop waits ~DefaultRetryBackoff,
+// doubling per hop up to DefaultRetryBackoffMax, each wait half fixed and
+// half deterministic jitter.
+const (
+	DefaultRetryBackoff    = 25 * time.Millisecond
+	DefaultRetryBackoffMax = time.Second
+)
+
+// DefaultRetryRefill is the fraction of a retry token returned to the
+// budget per successful request. At 0.1, sustaining one retry per ten
+// successes is free; anything worse eats into the burst.
+const DefaultRetryRefill = 0.1
+
 // Stats is a snapshot of the client's routing counters.
 type Stats struct {
 	// Routed counts key→member assignments answered (Owner calls).
@@ -47,6 +69,9 @@ type Stats struct {
 	Retried int64
 	// ShardDown counts transitions of a member into the down state.
 	ShardDown int64
+	// BudgetExhausted counts requests failed fast because a retry hop was
+	// due and the retry budget was empty.
+	BudgetExhausted int64
 }
 
 // RingVersion is one immutable generation of the fleet topology: a ring
@@ -104,6 +129,28 @@ type ClientOptions struct {
 	// request pinned to an old ring drains following a Propose. The router
 	// uses it to tell shards to prune cache entries they no longer own.
 	OnCutoverDone func(old, new *Ring)
+	// RetryBudget bounds retry amplification: a token bucket holding this
+	// many tokens (the burst), where every retry hop — any dial after a
+	// request's first — spends one, and every successful request deposits
+	// RetryRefill back, up to the burst. When a hop is due and the bucket
+	// is empty the request fails fast with ErrRetryBudgetExhausted, so a
+	// fleet-wide brownout degrades into fast 503s instead of a retry storm
+	// that multiplies the load on whatever is still standing. 0 disables
+	// budgeting (every retry is free, the pre-budget behavior).
+	RetryBudget int
+	// RetryRefill is the fraction of a token deposited per success
+	// (0 = DefaultRetryRefill). Only meaningful with RetryBudget > 0.
+	RetryRefill float64
+	// RetryBackoff enables capped exponential backoff between replica
+	// attempts: retry hop n waits base<<(n-1) capped at RetryBackoffMax,
+	// half fixed and half jitter drawn from a Seed-determined stream (so a
+	// run replays identically). 0 disables the sleeps — retries remain
+	// immediate, which is what in-process tests want.
+	RetryBackoff time.Duration
+	// RetryBackoffMax caps the backoff growth (0 = DefaultRetryBackoffMax).
+	RetryBackoffMax time.Duration
+	// Seed seeds the backoff jitter stream (0 = seed 1).
+	Seed int64
 }
 
 // Client routes keys to fleet members and forwards HTTP requests to them.
@@ -123,7 +170,19 @@ type Client struct {
 	hc          *http.Client
 	cooldown    time.Duration
 	replication int
-	now         func() time.Time // injectable for tests
+	now         func() time.Time                          // injectable for tests
+	sleep       func(context.Context, time.Duration) bool // injectable for tests; false = ctx done
+
+	// Retry budget (milli-token accounting so fractional refills need no
+	// floats on the hot path): budgetCap == 0 disables.
+	budgetCap    int64 // capacity in milli-tokens
+	budgetRefill int64 // milli-tokens deposited per success
+	budgetTokens atomic.Int64
+
+	// Backoff shape; backoffBase == 0 disables the sleeps.
+	backoffBase, backoffMax time.Duration
+	rngMu                   sync.Mutex // rand.Rand is not goroutine-safe
+	rng                     *rand.Rand
 
 	cur      atomic.Pointer[RingVersion]
 	draining atomic.Pointer[RingVersion] // non-nil while a cutover drains
@@ -133,8 +192,8 @@ type Client struct {
 	mu        sync.Mutex
 	downUntil map[string]time.Time
 
-	routed, forwarded, retried, shardDown atomic.Int64
-	forwardHist                           obs.Histogram
+	routed, forwarded, retried, shardDown, budgetExhausted atomic.Int64
+	forwardHist                                            obs.Histogram
 }
 
 // NewClient builds a client over ring, which becomes generation 1.
@@ -157,16 +216,47 @@ func NewClient(ring *Ring, o ClientOptions) *Client {
 			IdleConnTimeout:     90 * time.Second,
 		}
 	}
+	if o.RetryRefill <= 0 {
+		o.RetryRefill = DefaultRetryRefill
+	}
+	if o.RetryBackoffMax <= 0 {
+		o.RetryBackoffMax = DefaultRetryBackoffMax
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
 	c := &Client{
-		hc:          &http.Client{Transport: tr},
-		cooldown:    o.Cooldown,
-		replication: o.Replication,
-		now:         time.Now,
-		onDone:      o.OnCutoverDone,
-		downUntil:   make(map[string]time.Time),
+		hc:           &http.Client{Transport: tr},
+		cooldown:     o.Cooldown,
+		replication:  o.Replication,
+		now:          time.Now,
+		sleep:        sleepCtx,
+		budgetRefill: int64(o.RetryRefill * 1000),
+		backoffBase:  o.RetryBackoff,
+		backoffMax:   o.RetryBackoffMax,
+		rng:          rand.New(rand.NewSource(o.Seed)),
+		onDone:       o.OnCutoverDone,
+		downUntil:    make(map[string]time.Time),
+	}
+	if o.RetryBudget > 0 {
+		c.budgetCap = int64(o.RetryBudget) * 1000
+		c.budgetTokens.Store(c.budgetCap) // the bucket starts full
 	}
 	c.cur.Store(&RingVersion{version: 1, ring: ring})
 	return c
+}
+
+// sleepCtx is the production sleep: waits d or until ctx is done,
+// reporting whether the full wait elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
 }
 
 // Ring returns the current generation's ring.
@@ -269,11 +359,76 @@ func (c *Client) Draining() *Cutover {
 // Stats snapshots the routing counters.
 func (c *Client) Stats() Stats {
 	return Stats{
-		Routed:    c.routed.Load(),
-		Forwarded: c.forwarded.Load(),
-		Retried:   c.retried.Load(),
-		ShardDown: c.shardDown.Load(),
+		Routed:          c.routed.Load(),
+		Forwarded:       c.forwarded.Load(),
+		Retried:         c.retried.Load(),
+		ShardDown:       c.shardDown.Load(),
+		BudgetExhausted: c.budgetExhausted.Load(),
 	}
+}
+
+// budgetWithdraw spends one retry token, reporting whether one was
+// available. Always true when budgeting is disabled.
+func (c *Client) budgetWithdraw() bool {
+	if c.budgetCap == 0 {
+		return true
+	}
+	for {
+		cur := c.budgetTokens.Load()
+		if cur < 1000 {
+			return false
+		}
+		if c.budgetTokens.CompareAndSwap(cur, cur-1000) {
+			return true
+		}
+	}
+}
+
+// budgetDeposit returns the per-success refill to the bucket, up to the
+// burst capacity.
+func (c *Client) budgetDeposit() {
+	if c.budgetCap == 0 {
+		return
+	}
+	for {
+		cur := c.budgetTokens.Load()
+		next := cur + c.budgetRefill
+		if next > c.budgetCap {
+			next = c.budgetCap
+		}
+		if next == cur || c.budgetTokens.CompareAndSwap(cur, next) {
+			return
+		}
+	}
+}
+
+// BudgetTokens returns the retry tokens currently available (fractional;
+// the burst capacity when budgeting is disabled is 0). For tests and the
+// admin surface.
+func (c *Client) BudgetTokens() float64 {
+	return float64(c.budgetTokens.Load()) / 1000
+}
+
+// backoff waits before retry hop n (n ≥ 1): base<<(n-1) capped at max,
+// half fixed plus half deterministic jitter — full-deterministic waits
+// would re-synchronize the very thundering herd the backoff is spreading
+// out. Reports false when ctx expired before the wait elapsed. No-op
+// when backoff is disabled.
+func (c *Client) backoff(ctx context.Context, hop int) bool {
+	if c.backoffBase <= 0 {
+		return true
+	}
+	d := c.backoffMax
+	if shift := uint(hop - 1); shift < 20 { // past 2^20×base it's the cap regardless
+		if scaled := c.backoffBase << shift; scaled < d {
+			d = scaled
+		}
+	}
+	half := d / 2
+	c.rngMu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(half) + 1))
+	c.rngMu.Unlock()
+	return c.sleep(ctx, half+jitter)
 }
 
 // down reports whether m is currently marked down.
@@ -388,6 +543,17 @@ func (c *Client) Forward(ctx context.Context, member, path, contentType string, 
 	if id := obs.TraceID(ctx); id != "" {
 		req.Header.Set(obs.TraceHeader, id)
 	}
+	// Propagate the remaining time budget so the shard can abandon work
+	// that can no longer make it back in time. Clamped at 1ms: an already
+	// expired ctx fails the Do below on its own, and 0 would read as "no
+	// deadline" on the far side.
+	if dl, ok := ctx.Deadline(); ok {
+		ms := time.Until(dl).Milliseconds()
+		if ms < 1 {
+			ms = 1
+		}
+		req.Header.Set(obs.DeadlineHeader, strconv.FormatInt(ms, 10))
+	}
 	start := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {
@@ -473,11 +639,31 @@ func (c *Client) DoFuncOn(ctx context.Context, rv *RingVersion, k canon.Key, fn 
 			}
 			tried[i] = true
 			if dials > 0 {
+				// A retry hop: it must clear the budget, then wait out
+				// the backoff. A budget refusal is terminal — retrying
+				// into a broad failure amplifies it — and does not count
+				// in Retried (no forward happens).
+				if !c.budgetWithdraw() {
+					c.budgetExhausted.Add(1)
+					if lastErr != nil {
+						return fmt.Errorf("%w (after %d attempts): %w", ErrRetryBudgetExhausted, dials, lastErr)
+					}
+					return ErrRetryBudgetExhausted
+				}
+				if !c.backoff(ctx, dials) {
+					if lastErr != nil {
+						return lastErr
+					}
+					return ctx.Err()
+				}
 				c.retried.Add(1)
 			}
 			dials++
 			done, err := fn(members[i])
 			if done {
+				if err == nil {
+					c.budgetDeposit()
+				}
 				return err
 			}
 			lastErr = err

@@ -7,7 +7,9 @@
 //
 // With -budget, the parsed results are additionally checked against a
 // checked-in budget file mapping benchmark names to allocation ceilings
-// (max_allocs_per_op, max_bytes_per_op); the summary is still written, and
+// (max_allocs_per_op, max_bytes_per_op) and custom-metric floors
+// (min_extra, e.g. the delta path's cold/delta speedup ratio); the summary
+// is still written, and
 // the command exits non-zero listing every violation — including budgeted
 // benchmarks missing from the run, so a renamed benchmark cannot silently
 // disable its gate. This is how CI pins the warm-path allocation behaviour
@@ -122,6 +124,10 @@ type Budget struct {
 	MaxAllocsPerOp float64 `json:"max_allocs_per_op,omitempty"`
 	// MaxBytesPerOp caps the benchmark's B/op column.
 	MaxBytesPerOp float64 `json:"max_bytes_per_op,omitempty"`
+	// MinExtra floors custom b.ReportMetric columns by unit — e.g.
+	// {"cold/delta": 5} demands the benchmark report a cold/delta ratio of
+	// at least 5. A floored unit missing from the run is a violation.
+	MinExtra map[string]float64 `json:"min_extra,omitempty"`
 }
 
 // checkBudget compares results against budgets and returns one message per
@@ -146,6 +152,21 @@ func checkBudget(results map[string]Result, budgets map[string]Budget) []string 
 		}
 		if b.MaxBytesPerOp > 0 && r.BytesPerOp > b.MaxBytesPerOp {
 			violations = append(violations, fmt.Sprintf("%s: %.0f B/op exceeds budget %.0f", name, r.BytesPerOp, b.MaxBytesPerOp))
+		}
+		units := make([]string, 0, len(b.MinExtra))
+		for unit := range b.MinExtra {
+			units = append(units, unit)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			got, reported := r.Extra[unit]
+			if !reported {
+				violations = append(violations, fmt.Sprintf("%s: floored metric %q missing from the run", name, unit))
+				continue
+			}
+			if got < b.MinExtra[unit] {
+				violations = append(violations, fmt.Sprintf("%s: %g %s is below the floor %g", name, got, unit, b.MinExtra[unit]))
+			}
 		}
 	}
 	return violations

@@ -98,3 +98,33 @@ func TestCheckBudget(t *testing.T) {
 		t.Fatalf("violations = %v", v)
 	}
 }
+
+func TestCheckBudgetMinExtra(t *testing.T) {
+	results := map[string]Result{
+		"BenchmarkDelta": {NsPerOp: 100, Extra: map[string]float64{"cold/delta": 7.5}},
+	}
+
+	// At or above the floor: clean.
+	if v := checkBudget(results, map[string]Budget{
+		"BenchmarkDelta": {MinExtra: map[string]float64{"cold/delta": 5}},
+	}); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+
+	// Below the floor: one violation naming the unit and both numbers.
+	v := checkBudget(results, map[string]Budget{
+		"BenchmarkDelta": {MinExtra: map[string]float64{"cold/delta": 10}},
+	})
+	if len(v) != 1 || !strings.Contains(v[0], "cold/delta") || !strings.Contains(v[0], "below the floor") {
+		t.Fatalf("violations = %v", v)
+	}
+
+	// A floored unit the benchmark never reported is a violation — dropping
+	// the ReportMetric call must not silently disable the gate.
+	v = checkBudget(results, map[string]Budget{
+		"BenchmarkDelta": {MinExtra: map[string]float64{"jobs/s": 1}},
+	})
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("violations = %v", v)
+	}
+}

@@ -1,5 +1,5 @@
 // Command mmlpfleetcheck is the multi-process integration harness behind
-// the fleet-smoke CI job. It runs seven scenarios, each against a freshly
+// the fleet-smoke CI job. It runs eight scenarios, each against a freshly
 // booted real fleet — N mmlpserve processes plus one mmlprouter — next to
 // one direct mmlpserve reference process:
 //
@@ -76,6 +76,16 @@
 // incremented and no connection hung, and the admission ledger must
 // conserve: routed == jobs + shed across the fleet.
 //
+// delta (replication 1) warms a base solve, then prices an edit against it
+// through POST /v1/delta: the router must route the delta to the shard
+// owning the BASE key, the spliced answer must be bit-identical to the
+// direct reference's cold solve of the edited instance with a strict
+// subset of agents re-priced, a repeated delta must hit the cache, an
+// unknown base must relay 404/base_unknown without marking the shard down,
+// a chained delta whose base landed off its ring owner must follow the
+// full-solve fallback, and the per-shard delta counters must aggregate
+// exactly in the router's fleet view.
+//
 // Usage:
 //
 //	mmlpfleetcheck -bin ./bin [-shards 3] [-jobs 36] [-seed 1]
@@ -137,6 +147,7 @@ func main() {
 		{"observability", 1, true, (*harness).runObservability},
 		{"brownout", 1, false, (*harness).runBrownout},
 		{"overload", 1, false, (*harness).runOverload},
+		{"delta", 1, false, (*harness).runDelta},
 	}
 	for _, sc := range scenarios {
 		fmt.Printf("=== scenario %s ===\n", sc.name)
@@ -156,7 +167,7 @@ func main() {
 		}
 		fmt.Printf("scenario %s: PASS\n", sc.name)
 	}
-	fmt.Println("PASS: fleet bit-identity, partitioning, aggregation, replicated kill, ring cutover, mixed-encoding serving, observability, brownout survival and overload shedding all hold")
+	fmt.Println("PASS: fleet bit-identity, partitioning, aggregation, replicated kill, ring cutover, mixed-encoding serving, observability, brownout survival, overload shedding and incremental delta re-solving all hold")
 }
 
 // proc is one child process of the fleet.

@@ -1,0 +1,208 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/mmlp"
+)
+
+// deltaBodyFor builds a minimal valid delta request for a synthetic base
+// key derived from seed.
+func deltaBodyFor(t *testing.T, seed int) (string, canon.Key) {
+	t.Helper()
+	sum := sha256.Sum256([]byte{byte(seed)})
+	base := hex.EncodeToString(sum[:])
+	var key canon.Key
+	if _, err := hex.Decode(key[:], []byte(base)); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(mmlp.DeltaRequest{Base: base})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw), key
+}
+
+// TestDeltaRoutesByBaseKey: deltas route to the shard owning the BASE key
+// — the only process that can hold the base record — and the shard's
+// response is relayed verbatim.
+func TestDeltaRoutesByBaseKey(t *testing.T) {
+	shards, rt := testFleet(t, 3, nil)
+	byAddr := map[string]*fakeShard{}
+	for _, f := range shards {
+		byAddr[f.addr] = f
+	}
+	hitShards := map[string]bool{}
+	for seed := 0; seed < 12; seed++ {
+		body, key := deltaBodyFor(t, seed)
+		owner := rt.client.Ring().Owner(key)
+		hitShards[owner] = true
+
+		w := post(rt, "/v1/delta", body)
+		if w.Code != http.StatusOK {
+			t.Fatalf("seed %d: status %d: %s", seed, w.Code, w.Body)
+		}
+		if got := w.Header().Get("X-Mmlp-Shard"); got != owner {
+			t.Fatalf("seed %d: routed to %q, base key's owner is %q", seed, got, owner)
+		}
+		if want := byAddr[owner].name; !strings.Contains(w.Body.String(), want) {
+			t.Fatalf("seed %d: response %q not from %q", seed, w.Body, want)
+		}
+	}
+	if len(hitShards) < 2 {
+		t.Fatalf("all 12 base keys landed on one shard (%v)", hitShards)
+	}
+	// The owning shard received the request body verbatim.
+	total := 0
+	for _, f := range shards {
+		f.mu.Lock()
+		total += len(f.deltas)
+		f.mu.Unlock()
+	}
+	if total != 12 {
+		t.Fatalf("shards saw %d deltas in total, want 12", total)
+	}
+}
+
+// TestDeltaNoWriteThrough: unlike solves, a delta response is never
+// replicated to backups — they lack the base record, so a replayed delta
+// would 404 there anyway. With replication 2 exactly one shard sees each
+// delta.
+func TestDeltaNoWriteThrough(t *testing.T) {
+	shards, rt := testFleetR(t, 3, 2, nil)
+	body, _ := deltaBodyFor(t, 7)
+	if w := post(rt, "/v1/delta", body); w.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", w.Code, w.Body)
+	}
+	total := 0
+	for _, f := range shards {
+		f.mu.Lock()
+		total += len(f.deltas)
+		f.mu.Unlock()
+	}
+	if total != 1 {
+		t.Fatalf("%d shards saw the delta, want exactly 1 (no write-through)", total)
+	}
+}
+
+// TestDeltaRelays404WithoutShardDown: a shard answering 404/base_unknown
+// is healthy — it just does not hold that base. The router must relay the
+// typed envelope verbatim and must NOT mark the shard down or fail over.
+func TestDeltaRelays404WithoutShardDown(t *testing.T) {
+	shards, rt := testFleet(t, 3, func(i int, f *fakeShard) { f.deltaStatus = http.StatusNotFound })
+	body, _ := deltaBodyFor(t, 3)
+
+	w := post(rt, "/v1/delta", body)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("status %d, want 404 (%s)", w.Code, w.Body)
+	}
+	var er mmlp.ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Code != mmlp.ErrCodeBaseUnknown {
+		t.Fatalf("envelope %s (%v), want base_unknown relayed verbatim", w.Body, err)
+	}
+	if st := rt.client.Stats(); st.ShardDown != 0 || st.Retried != 0 {
+		t.Fatalf("a 404 moved the health state: %+v", st)
+	}
+	// Exactly one shard was asked — no failover on an application-level 404.
+	total := 0
+	for _, f := range shards {
+		f.mu.Lock()
+		total += len(f.deltas)
+		f.mu.Unlock()
+	}
+	if total != 1 {
+		t.Fatalf("%d delta forwards, want 1 (404 must not fail over)", total)
+	}
+}
+
+// TestDeltaErrorsBeforeForward: request-shape failures 400 at the router,
+// with the typed envelope, before any shard is dialled.
+func TestDeltaErrorsBeforeForward(t *testing.T) {
+	shards, rt := testFleet(t, 2, nil)
+	cases := []struct {
+		name, body string
+	}{
+		{"malformed JSON", `{"base": nope}`},
+		{"missing base", `{}`},
+		{"short base", `{"base":"abc"}`},
+		{"uppercase base", `{"base":"` + strings.Repeat("AB", 32) + `"}`},
+		{"bad edit op", `{"base":"` + strings.Repeat("ab", 32) + `","edits":[{"op":"replace","kind":"constraint"}]}`},
+	}
+	for _, c := range cases {
+		w := post(rt, "/v1/delta", c.body)
+		if w.Code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400 (%s)", c.name, w.Code, w.Body)
+		}
+		var er mmlp.ErrorResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Code != mmlp.ErrCodeInvalidArgument {
+			t.Fatalf("%s: envelope %s (%v)", c.name, w.Body, err)
+		}
+	}
+	for _, f := range shards {
+		f.mu.Lock()
+		n := len(f.deltas)
+		f.mu.Unlock()
+		if n != 0 {
+			t.Fatalf("invalid deltas reached shard %s", f.name)
+		}
+	}
+}
+
+// TestRouterCapabilities: the router's discovery document mirrors the
+// shard's, naming itself and the fleet replication factor.
+func TestRouterCapabilities(t *testing.T) {
+	_, rt := testFleetR(t, 2, 2, nil)
+	w := httptest.NewRecorder()
+	rt.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/capabilities", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("capabilities: %d %s", w.Code, w.Body)
+	}
+	var caps mmlp.Capabilities
+	if err := json.Unmarshal(w.Body.Bytes(), &caps); err != nil {
+		t.Fatal(err)
+	}
+	if caps.Service != "mmlprouter" || !caps.Delta || caps.Replication != 2 {
+		t.Fatalf("capabilities = %+v", caps)
+	}
+	var hasDelta bool
+	for _, ep := range caps.Endpoints {
+		if strings.Contains(ep, "/v1/delta") {
+			hasDelta = true
+		}
+	}
+	if !hasDelta {
+		t.Fatalf("endpoints %v do not list /v1/delta", caps.Endpoints)
+	}
+}
+
+// TestRouterEnvelopeOnMuxFallbacks: the router's own 404/405 fallbacks
+// speak the JSON envelope, like the shards'.
+func TestRouterEnvelopeOnMuxFallbacks(t *testing.T) {
+	_, rt := testFleet(t, 1, nil)
+	cases := []struct {
+		method, path string
+		code         int
+		errCode      string
+	}{
+		{http.MethodGet, "/no/such/path", http.StatusNotFound, mmlp.ErrCodeNotFound},
+		{http.MethodGet, "/v1/delta", http.StatusMethodNotAllowed, mmlp.ErrCodeMethodNotAllowed},
+	}
+	for _, c := range cases {
+		w := httptest.NewRecorder()
+		rt.ServeHTTP(w, httptest.NewRequest(c.method, c.path, nil))
+		if w.Code != c.code {
+			t.Fatalf("%s %s: status %d, want %d", c.method, c.path, w.Code, c.code)
+		}
+		var er mmlp.ErrorResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Code != c.errCode || er.Error.Message == "" {
+			t.Fatalf("%s %s: envelope %s (%v), want code %q", c.method, c.path, w.Body, err, c.errCode)
+		}
+	}
+}

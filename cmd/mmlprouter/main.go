@@ -20,6 +20,13 @@
 //	POST /v1/batch  — jobs fan out to their owning shards as per-shard
 //	                  sub-batches; the NDJSON streams re-merge in arrival
 //	                  order with indices rewritten to the original request
+//	POST /v1/delta  — routed to the shard owning the BASE key (the only
+//	                  one whose cache can hold the base record); a 404
+//	                  base_unknown is relayed verbatim without marking
+//	                  the shard down, and deltas are never write-through
+//	                  replicated
+//	GET  /v1/capabilities — the router's serving surface (endpoints,
+//	                  engines, replication factor) for feature detection
 //	GET  /healthz   — router liveness, the fleet's healthy-member count,
 //	                  and the build's VCS revision/dirty flag
 //	GET  /statsz    — the fleet view: router counters (routed/forwarded/

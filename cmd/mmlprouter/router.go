@@ -18,6 +18,7 @@ import (
 	"repro/internal/batch"
 	"repro/internal/canon"
 	"repro/internal/engine"
+	"repro/internal/httperr"
 	"repro/internal/mmlp"
 	"repro/internal/obs"
 	"repro/internal/shard"
@@ -40,6 +41,9 @@ type router struct {
 	client  *shard.Client
 	maxBody int64
 	mux     *http.ServeMux
+	// handler is mux wrapped in the error-envelope layer, so the mux's own
+	// 404/405 fallbacks speak the unified JSON envelope too.
+	handler http.Handler
 
 	// replicated counts write-through warms delivered to backup replicas;
 	// replWG tracks the background goroutines doing them (and cutover
@@ -63,16 +67,19 @@ type router struct {
 func newRouter(client *shard.Client, maxBody int64) *router {
 	rt := &router{client: client, maxBody: maxBody, mux: http.NewServeMux()}
 	rt.mux.HandleFunc("POST /v1/solve", rt.handleSolve)
+	rt.mux.HandleFunc("POST /v1/delta", rt.handleDelta)
 	rt.mux.HandleFunc("POST /v1/batch", rt.handleBatch)
+	rt.mux.HandleFunc("GET /v1/capabilities", rt.handleCapabilities)
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealth)
 	rt.mux.HandleFunc("GET /statsz", rt.handleStats)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("GET /admin/ring", rt.handleRingGet)
 	rt.mux.HandleFunc("POST /admin/ring", rt.handleRingPost)
+	rt.handler = httperr.Envelope(rt.mux)
 	return rt
 }
 
-func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.handler.ServeHTTP(w, r) }
 
 // setDefaultDeadline arms -default-deadline. Call before serving.
 func (rt *router) setDefaultDeadline(d time.Duration) { rt.defaultDeadline = d }
@@ -101,12 +108,11 @@ func (rt *router) deadlineCtx(r *http.Request) (ctx context.Context, cancel cont
 	return ctx, nil, nil
 }
 
-// writeError matches mmlpserve's uniform error body, so clients see one
-// wire contract whether they talk to a shard or the router.
-func writeError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(mmlp.ErrorResponse{Error: err.Error()})
+// writeError matches mmlpserve's unified error envelope, so clients see
+// one wire contract whether they talk to a shard or the router; code is
+// one of the mmlp.ErrCode* constants.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	httperr.Write(w, status, code, err)
 }
 
 // readBody slurps one bounded request body, mapping oversized bodies to
@@ -174,14 +180,14 @@ func mediaType(r *http.Request) string {
 func (rt *router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	body, code, err := rt.readBody(w, r)
 	if err != nil {
-		writeError(w, code, err)
+		writeError(w, code, httperr.CodeForStatus(code), err)
 		return
 	}
 	contentType := mediaType(r)
 	var key canon.Key
 	if contentType == mmlp.ContentTypeCanon {
 		if !canon.SniffSolve(body) {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("canon body does not start with %q", canon.SolveMagic))
+			writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, fmt.Errorf("canon body does not start with %q", canon.SolveMagic))
 			return
 		}
 		key = canon.HashBytes(body)
@@ -190,17 +196,52 @@ func (rt *router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		contentType = "application/json"
 		var req mmlp.SolveRequest
 		if err := json.Unmarshal(body, &req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON: %w", err))
+			writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, fmt.Errorf("malformed JSON: %w", err))
 			return
 		}
 		if key, err = keyOf(&req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, err)
 			return
 		}
 	}
+	rt.routeByKey(w, r, key, "/v1/solve", contentType, body, true)
+}
+
+// handleDelta routes an incremental re-solve to the shard that owns its
+// BASE key — the only shard whose result cache can hold the base record
+// the delta prices against. The body is relayed verbatim; a shard
+// answering 404/base_unknown is relayed as-is and NOT marked down (a cold
+// cache is a correct answer, not a failure), so the client can fall back
+// to a full solve, which also seeds the base for the next delta. No
+// write-through happens for deltas: backups lack the base record, and a
+// warm that recomputes from scratch would defeat the point.
+func (rt *router) handleDelta(w http.ResponseWriter, r *http.Request) {
+	body, code, err := rt.readBody(w, r)
+	if err != nil {
+		writeError(w, code, httperr.CodeForStatus(code), err)
+		return
+	}
+	var req mmlp.DeltaRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, fmt.Errorf("malformed JSON: %w", err))
+		return
+	}
+	job, err := batch.JobFromDelta(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, err)
+		return
+	}
+	rt.routeByKey(w, r, job.Delta.Base, "/v1/delta", "application/json", body, false)
+}
+
+// routeByKey forwards one request to key's owning shard and streams the
+// response back verbatim: success bodies are byte-identical to what a
+// direct client of that shard would have received. With writeThrough,
+// a 200 also warms the key's backup replicas in the background.
+func (rt *router) routeByKey(w http.ResponseWriter, r *http.Request, key canon.Key, path, contentType string, body []byte, writeThrough bool) {
 	ctx, cancel, err := rt.deadlineCtx(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, err)
 		return
 	}
 	if cancel != nil {
@@ -208,8 +249,9 @@ func (rt *router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, _ = traceFor(ctx, w, r)
 	// Propagate the query string so ?trace=1 reaches the owning shard and
-	// its per-stage trace block rides back in the relayed response.
-	path := "/v1/solve"
+	// its per-stage trace block rides back in the relayed response; warms
+	// reuse the bare path so a trace request does not trace its backups.
+	warmPath := path
 	if r.URL.RawQuery != "" {
 		path += "?" + r.URL.RawQuery
 	}
@@ -221,11 +263,11 @@ func (rt *router) handleSolve(w http.ResponseWriter, r *http.Request) {
 		// A dry retry budget is the router refusing to spend more hops, not
 		// the fleet being unreachable: 503 tells the client to back off and
 		// retry, where 502 would read as an outage.
-		code := http.StatusBadGateway
+		status, code := http.StatusBadGateway, mmlp.ErrCodeBadGateway
 		if errors.Is(err, shard.ErrRetryBudgetExhausted) {
-			code = http.StatusServiceUnavailable
+			status, code = http.StatusServiceUnavailable, mmlp.ErrCodeUnavailable
 		}
-		writeError(w, code, fmt.Errorf("no shard reachable (owner %s): %w", owner, err))
+		writeError(w, status, code, fmt.Errorf("no shard reachable (owner %s): %w", owner, err))
 		return
 	}
 	defer resp.Body.Close()
@@ -240,11 +282,38 @@ func (rt *router) handleSolve(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Mmlp-Shard", member)
 	w.WriteHeader(resp.StatusCode)
 	io.Copy(w, resp.Body)
-	if resp.StatusCode == http.StatusOK {
+	if writeThrough && resp.StatusCode == http.StatusOK {
 		for _, m := range rt.backupsFor(rv, key, member) {
-			rt.replicate(m, "/v1/solve", contentType, body)
+			rt.replicate(m, warmPath, contentType, body)
 		}
 	}
+}
+
+// handleCapabilities advertises the router's serving surface — the same
+// shape mmlpserve serves, so clients can feature-detect uniformly at
+// either tier.
+func (rt *router) handleCapabilities(w http.ResponseWriter, _ *http.Request) {
+	caps := mmlp.Capabilities{
+		Service: "mmlprouter",
+		Endpoints: []string{
+			"/v1/solve", "/v1/delta", "/v1/batch", "/v1/capabilities",
+			"/healthz", "/statsz", "/metrics", "/admin/ring",
+		},
+		Engines: mmlp.EngineNames(),
+		ContentTypes: []string{
+			mmlp.ContentTypeJSON, mmlp.ContentTypeCanon, mmlp.ContentTypeCanonBatch,
+			mmlp.ContentTypeCanonResults, mmlp.ContentTypeNDJSON,
+		},
+		MaxWireR:        mmlp.MaxWireR,
+		MaxWireBinIters: mmlp.MaxWireBinIters,
+		MaxWireAgents:   mmlp.MaxWireAgents,
+		MaxWireEdits:    mmlp.MaxWireEdits,
+		MaxBodyBytes:    rt.maxBody,
+		Delta:           true,
+		Replication:     rt.client.Replication(),
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(caps)
 }
 
 // backupsFor lists the members of k's replica set other than answered —
@@ -312,7 +381,7 @@ type group struct {
 func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	body, code, err := rt.readBody(w, r)
 	if err != nil {
-		writeError(w, code, err)
+		writeError(w, code, httperr.CodeForStatus(code), err)
 		return
 	}
 	var req mmlp.BatchRequest
@@ -320,19 +389,19 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	var n int
 	if mediaType(r) == mmlp.ContentTypeCanonBatch {
 		if payloads, err = canon.SplitBatch(body); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed batch frame: %w", err))
+			writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, fmt.Errorf("malformed batch frame: %w", err))
 			return
 		}
 		n = len(payloads)
 	} else {
 		if err := json.Unmarshal(body, &req); err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON: %w", err))
+			writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, fmt.Errorf("malformed JSON: %w", err))
 			return
 		}
 		n = len(req.Jobs)
 	}
 	if n == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("batch has no jobs"))
+		writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, errors.New("batch has no jobs"))
 		return
 	}
 	// Validate everything before emitting the first byte, matching the
@@ -348,7 +417,7 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		key, err := keyOf(&req.Jobs[i])
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
+			writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, fmt.Errorf("job %d: %w", i, err))
 			return
 		}
 		keys[i] = key
@@ -358,7 +427,7 @@ func (rt *router) handleBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel, err := rt.deadlineCtx(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, err)
 		return
 	}
 	if cancel != nil {
@@ -504,11 +573,12 @@ func (rt *router) forwardGroup(ctx context.Context, rv *shard.RingVersion, g *gr
 			// down); its verdict stands for every job in it.
 			var eresp mmlp.ErrorResponse
 			json.NewDecoder(resp.Body).Decode(&eresp)
-			if eresp.Error == "" {
-				eresp.Error = fmt.Sprintf("shard %s: status %d", member, resp.StatusCode)
+			msg := eresp.Error.Message
+			if msg == "" {
+				msg = fmt.Sprintf("shard %s: status %d", member, resp.StatusCode)
 			}
 			for _, oi := range orig {
-				emit(mmlp.BatchItem{Index: oi, Error: eresp.Error}, member)
+				emit(mmlp.BatchItem{Index: oi, Error: msg}, member)
 			}
 			return true, nil
 		}
@@ -600,12 +670,12 @@ func (rt *router) handleRingGet(w http.ResponseWriter, _ *http.Request) {
 func (rt *router) handleRingPost(w http.ResponseWriter, r *http.Request) {
 	body, code, err := rt.readBody(w, r)
 	if err != nil {
-		writeError(w, code, err)
+		writeError(w, code, httperr.CodeForStatus(code), err)
 		return
 	}
 	var prop mmlp.RingProposal
 	if err := json.Unmarshal(body, &prop); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed JSON: %w", err))
+		writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, fmt.Errorf("malformed JSON: %w", err))
 		return
 	}
 	if _, err := rt.client.Propose(prop.Members); err != nil {
@@ -621,9 +691,9 @@ func (rt *router) handleRingPost(w http.ResponseWriter, r *http.Request) {
 				secs = 30
 			}
 			w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
-			writeError(w, http.StatusConflict, err)
+			writeError(w, http.StatusConflict, mmlp.ErrCodeConflict, err)
 		} else {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, err)
 		}
 		return
 	}

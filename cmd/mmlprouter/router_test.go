@@ -27,14 +27,16 @@ import (
 // shard is purely HTTP, so routing, merging and aggregation are all
 // observable through fakes.
 type fakeShard struct {
-	name      string
-	addr      string
-	stats     mmlp.StatsRaw
-	lineDelay time.Duration // slows the batch stream down
-	dieAfter  int           // >0: the first /v1/batch aborts after this many lines
+	name        string
+	addr        string
+	stats       mmlp.StatsRaw
+	lineDelay   time.Duration // slows the batch stream down
+	dieAfter    int           // >0: the first /v1/batch aborts after this many lines
+	deltaStatus int           // non-zero: /v1/delta answers this status with a typed envelope
 
 	mu            sync.Mutex
 	solves        []string // bodies received on /v1/solve
+	deltas        []string // bodies received on /v1/delta
 	solveTraces   []string // X-Mmlp-Trace headers received on /v1/solve
 	solveQueries  []string // raw query strings received on /v1/solve
 	batchTraces   []string // X-Mmlp-Trace headers received on /v1/batch
@@ -55,6 +57,21 @@ func (f *fakeShard) handler() http.Handler {
 		f.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"status\":\"optimal\",\"utility\":1,\"upper_bound\":1,\"latency_ms\":0.5,\"shard\":%q}\n", f.name)
+	})
+	mux.HandleFunc("POST /v1/delta", func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		f.mu.Lock()
+		f.deltas = append(f.deltas, string(body))
+		f.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		if f.deltaStatus != 0 {
+			w.WriteHeader(f.deltaStatus)
+			json.NewEncoder(w).Encode(mmlp.ErrorResponse{Error: mmlp.ErrorDetail{
+				Code: mmlp.ErrCodeBaseUnknown, Message: "base key unknown (canned)",
+			}})
+			return
+		}
+		fmt.Fprintf(w, "{\"status\":\"approximate\",\"utility\":1,\"upper_bound\":1,\"key\":\"k\",\"dirty_agents\":1,\"total_agents\":2,\"spliced\":true,\"latency_ms\":0.5,\"shard\":%q}\n", f.name)
 	})
 	mux.HandleFunc("POST /v1/batch", func(w http.ResponseWriter, r *http.Request) {
 		// Per-job payload echoed as Utility so index remapping is checkable:
@@ -264,7 +281,7 @@ func TestSolveErrorsMatchServeContract(t *testing.T) {
 			t.Fatalf("%s: status %d, want %d (%s)", c.name, w.Code, c.code, w.Body)
 		}
 		var er mmlp.ErrorResponse
-		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Message == "" || er.Error.Code == "" {
 			t.Fatalf("%s: error body %q (%v)", c.name, w.Body, err)
 		}
 	}
@@ -468,7 +485,7 @@ func TestBatchErrorsMatchServeContract(t *testing.T) {
 		t.Fatalf("bad job: status %d", w.Code)
 	}
 	var er mmlp.ErrorResponse
-	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || !strings.HasPrefix(er.Error, "job 1:") {
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || !strings.HasPrefix(er.Error.Message, "job 1:") {
 		t.Fatalf("error body %q, want a job 1 prefix", w.Body)
 	}
 }

@@ -98,7 +98,7 @@ func TestSolveEndpointCanonErrors(t *testing.T) {
 			t.Fatalf("%s: status %d, want %d (body %s)", c.name, w.Code, c.code, w.Body)
 		}
 		var er mmlp.ErrorResponse
-		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Message == "" || er.Error.Code == "" {
 			t.Fatalf("%s: error body %q (%v)", c.name, w.Body, err)
 		}
 	}

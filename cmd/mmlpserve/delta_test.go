@@ -1,0 +1,259 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	maxminlp "repro"
+	"repro/internal/batch"
+	"repro/internal/delta"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/mmlp"
+)
+
+// cachedServer builds a handler whose pool carries a result cache — the
+// prerequisite for any delta.
+func cachedServer(t *testing.T) *server {
+	t.Helper()
+	return testServerOpts(t, 1<<20, batch.Options{Workers: 2, Queue: 4, CacheBytes: 1 << 20})
+}
+
+// seedBaseHTTP solves in over /v1/solve (R=3, special cases disabled, the
+// options every test here shares) and returns the base key.
+func seedBaseHTTP(t *testing.T, h http.Handler, in *mmlp.Instance) string {
+	t.Helper()
+	if w := post(h, "/v1/solve", solveBody(t, in, `,"r":3,"disable_special_cases":true`)); w.Code != http.StatusOK {
+		t.Fatalf("base solve: %d %s", w.Code, w.Body)
+	}
+	return engine.SolveKey(in, engine.Options{R: 3, DisableSpecialCases: true}).String()
+}
+
+func deltaBody(t *testing.T, base string, edits []mmlp.RowEdit) string {
+	t.Helper()
+	raw, err := json.Marshal(mmlp.DeltaRequest{Base: base, Edits: edits})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(raw)
+}
+
+// reweightEdits scales the first canonical constraint row of in.
+func reweightEdits(in *mmlp.Instance, factor float64) []mmlp.RowEdit {
+	row := in.Canonical().Cons[0].Terms
+	nt := make([]mmlp.Term, len(row))
+	for j, tm := range row {
+		nt[j] = mmlp.Term{Agent: tm.Agent, Coef: tm.Coef * factor}
+	}
+	return []mmlp.RowEdit{{Op: mmlp.EditReweight, Kind: mmlp.EditConstraint, Match: row, Terms: nt}}
+}
+
+// TestDeltaEndpoint: the happy path end to end — seed a base over
+// /v1/solve, POST an edit, get back the bit-exact solution of the edited
+// instance plus the delta accounting, and watch /statsz move.
+func TestDeltaEndpoint(t *testing.T) {
+	h := cachedServer(t)
+	in := gen.Random(gen.RandomConfig{Agents: 40, MaxDegI: 3, MaxDegK: 3, ExtraCons: 12, ExtraObjs: 4}, 9)
+	base := seedBaseHTTP(t, h, in)
+	edits := reweightEdits(in, 2)
+
+	w := post(h, "/v1/delta", deltaBody(t, base, edits))
+	if w.Code != http.StatusOK {
+		t.Fatalf("delta: %d %s", w.Code, w.Body)
+	}
+	var resp mmlp.DeltaResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+
+	edited, err := delta.Apply(in.Canonical(), edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := maxminlp.SolveLocal(edited, maxminlp.LocalOptions{R: 3, DisableSpecialCases: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Status != want.Status.String() || resp.Utility != want.Utility || resp.UpperBound != want.UpperBound {
+		t.Fatalf("resp = %+v, want status=%v utility=%v ub=%v", resp, want.Status, want.Utility, want.UpperBound)
+	}
+	for v := range want.X {
+		if resp.X[v] != want.X[v] {
+			t.Fatalf("X[%d] = %v, want %v", v, resp.X[v], want.X[v])
+		}
+	}
+	if resp.Key != engine.SolveKey(edited, engine.Options{R: 3, DisableSpecialCases: true}).String() {
+		t.Fatalf("key %q is not the edited instance's canonical key", resp.Key)
+	}
+	if resp.Cached || resp.DirtyAgents <= 0 || resp.DirtyAgents > resp.TotalAgents {
+		t.Fatalf("delta accounting = %+v", resp)
+	}
+
+	// The same delta again: the centralised path stored the edited key, so
+	// this one is a hit.
+	w = post(h, "/v1/delta", deltaBody(t, base, edits))
+	if w.Code != http.StatusOK {
+		t.Fatalf("repeat delta: %d %s", w.Code, w.Body)
+	}
+	var again mmlp.DeltaResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &again); err != nil {
+		t.Fatal(err)
+	}
+	if !again.Cached {
+		t.Fatalf("repeat delta not cached: %+v", again)
+	}
+	for v := range want.X {
+		if again.X[v] != want.X[v] {
+			t.Fatalf("repeat X[%d] = %v, want %v", v, again.X[v], want.X[v])
+		}
+	}
+
+	// Counters: one miss (the priced delta), one hit (the repeat).
+	sw := httptest.NewRecorder()
+	h.ServeHTTP(sw, httptest.NewRequest(http.MethodGet, "/statsz?raw=1", nil))
+	var raw mmlp.StatsRaw
+	if err := json.Unmarshal(sw.Body.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw.DeltaMisses != 1 || raw.DeltaHits != 1 || raw.DirtyAgents != int64(resp.DirtyAgents) {
+		t.Fatalf("raw delta counters = hits %d, misses %d, dirty %d (want 1, 1, %d)",
+			raw.DeltaHits, raw.DeltaMisses, raw.DirtyAgents, resp.DirtyAgents)
+	}
+}
+
+// TestDeltaEndpointEmptyEdits: an empty edit set is the base itself — a
+// pure cache hit.
+func TestDeltaEndpointEmptyEdits(t *testing.T) {
+	h := cachedServer(t)
+	in := gen.Random(gen.RandomConfig{Agents: 14, MaxDegI: 3, MaxDegK: 3, ExtraCons: 4, ExtraObjs: 2}, 12)
+	base := seedBaseHTTP(t, h, in)
+
+	w := post(h, "/v1/delta", deltaBody(t, base, nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("empty delta: %d %s", w.Code, w.Body)
+	}
+	var resp mmlp.DeltaResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Cached || resp.Key != base || resp.DirtyAgents != 0 {
+		t.Fatalf("empty-edit response = %+v, want a cache hit on the base key", resp)
+	}
+}
+
+// TestDeltaEndpointErrors drives every typed failure of the endpoint.
+func TestDeltaEndpointErrors(t *testing.T) {
+	h := cachedServer(t)
+	in := gen.Random(gen.RandomConfig{Agents: 10, MaxDegI: 3, MaxDegK: 3, ExtraCons: 3, ExtraObjs: 1}, 13)
+	base := seedBaseHTTP(t, h, in)
+	unknown := strings.Repeat("ab", 32)
+
+	cases := []struct {
+		name, body string
+		code       int
+		errCode    string
+	}{
+		{"malformed JSON", `{"base": nope}`, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument},
+		{"short base key", `{"base":"abc"}`, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument},
+		{"uppercase base key", `{"base":"` + strings.Repeat("AB", 32) + `"}`, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument},
+		{"unknown base", `{"base":"` + unknown + `"}`, http.StatusNotFound, mmlp.ErrCodeBaseUnknown},
+		{"bad op", deltaBody(t, base, []mmlp.RowEdit{{Op: "replace", Kind: mmlp.EditConstraint}}), http.StatusBadRequest, mmlp.ErrCodeInvalidArgument},
+		{"unknown row", deltaBody(t, base, []mmlp.RowEdit{{Op: mmlp.EditRemove, Kind: mmlp.EditConstraint, Match: []mmlp.Term{{Agent: 0, Coef: 123}}}}), http.StatusBadRequest, mmlp.ErrCodeInvalidArgument},
+	}
+	for _, c := range cases {
+		w := post(h, "/v1/delta", c.body)
+		if w.Code != c.code {
+			t.Fatalf("%s: status %d, want %d (body %s)", c.name, w.Code, c.code, w.Body)
+		}
+		var er mmlp.ErrorResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Message == "" {
+			t.Fatalf("%s: error body %q (%v)", c.name, w.Body, err)
+		}
+		if er.Error.Code != c.errCode {
+			t.Fatalf("%s: error code %q, want %q", c.name, er.Error.Code, c.errCode)
+		}
+	}
+}
+
+// TestDeltaEndpointNoCache: a pool without a result cache cannot hold any
+// base — every delta is the typed 404, steering the client to a full
+// solve.
+func TestDeltaEndpointNoCache(t *testing.T) {
+	h := testServer(t, 1<<20) // no CacheBytes
+	in := gen.TriNecklace(3)
+	if w := post(h, "/v1/solve", solveBody(t, in, ``)); w.Code != http.StatusOK {
+		t.Fatalf("solve: %d %s", w.Code, w.Body)
+	}
+	base := engine.SolveKey(in, engine.Options{}).String()
+	w := post(h, "/v1/delta", deltaBody(t, base, nil))
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("cacheless delta: %d %s", w.Code, w.Body)
+	}
+	var er mmlp.ErrorResponse
+	if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Code != mmlp.ErrCodeBaseUnknown {
+		t.Fatalf("cacheless delta error = %s (%v)", w.Body, err)
+	}
+}
+
+// TestCapabilitiesEndpoint: the discovery document names the delta
+// surface and the wire limits a client must respect.
+func TestCapabilitiesEndpoint(t *testing.T) {
+	h := cachedServer(t)
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest(http.MethodGet, "/v1/capabilities", nil))
+	if w.Code != http.StatusOK {
+		t.Fatalf("capabilities: %d %s", w.Code, w.Body)
+	}
+	var caps mmlp.Capabilities
+	if err := json.Unmarshal(w.Body.Bytes(), &caps); err != nil {
+		t.Fatal(err)
+	}
+	if caps.Service != "mmlpserve" || !caps.Delta {
+		t.Fatalf("capabilities = %+v", caps)
+	}
+	var hasDelta bool
+	for _, ep := range caps.Endpoints {
+		if strings.Contains(ep, "/v1/delta") {
+			hasDelta = true
+		}
+	}
+	if !hasDelta {
+		t.Fatalf("endpoints %v do not list /v1/delta", caps.Endpoints)
+	}
+	if len(caps.Engines) != 3 || caps.MaxWireEdits != mmlp.MaxWireEdits || caps.MaxBodyBytes != 1<<20 {
+		t.Fatalf("capabilities limits = %+v", caps)
+	}
+}
+
+// TestErrorEnvelopeOnMuxFallbacks: the mux's own plain-text 404/405
+// fallbacks are rewritten into the JSON envelope, so every non-200 from
+// the binary is machine-readable.
+func TestErrorEnvelopeOnMuxFallbacks(t *testing.T) {
+	h := testServer(t, 1<<20)
+	cases := []struct {
+		method, path string
+		code         int
+		errCode      string
+	}{
+		{http.MethodGet, "/no/such/path", http.StatusNotFound, mmlp.ErrCodeNotFound},
+		{http.MethodGet, "/v1/delta", http.StatusMethodNotAllowed, mmlp.ErrCodeMethodNotAllowed},
+		{http.MethodDelete, "/v1/solve", http.StatusMethodNotAllowed, mmlp.ErrCodeMethodNotAllowed},
+	}
+	for _, c := range cases {
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, httptest.NewRequest(c.method, c.path, nil))
+		if w.Code != c.code {
+			t.Fatalf("%s %s: status %d, want %d", c.method, c.path, w.Code, c.code)
+		}
+		if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+			t.Fatalf("%s %s: Content-Type %q, want JSON", c.method, c.path, ct)
+		}
+		var er mmlp.ErrorResponse
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Code != c.errCode || er.Error.Message == "" {
+			t.Fatalf("%s %s: envelope %s (%v), want code %q", c.method, c.path, w.Body, err, c.errCode)
+		}
+	}
+}

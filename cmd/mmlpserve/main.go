@@ -19,6 +19,15 @@
 //	POST /v1/batch  — solve many; body {"jobs": [<solve request>, ...]};
 //	                  the response streams one NDJSON line per job as it
 //	                  completes, each tagged with its request index
+//	POST /v1/delta  — incremental re-solve: body {"base": "<canonical
+//	                  key>", "edits": [...]} prices an edit set against a
+//	                  cached base solve, re-running the kernel only for
+//	                  the agents within the locality radius of an edited
+//	                  row and splicing the rest — bit-identical to a cold
+//	                  solve of the edited instance. 404/base_unknown when
+//	                  this process does not hold the base
+//	GET  /v1/capabilities — the serving surface (endpoints, engines,
+//	                  content types, wire limits) for feature detection
 //	GET  /healthz   — liveness plus the build's VCS revision/dirty flag
 //	GET  /statsz    — throughput, latency quantiles, allocs/job, and a
 //	                  "cache" block (hits/misses/evictions/coalesced,

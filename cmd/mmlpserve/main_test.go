@@ -93,14 +93,15 @@ func TestSolveEndpointErrors(t *testing.T) {
 	cases := []struct {
 		name, body string
 		code       int
+		errCode    string
 	}{
-		{"malformed JSON", `{"instance": nope}`, http.StatusBadRequest},
-		{"missing instance", `{}`, http.StatusBadRequest},
-		{"unknown engine", `{"instance":{"num_agents":0},"engine":"simplex"}`, http.StatusBadRequest},
-		{"oversized r", `{"instance":{"num_agents":0},"r":2000000000}`, http.StatusBadRequest},
-		{"oversized num_agents", `{"instance":{"num_agents":2000000000}}`, http.StatusBadRequest},
-		{"invalid instance", `{"instance":{"num_agents":1,"constraints":[{"terms":[{"agent":0,"coef":-1}]}]}}`, http.StatusBadRequest},
-		{"oversized body", `{"instance":{"num_agents":1,"objectives":[` + strings.Repeat(`{"terms":[]},`, 64) + `{"terms":[]}]}}`, http.StatusRequestEntityTooLarge},
+		{"malformed JSON", `{"instance": nope}`, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument},
+		{"missing instance", `{}`, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument},
+		{"unknown engine", `{"instance":{"num_agents":0},"engine":"simplex"}`, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument},
+		{"oversized r", `{"instance":{"num_agents":0},"r":2000000000}`, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument},
+		{"oversized num_agents", `{"instance":{"num_agents":2000000000}}`, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument},
+		{"invalid instance", `{"instance":{"num_agents":1,"constraints":[{"terms":[{"agent":0,"coef":-1}]}]}}`, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument},
+		{"oversized body", `{"instance":{"num_agents":1,"objectives":[` + strings.Repeat(`{"terms":[]},`, 64) + `{"terms":[]}]}}`, http.StatusRequestEntityTooLarge, mmlp.ErrCodeBodyTooLarge},
 	}
 	for _, c := range cases {
 		w := post(h, "/v1/solve", c.body)
@@ -108,8 +109,11 @@ func TestSolveEndpointErrors(t *testing.T) {
 			t.Fatalf("%s: status %d, want %d (body %s)", c.name, w.Code, c.code, w.Body)
 		}
 		var er mmlp.ErrorResponse
-		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error == "" {
+		if err := json.Unmarshal(w.Body.Bytes(), &er); err != nil || er.Error.Message == "" {
 			t.Fatalf("%s: error body %q (%v)", c.name, w.Body, err)
+		}
+		if er.Error.Code != c.errCode {
+			t.Fatalf("%s: error code %q, want %q", c.name, er.Error.Code, c.errCode)
 		}
 	}
 }

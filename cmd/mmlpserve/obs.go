@@ -44,6 +44,12 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	obs.WriteInt(&b, "mmlp_shed_total", "", st.Shed)
 	obs.WriteHeader(&b, "mmlp_deadline_expired_total", "counter", "Jobs whose propagated deadline passed while queued (HTTP 504).")
 	obs.WriteInt(&b, "mmlp_deadline_expired_total", "", st.DeadlineExpired)
+	obs.WriteHeader(&b, "mmlp_delta_hits_total", "counter", "Delta solves answered from the result cache.")
+	obs.WriteInt(&b, "mmlp_delta_hits_total", "", st.DeltaHits)
+	obs.WriteHeader(&b, "mmlp_delta_misses_total", "counter", "Delta solves that ran the splice pipeline or fell back cold.")
+	obs.WriteInt(&b, "mmlp_delta_misses_total", "", st.DeltaMisses)
+	obs.WriteHeader(&b, "mmlp_dirty_agents_total", "counter", "Agents re-priced across delta misses.")
+	obs.WriteInt(&b, "mmlp_dirty_agents_total", "", st.DirtyAgents)
 	obs.WriteHeader(&b, "mmlp_faults_injected_total", "counter", "Faults fired by the -fault-spec chaos layer.")
 	obs.WriteInt(&b, "mmlp_faults_injected_total", "", s.fault.Count())
 	obs.WriteHeader(&b, "mmlp_workers", "gauge", "Fixed worker pool size.")

@@ -16,7 +16,9 @@ import (
 
 	"repro/internal/batch"
 	"repro/internal/canon"
+	"repro/internal/engine"
 	"repro/internal/fault"
+	"repro/internal/httperr"
 	"repro/internal/mmlp"
 	"repro/internal/obs"
 	"repro/internal/shard"
@@ -27,6 +29,9 @@ type server struct {
 	pool    *batch.Pool
 	maxBody int64
 	mux     *http.ServeMux
+	// handler is mux wrapped in the error-envelope layer, so the mux's own
+	// 404/405 fallbacks speak the unified JSON envelope too.
+	handler http.Handler
 
 	// shed switches /v1/solve admission to the non-blocking TrySubmit
 	// path: a full queue answers 429 + Retry-After instead of parking the
@@ -53,11 +58,14 @@ type server struct {
 func newServer(pool *batch.Pool, maxBody int64) *server {
 	s := &server{pool: pool, maxBody: maxBody, mux: http.NewServeMux(), logger: slog.Default()}
 	s.mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	s.mux.HandleFunc("POST /v1/delta", s.handleDelta)
 	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	s.mux.HandleFunc("GET /v1/capabilities", s.handleCapabilities)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /statsz", s.handleStats)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /admin/ring", s.handleRing)
+	s.handler = httperr.Envelope(s.mux)
 	return s
 }
 
@@ -105,13 +113,35 @@ func retryAfterSecs(p50 time.Duration) string {
 	return strconv.FormatInt(int64(secs), 10)
 }
 
-func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.handler.ServeHTTP(w, r) }
 
-// writeError emits the uniform error body.
-func writeError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(mmlp.ErrorResponse{Error: err.Error()})
+// writeError emits the unified error envelope; code is one of the
+// mmlp.ErrCode* constants.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	httperr.Write(w, status, code, err)
+}
+
+// errStatus maps a failed job onto its HTTP status and machine code —
+// the one translation table shared by /v1/solve and /v1/delta.
+func errStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, engine.ErrBaseUnknown):
+		// The named base is not cached here; the client falls back to a
+		// full solve (and the router relays this without marking the shard
+		// down — a cold cache is not a failure).
+		return http.StatusNotFound, mmlp.ErrCodeBaseUnknown
+	case errors.Is(err, mmlp.ErrInvalid):
+		return http.StatusBadRequest, mmlp.ErrCodeInvalidArgument
+	case errors.Is(err, batch.ErrExpiredInQueue):
+		// The deadline died in the queue: the kernel never ran. 504 tells
+		// the client (and the router) this was pure queueing lateness, not
+		// a failed solve.
+		return http.StatusGatewayTimeout, mmlp.ErrCodeDeadlineExceeded
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusServiceUnavailable, mmlp.ErrCodeUnavailable
+	default:
+		return http.StatusInternalServerError, mmlp.ErrCodeInternal
+	}
 }
 
 // decode reads one JSON body into dst, mapping oversized bodies to 413 and
@@ -171,30 +201,30 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if mediaType(r) == mmlp.ContentTypeCanon {
 		payload, code, err := s.readRaw(w, r)
 		if err != nil {
-			writeError(w, code, err)
+			writeError(w, code, httperr.CodeForStatus(code), err)
 			return
 		}
 		if !canon.SniffSolve(payload) {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("canon body does not start with %q", canon.SolveMagic))
+			writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, fmt.Errorf("canon body does not start with %q", canon.SolveMagic))
 			return
 		}
 		job = batch.JobFromCanon(payload)
 	} else {
 		var req mmlp.SolveRequest
 		if code, err := s.decode(w, r, &req); err != nil {
-			writeError(w, code, err)
+			writeError(w, code, httperr.CodeForStatus(code), err)
 			return
 		}
 		var err error
 		if job, err = batch.JobFromRequest(&req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, err)
 			return
 		}
 	}
 	traceID := r.Header.Get(obs.TraceHeader)
 	ctx, cancel, err := deadlineCtx(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, err)
 		return
 	}
 	if cancel != nil {
@@ -205,26 +235,15 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		res = s.doShed(ctx, job)
 		if errors.Is(res.Err, batch.ErrQueueFull) {
 			w.Header().Set("Retry-After", retryAfterSecs(s.pool.QueueWaitP50()))
-			writeError(w, http.StatusTooManyRequests, res.Err)
+			writeError(w, http.StatusTooManyRequests, mmlp.ErrCodeOverloaded, res.Err)
 			return
 		}
 	} else {
 		res = s.pool.Do(ctx, job)
 	}
 	if res.Err != nil {
-		code := http.StatusInternalServerError
-		switch {
-		case errors.Is(res.Err, mmlp.ErrInvalid):
-			code = http.StatusBadRequest
-		case errors.Is(res.Err, batch.ErrExpiredInQueue):
-			// The deadline died in the queue: the kernel never ran. 504
-			// tells the client (and the router) this was pure queueing
-			// lateness, not a failed solve.
-			code = http.StatusGatewayTimeout
-		case errors.Is(res.Err, context.Canceled), errors.Is(res.Err, context.DeadlineExceeded):
-			code = http.StatusServiceUnavailable
-		}
-		writeError(w, code, res.Err)
+		status, code := errStatus(res.Err)
+		writeError(w, status, code, res.Err)
 		return
 	}
 	if traceID != "" {
@@ -244,6 +263,96 @@ func (s *server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if s.slowLogOn && res.Latency >= s.slowLog {
 		s.logSlow(traceID, &res, enc)
 	}
+}
+
+// handleDelta re-solves a cached base with an edit set applied: the dirty
+// agents — those within the kernel's locality radius of an edited row —
+// are re-priced and everything else is spliced from the base's record,
+// bit-identically to a cold solve of the edited instance. Delta jobs share
+// the pool's workers, queue and admission ledger with full solves, so
+// shedding and deadline propagation behave exactly as on /v1/solve. A base
+// this shard does not hold answers 404/base_unknown; the client (or the
+// router's caller) falls back to a full solve, which also seeds the base
+// for the next delta.
+func (s *server) handleDelta(w http.ResponseWriter, r *http.Request) {
+	var req mmlp.DeltaRequest
+	if code, err := s.decode(w, r, &req); err != nil {
+		writeError(w, code, httperr.CodeForStatus(code), err)
+		return
+	}
+	job, err := batch.JobFromDelta(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, err)
+		return
+	}
+	traceID := r.Header.Get(obs.TraceHeader)
+	ctx, cancel, err := deadlineCtx(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, err)
+		return
+	}
+	if cancel != nil {
+		defer cancel()
+	}
+	var res batch.Result
+	if s.shed {
+		res = s.doShed(ctx, job)
+		if errors.Is(res.Err, batch.ErrQueueFull) {
+			w.Header().Set("Retry-After", retryAfterSecs(s.pool.QueueWaitP50()))
+			writeError(w, http.StatusTooManyRequests, mmlp.ErrCodeOverloaded, res.Err)
+			return
+		}
+	} else {
+		res = s.pool.Do(ctx, job)
+	}
+	if res.Err != nil {
+		status, code := errStatus(res.Err)
+		writeError(w, status, code, res.Err)
+		return
+	}
+	if traceID != "" {
+		w.Header().Set(obs.TraceHeader, traceID)
+	}
+	resp := batch.DeltaResponseFromResult(res)
+	if r.URL.RawQuery != "" && r.URL.Query().Get("trace") == "1" {
+		resp.Trace = res.Trace.MSMap()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	encStart := time.Now()
+	json.NewEncoder(w).Encode(resp)
+	enc := time.Since(encStart)
+	s.pool.ObserveStage(obs.StageEncode, enc)
+	if s.slowLogOn && res.Latency >= s.slowLog {
+		s.logSlow(traceID, &res, enc)
+	}
+}
+
+// handleCapabilities advertises what this process serves — endpoints,
+// engines, content types and wire limits — so clients and the router can
+// feature-detect (e.g. whether /v1/delta exists) instead of probing with
+// requests that may 404.
+func (s *server) handleCapabilities(w http.ResponseWriter, _ *http.Request) {
+	caps := mmlp.Capabilities{
+		Service: "mmlpserve",
+		Endpoints: []string{
+			"/v1/solve", "/v1/delta", "/v1/batch", "/v1/capabilities",
+			"/healthz", "/statsz", "/metrics", "/admin/ring",
+		},
+		Engines: mmlp.EngineNames(),
+		ContentTypes: []string{
+			mmlp.ContentTypeJSON, mmlp.ContentTypeCanon, mmlp.ContentTypeCanonBatch,
+			mmlp.ContentTypeCanonResults, mmlp.ContentTypeNDJSON,
+		},
+		MaxWireR:        mmlp.MaxWireR,
+		MaxWireBinIters: mmlp.MaxWireBinIters,
+		MaxWireAgents:   mmlp.MaxWireAgents,
+		MaxWireEdits:    mmlp.MaxWireEdits,
+		MaxBodyBytes:    s.maxBody,
+		Delta:           true,
+		Shed:            s.shed,
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(caps)
 }
 
 // doShed is Pool.Do over the non-blocking admission path: a full queue
@@ -269,16 +378,16 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if mediaType(r) == mmlp.ContentTypeCanonBatch {
 		frame, code, err := s.readRaw(w, r)
 		if err != nil {
-			writeError(w, code, err)
+			writeError(w, code, httperr.CodeForStatus(code), err)
 			return
 		}
 		payloads, err := canon.SplitBatch(frame)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("malformed batch frame: %w", err))
+			writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, fmt.Errorf("malformed batch frame: %w", err))
 			return
 		}
 		if len(payloads) == 0 {
-			writeError(w, http.StatusBadRequest, errors.New("batch has no jobs"))
+			writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, errors.New("batch has no jobs"))
 			return
 		}
 		jobs = make([]batch.Job, len(payloads))
@@ -288,18 +397,18 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	} else {
 		var req mmlp.BatchRequest
 		if code, err := s.decode(w, r, &req); err != nil {
-			writeError(w, code, err)
+			writeError(w, code, httperr.CodeForStatus(code), err)
 			return
 		}
 		if len(req.Jobs) == 0 {
-			writeError(w, http.StatusBadRequest, errors.New("batch has no jobs"))
+			writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, errors.New("batch has no jobs"))
 			return
 		}
 		jobs = make([]batch.Job, len(req.Jobs))
 		for i := range req.Jobs {
 			job, err := batch.JobFromRequest(&req.Jobs[i])
 			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("job %d: %w", i, err))
+				writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, fmt.Errorf("job %d: %w", i, err))
 				return
 			}
 			jobs[i] = job
@@ -310,7 +419,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	// queued when it passes are reported expired instead of solved late.
 	ctx, cancel, err := deadlineCtx(r)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, err)
 		return
 	}
 	if cancel != nil {
@@ -389,16 +498,16 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleRing(w http.ResponseWriter, r *http.Request) {
 	var upd mmlp.ShardRingUpdate
 	if code, err := s.decode(w, r, &upd); err != nil {
-		writeError(w, code, err)
+		writeError(w, code, httperr.CodeForStatus(code), err)
 		return
 	}
 	if len(upd.Members) == 0 {
-		writeError(w, http.StatusBadRequest, errors.New("ring update has no members"))
+		writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, errors.New("ring update has no members"))
 		return
 	}
 	ring, err := shard.New(upd.Members, upd.Replicas)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
+		writeError(w, http.StatusBadRequest, mmlp.ErrCodeInvalidArgument, err)
 		return
 	}
 	rep := upd.Replication
@@ -440,6 +549,9 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		"errors":           st.Errors,
 		"shed":             st.Shed,
 		"deadline_expired": st.DeadlineExpired,
+		"delta_hits":       st.DeltaHits,
+		"delta_misses":     st.DeltaMisses,
+		"dirty_agents":     st.DirtyAgents,
 		"jobs_per_sec":     st.JobsPerSec,
 		"p50_ms":           float64(st.P50.Microseconds()) / 1e3,
 		"p99_ms":           float64(st.P99.Microseconds()) / 1e3,

@@ -1,40 +1,49 @@
 package batch
 
 import (
+	"encoding/hex"
 	"fmt"
 	"time"
 
+	"repro/internal/canon"
 	"repro/internal/engine"
 	"repro/internal/mmlp"
 	"repro/internal/obs"
 )
 
 // JobFromRequest converts a validated wire request into a solver job.
+// mmlp.Engine values coincide numerically with engine.Kind (the canon key
+// hashes the shared integer), so ParseEngine's result converts directly.
 func JobFromRequest(req *mmlp.SolveRequest) (Job, error) {
 	if err := req.Validate(); err != nil {
 		return Job{}, err
 	}
-	var kind engine.Kind
-	switch req.Engine {
-	case "", mmlp.EngineLocal:
-		kind = engine.Central
-	case mmlp.EngineDist:
-		kind = engine.Distributed
-	case mmlp.EngineDistCompact:
-		kind = engine.DistributedCompact
-	default: // unreachable after Validate
-		return Job{}, fmt.Errorf("%w: unknown engine %q", mmlp.ErrInvalid, req.Engine)
+	eng, err := mmlp.ParseEngine(req.Engine)
+	if err != nil { // unreachable after Validate
+		return Job{}, err
 	}
 	return Job{
 		In: req.Instance,
 		Opts: engine.Options{
-			Engine:              kind,
+			Engine:              engine.Kind(eng),
 			R:                   req.R,
 			BinIters:            req.BinIters,
 			DisableSpecialCases: req.DisableSpecialCases,
 			SelfCheck:           req.SelfCheck,
 		},
 	}, nil
+}
+
+// JobFromDelta converts a validated wire delta request into a pool job.
+func JobFromDelta(req *mmlp.DeltaRequest) (Job, error) {
+	if err := req.Validate(); err != nil {
+		return Job{}, err
+	}
+	var key canon.Key
+	if _, err := hex.Decode(key[:], []byte(req.Base)); err != nil { // unreachable after Validate
+		return Job{}, fmt.Errorf("%w: base: %v", mmlp.ErrInvalid, err)
+	}
+	return Job{Delta: &DeltaJob{Base: key, Edits: req.Edits}}, nil
 }
 
 // JobFromCanon wraps one canon wire payload as a job. No decoding happens
@@ -62,6 +71,23 @@ func ResponseFromResult(r Result) mmlp.SolveResponse {
 	return resp
 }
 
+// DeltaResponseFromResult renders a successful delta result on the wire.
+// The caller must not pass a failed result (nil Sol or nil Delta).
+func DeltaResponseFromResult(r Result) mmlp.DeltaResponse {
+	return mmlp.DeltaResponse{
+		Status:      r.Sol.Status.String(),
+		X:           r.Sol.X,
+		Utility:     r.Sol.Utility,
+		UpperBound:  r.Sol.UpperBound,
+		Key:         r.Delta.Key.String(),
+		DirtyAgents: r.Delta.DirtyAgents,
+		TotalAgents: r.Delta.TotalAgents,
+		Spliced:     r.Delta.Spliced,
+		Cached:      r.Cached,
+		LatencyMS:   float64(r.Latency) / float64(time.Millisecond),
+	}
+}
+
 // StatsRawFromStats renders pool stats as the machine-oriented wire block
 // served under /statsz?raw=1 and scraped by the shard router.
 func StatsRawFromStats(st *Stats) *mmlp.StatsRaw {
@@ -76,6 +102,9 @@ func StatsRawFromStats(st *Stats) *mmlp.StatsRaw {
 		AllocsPerJob:    st.AllocsPerJob,
 		Shed:            st.Shed,
 		DeadlineExpired: st.DeadlineExpired,
+		DeltaHits:       st.DeltaHits,
+		DeltaMisses:     st.DeltaMisses,
+		DirtyAgents:     st.DirtyAgents,
 		Solve:           st.Solve,
 	}
 	for s := obs.Stage(0); s < obs.NumStages; s++ {

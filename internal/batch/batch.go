@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"time"
 
+	"repro/internal/canon"
 	"repro/internal/engine"
 	"repro/internal/mmlp"
 	"repro/internal/obs"
@@ -34,6 +35,17 @@ type Job struct {
 	// request; In and Opts are then ignored. The job is keyed by hashing
 	// the bytes and decoded only on a cache miss (engine.SolveCanonBytes).
 	Canon []byte
+	// Delta, when non-nil, makes this an incremental re-solve of a cached
+	// base (engine.SolveDelta); In, Opts and Canon are then ignored. Delta
+	// jobs share the pool's workers, queue, admission ledger and result
+	// cache with full solves.
+	Delta *DeltaJob
+}
+
+// DeltaJob names a cached base solve and the edits to price against it.
+type DeltaJob struct {
+	Base  canon.Key
+	Edits []mmlp.RowEdit
 }
 
 // Result is the outcome of one job.
@@ -57,6 +69,9 @@ type Result struct {
 	// failure). A fixed-size value, not a pointer: copying a Result copies
 	// the record, and no per-job allocation is ever needed for it.
 	Trace obs.Trace
+	// Delta carries the incremental-solve accounting of a delta job (nil
+	// for full solves and for failed deltas).
+	Delta *engine.DeltaOutcome
 }
 
 // Options configures a pool or a one-shot batch.
@@ -121,9 +136,13 @@ func runJob(ctx context.Context, index int, job Job, timeout time.Duration, sc *
 		defer cancel()
 	}
 	start := time.Now()
-	if job.Canon != nil {
+	switch {
+	case job.Delta != nil:
+		res.Sol, res.Delta, res.Cached, res.Err = engine.SolveDelta(ctx, job.Delta.Base, job.Delta.Edits, sc, ca)
+		col.recordDelta(res.Cached, res.Delta, res.Err)
+	case job.Canon != nil:
 		res.Sol, res.Dist, res.Cached, res.Err = engine.SolveCanonBytes(ctx, job.Canon, sc, ca)
-	} else {
+	default:
 		res.Sol, res.Dist, res.Cached, res.Err = engine.SolveCached(ctx, job.In, job.Opts, sc, ca)
 	}
 	res.Latency = time.Since(start)

@@ -110,12 +110,20 @@ func (p *Pool) runTask(t task, sc *engine.Scratch) {
 	var (
 		sol                *engine.Solution
 		dist               *engine.DistInfo
+		dout               *engine.DeltaOutcome
 		cached, subscribed bool
 		err                error
 	)
-	if t.job.Canon != nil {
+	switch {
+	case t.job.Delta != nil:
+		// Delta jobs have no detach variant: the only flight a delta can
+		// coalesce onto is a centralised solve of the edited key, and the
+		// plan/kernel work before that point already ran on this worker.
+		sol, dout, cached, err = engine.SolveDelta(ctx, t.job.Delta.Base, t.job.Delta.Edits, sc, p.cache)
+		p.col.recordDelta(cached, dout, err)
+	case t.job.Canon != nil:
 		sol, dist, cached, subscribed, err = engine.SolveCanonBytesDetach(ctx, t.job.Canon, sc, p.cache, onFlight)
-	} else {
+	default:
 		sol, dist, cached, subscribed, err = engine.SolveCachedDetach(ctx, t.job.In, t.job.Opts, sc, p.cache, onFlight)
 	}
 	if subscribed {
@@ -131,7 +139,7 @@ func (p *Pool) runTask(t task, sc *engine.Scratch) {
 	tr := sc.Trace
 	tr.Set(obs.StageQueueWait, int64(start.Sub(t.enq)))
 	p.col.record(lat, err != nil, &tr)
-	t.done(Result{Index: t.index, Sol: sol, Dist: dist, Cached: cached, Err: err, Latency: lat, Trace: tr})
+	t.done(Result{Index: t.index, Sol: sol, Dist: dist, Delta: dout, Cached: cached, Err: err, Latency: lat, Trace: tr})
 }
 
 // deliver finishes a subscribed task once the flight it attached to

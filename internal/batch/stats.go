@@ -42,6 +42,12 @@ type Stats struct {
 	// deadline passed while they waited (queue, coalesced flight, or
 	// re-queue) — those ARE part of Jobs and Errors; the kernel never ran.
 	Shed, DeadlineExpired int64
+	// DeltaHits counts successful delta jobs answered from the result
+	// cache (the edited instance was already solved); DeltaMisses the rest
+	// — deltas that ran the splice pipeline or fell back to a cold solve.
+	// DirtyAgents totals the agents re-priced across delta misses, so
+	// DirtyAgents/DeltaMisses is the average edit ball size.
+	DeltaHits, DeltaMisses, DirtyAgents int64
 	// Cache carries the result cache's counters, nil when caching is
 	// disabled.
 	Cache *engine.CacheStats
@@ -67,6 +73,11 @@ type collector struct {
 	// TrySubmit's refusal path, deadlineExpired by queueDeath.
 	shed            atomic.Int64
 	deadlineExpired atomic.Int64
+
+	// Delta counters, bumped by recordDelta on the job runners.
+	deltaHits   atomic.Int64
+	deltaMisses atomic.Int64
+	dirtyAgents atomic.Int64
 
 	mu      sync.Mutex
 	jobs    int64
@@ -96,6 +107,23 @@ func readMallocs() uint64 {
 		return 0
 	}
 	return sample[0].Value.Uint64()
+}
+
+// recordDelta classifies one finished delta job. Failed deltas (unknown
+// base, invalid edits, cancellation) are neither hits nor misses — they
+// already count toward Jobs/Errors through record.
+func (c *collector) recordDelta(cached bool, out *engine.DeltaOutcome, err error) {
+	if err != nil {
+		return
+	}
+	if cached {
+		c.deltaHits.Add(1)
+		return
+	}
+	c.deltaMisses.Add(1)
+	if out != nil {
+		c.dirtyAgents.Add(int64(out.DirtyAgents))
+	}
 }
 
 // record notes one completed job. Only successful solves become latency
@@ -146,6 +174,9 @@ func (c *collector) snapshot() *Stats {
 		Elapsed:         time.Since(c.started),
 		Shed:            c.shed.Load(),
 		DeadlineExpired: c.deadlineExpired.Load(),
+		DeltaHits:       c.deltaHits.Load(),
+		DeltaMisses:     c.deltaMisses.Load(),
+		DirtyAgents:     c.dirtyAgents.Load(),
 	}
 	c.mu.Unlock()
 

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+	"repro/internal/structured"
+)
+
+// This file exports the two halves of an incremental re-solve for callers
+// (internal/delta via internal/engine) that compute the dirty agent set
+// themselves: RecomputeT re-prices exactly the named agents against the
+// edited instance, and DeriveFromT re-runs the cheap derived stages
+// (smoothing, the g± recursions, the output) on the merged t-vector. The
+// split exists so the serving layer can time the kernel and the splice as
+// separate trace stages; Update composes the same pieces with its own
+// over-approximate ball.
+
+// RecomputeT returns a copy of baseT with t_u freshly evaluated on s for
+// exactly the agents in dirty. The result equals computeAllT(s, …) bit for
+// bit whenever baseT came from an instance that agrees with s on the
+// radius-(TRadius(r)) neighbourhood of every agent NOT in dirty — the
+// caller owns that guarantee (see delta.Plan). baseT must have one entry
+// per agent of s; neither baseT nor dirty is modified.
+func RecomputeT(s *structured.Instance, baseT []float64, dirty []int, opt Options) ([]float64, error) {
+	opt, err := opt.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if len(baseT) != s.N {
+		return nil, fmt.Errorf("core: base T has %d entries, instance has %d agents", len(baseT), s.N)
+	}
+	for _, v := range dirty {
+		if v < 0 || v >= s.N {
+			return nil, fmt.Errorf("core: dirty agent %d out of range [0, %d)", v, s.N)
+		}
+	}
+	r := opt.R - 2
+	t := append([]float64(nil), baseT...)
+	par.ForEachChunk(len(dirty), opt.Workers, func(lo, hi int) {
+		ev := newEvaluator(s, r)
+		for j := lo; j < hi; j++ {
+			t[dirty[j]] = ev.computeT(int32(dirty[j]), opt.BinIters)
+		}
+	})
+	return t, nil
+}
+
+// DeriveFromT runs the post-kernel stages of the §5 algorithm — smoothing,
+// the g± recursions and the output (18) — on a complete t-vector and
+// returns the full trace. Given the t-vector a full Solve of s would have
+// produced, the returned trace is bit-identical to that Solve's. The
+// t slice is copied, not retained.
+func DeriveFromT(s *structured.Instance, t []float64, opt Options) (*Trace, error) {
+	opt, err := opt.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	if len(t) != s.N {
+		return nil, fmt.Errorf("core: t-vector has %d entries, instance has %d agents", len(t), s.N)
+	}
+	r := opt.R - 2
+	tr := &Trace{R: opt.R, SmallR: r}
+	tr.T = append([]float64(nil), t...)
+	tr.S = smooth(s, tr.T, r)
+	tr.GPlus, tr.GMinus = computeG(s, tr.S, r)
+	tr.X = output(s, tr.GPlus, tr.GMinus, opt.R)
+	ub := 0.0
+	for u, tv := range tr.T {
+		if u == 0 || tv < ub {
+			ub = tv
+		}
+	}
+	tr.UpperBound = ub
+	return tr, nil
+}

@@ -1,0 +1,222 @@
+// Package delta implements incremental re-solving for slowly-changing
+// instances, the dynamic-graph corollary of the paper's locality result
+// (§1.3): because every kernel value t_u reads only the radius-(4r+3)
+// neighbourhood of u, an edit to a few rows of a solved instance can only
+// change t_u for agents whose ball touches an edited row. The package
+// provides the three ingredients the engine's SolveDelta composes:
+//
+//   - Record, the per-key cache payload a base solve leaves behind (the
+//     canonical instance, the solve options, the kernel t-vector);
+//   - Apply, which materialises the edited instance from a base plus a
+//     content-addressed edit set;
+//   - Plan, the hop-exact multi-source BFS that turns the positionally
+//     changed rows of the structured forms into the dirty agent set.
+//
+// The correctness contract is exact: for every agent Plan does NOT mark
+// dirty, the radius-(4r+3) ball is positionally identical in the old and
+// new structured instances, so recomputing t_u only for dirty agents and
+// splicing the rest from the record reproduces a cold solve bit for bit.
+package delta
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+
+	"repro/internal/canon"
+	"repro/internal/mmlp"
+	"repro/internal/structured"
+)
+
+// Record is what a base solve leaves in the result cache for later deltas:
+// everything needed to price an edit without re-solving from scratch.
+type Record struct {
+	// In is the canonical instance the base solve ran on. It is immutable —
+	// cache values are shared across requests.
+	In *mmlp.Instance
+	// Opts are the canonical solve options (engine, R, BinIters, flags) the
+	// base was keyed under; a delta inherits them, so the edited key is
+	// computed under the same options.
+	Opts canon.Options
+	// T is the kernel t-vector over the base's structured form. It is nil
+	// when the pipeline never ran the kernel on the structured form (zero
+	// optimum, unbounded, or a trivial-case dispatch): a delta against such
+	// a base falls back to a cold solve of the edited instance.
+	T []float64
+
+	// once guards sOld/sOK: Plan needs the structured form of In, and
+	// rebuilding it means re-running preprocess+structure on the whole base
+	// — O(n) work per delta that would dwarf the small-edit pricing it
+	// enables. The first delta against this record builds it; every later
+	// one reuses it.
+	once sync.Once
+	sOld *structured.Instance
+	sOK  bool
+}
+
+// BaseStructured returns the structured form of the base instance,
+// building it with build on the first call and memoising the result —
+// including failure: a base whose pipeline leaves the standard
+// preprocess→structure shape can never be spliced against, so rebuilding
+// would not change the answer. Safe for concurrent use; build runs at
+// most once and must return an instance that owns its memory (no shared
+// scratch arenas).
+func (r *Record) BaseStructured(build func() (*structured.Instance, bool)) (*structured.Instance, bool) {
+	r.once.Do(func() { r.sOld, r.sOK = build() })
+	return r.sOld, r.sOK
+}
+
+// Bytes estimates the record's heap footprint for cache accounting.
+func (r *Record) Bytes() int64 {
+	if r == nil {
+		return 0
+	}
+	n := int64(96) // struct + slice headers
+	if r.In != nil {
+		rows := int64(len(r.In.Cons) + len(r.In.Objs))
+		terms := int64(0)
+		for i := range r.In.Cons {
+			terms += int64(len(r.In.Cons[i].Terms))
+		}
+		for k := range r.In.Objs {
+			terms += int64(len(r.In.Objs[k].Terms))
+		}
+		n += 48*rows + 16*terms
+	}
+	n += 8 * int64(len(r.T))
+	return n
+}
+
+// Apply materialises the edited instance: a fresh deep copy of base with
+// every edit applied in order. base must be in canonical form (terms
+// sorted within rows) and is not modified. Edits address rows by content:
+// Match is sorted and compared termwise against the base's rows, so the
+// client does not need to know the canonical row order. All failures —
+// unknown rows, agents outside the base's agent set, ambiguity-free
+// semantic violations like deleting the last objective — wrap
+// mmlp.ErrInvalid, so the serving layer answers them with a typed 400.
+func Apply(base *mmlp.Instance, edits []mmlp.RowEdit) (*mmlp.Instance, error) {
+	out := base.Clone()
+	for j := range edits {
+		if err := applyOne(out, &edits[j]); err != nil {
+			return nil, fmt.Errorf("edit %d: %w", j, err)
+		}
+	}
+	if len(out.Objs) == 0 {
+		return nil, fmt.Errorf("%w: edits removed every objective; a max-min LP needs at least one", mmlp.ErrInvalid)
+	}
+	return out, nil
+}
+
+func applyOne(in *mmlp.Instance, e *mmlp.RowEdit) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	for _, t := range e.Match {
+		if t.Agent >= in.NumAgents {
+			return fmt.Errorf("%w: match agent %d outside the base's %d agents", mmlp.ErrInvalid, t.Agent, in.NumAgents)
+		}
+	}
+	for _, t := range e.Terms {
+		if t.Agent >= in.NumAgents {
+			return fmt.Errorf("%w: agent %d outside the base's %d agents (deltas cannot grow the agent set)",
+				mmlp.ErrInvalid, t.Agent, in.NumAgents)
+		}
+	}
+	terms := sortedTerms(e.Terms)
+	if dup := firstDuplicateAgent(terms); dup >= 0 {
+		return fmt.Errorf("%w: agent %d appears twice in terms", mmlp.ErrInvalid, dup)
+	}
+	switch e.Op {
+	case mmlp.EditAdd:
+		addRow(in, e.Kind, terms)
+		return nil
+	case mmlp.EditRemove:
+		_, err := takeRow(in, e.Kind, e.Match)
+		return err
+	case mmlp.EditReweight:
+		old, err := takeRow(in, e.Kind, e.Match)
+		if err != nil {
+			return err
+		}
+		if !sameAgentSet(old, terms) {
+			return fmt.Errorf("%w: reweight must keep the row's agent set (use remove+add to change membership)", mmlp.ErrInvalid)
+		}
+		addRow(in, e.Kind, terms)
+		return nil
+	}
+	return fmt.Errorf("%w: unknown edit op %q", mmlp.ErrInvalid, e.Op) // unreachable after Validate
+}
+
+// sortedTerms returns a copy of ts in canonical term order.
+func sortedTerms(ts []mmlp.Term) []mmlp.Term {
+	out := append([]mmlp.Term(nil), ts...)
+	slices.SortFunc(out, mmlp.CompareTerm)
+	return out
+}
+
+func firstDuplicateAgent(sorted []mmlp.Term) int {
+	for j := 1; j < len(sorted); j++ {
+		if sorted[j].Agent == sorted[j-1].Agent {
+			return sorted[j].Agent
+		}
+	}
+	return -1
+}
+
+func sameAgentSet(a, b []mmlp.Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for j := range a {
+		if a[j].Agent != b[j].Agent {
+			return false
+		}
+	}
+	return true
+}
+
+func equalTerms(a, b []mmlp.Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for j := range a {
+		if mmlp.CompareTerm(a[j], b[j]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// addRow appends a row with the given (already sorted) terms.
+func addRow(in *mmlp.Instance, kind string, terms []mmlp.Term) {
+	if kind == mmlp.EditConstraint {
+		in.Cons = append(in.Cons, mmlp.Constraint{Terms: terms})
+	} else {
+		in.Objs = append(in.Objs, mmlp.Objective{Terms: terms})
+	}
+}
+
+// takeRow removes the first row whose content equals match (compared in
+// canonical term order) and returns its terms.
+func takeRow(in *mmlp.Instance, kind string, match []mmlp.Term) ([]mmlp.Term, error) {
+	m := sortedTerms(match)
+	if kind == mmlp.EditConstraint {
+		for i := range in.Cons {
+			if equalTerms(in.Cons[i].Terms, m) {
+				terms := in.Cons[i].Terms
+				in.Cons = slices.Delete(in.Cons, i, i+1)
+				return terms, nil
+			}
+		}
+		return nil, fmt.Errorf("%w: no constraint row matches %v", mmlp.ErrInvalid, m)
+	}
+	for k := range in.Objs {
+		if equalTerms(in.Objs[k].Terms, m) {
+			terms := in.Objs[k].Terms
+			in.Objs = slices.Delete(in.Objs, k, k+1)
+			return terms, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: no objective row matches %v", mmlp.ErrInvalid, m)
+}

@@ -1,0 +1,153 @@
+package delta
+
+import (
+	"fmt"
+
+	"repro/internal/structured"
+)
+
+// Plan computes the dirty agent set of an edit: every agent within the
+// given bipartite radius (in hops of the agent↔row incidence graph) of a
+// positionally changed row, measured over the UNION of the old and new
+// topologies. radius must be core.TRadius(r) = 4r+3 — the input radius of
+// the kernel value t_u — for the splice to be exact: an agent outside
+// every changed row's (4r+3)-ball has a positionally identical ball in
+// both instances, so its t_u is bit-identical and can be spliced from the
+// base record. One hop too small misses agents whose t_u reads an edited
+// row at exactly distance 4r+3 (the regression tests pin this).
+//
+// Rows are compared positionally — position i of sOld against position i
+// of sNew — because the kernel reads the structured form positionally:
+// iteration order over ConsOf lists and objective members is part of an
+// agent's local input (it perturbs float summation order). Trailing rows
+// present in only one instance count as changed. The instances must have
+// the same agent count; the caller falls back to a cold solve otherwise.
+//
+// The returned agent indices are sorted ascending. The BFS is hop-exact
+// (one edge per level), unlike core.Update's distance-2 round
+// over-approximation, so callers can rely on the radius semantics exactly.
+func Plan(sOld, sNew *structured.Instance, radius int) ([]int, error) {
+	if sOld.N != sNew.N {
+		return nil, fmt.Errorf("delta: agent counts differ (old %d, new %d)", sOld.N, sNew.N)
+	}
+	nCons := max(len(sOld.ConsV), len(sNew.ConsV))
+	nObjs := max(len(sOld.Objs), len(sNew.Objs))
+	consSeen := make([]bool, nCons)
+	objSeen := make([]bool, nObjs)
+	agentSeen := make([]bool, sOld.N)
+
+	// Level 0: the positionally changed rows.
+	var consF, objF []int32
+	for i := 0; i < nCons; i++ {
+		if consRowChanged(sOld, sNew, i) {
+			consSeen[i] = true
+			consF = append(consF, int32(i))
+		}
+	}
+	for k := 0; k < nObjs; k++ {
+		if objRowChanged(sOld, sNew, k) {
+			objSeen[k] = true
+			objF = append(objF, int32(k))
+		}
+	}
+
+	// Alternating frontier expansion: rows at even levels, agents at odd
+	// levels. An agent is dirty when first reached, i.e. at its true hop
+	// distance from the nearest changed row; expansion stops as soon as no
+	// further agent could still be within radius.
+	var agentsF []int32
+	dist := 0
+	for len(consF)+len(objF) > 0 && dist < radius {
+		agentsF = agentsF[:0]
+		visit := func(v int32) {
+			if !agentSeen[v] {
+				agentSeen[v] = true
+				agentsF = append(agentsF, v)
+			}
+		}
+		for _, i := range consF {
+			if int(i) < len(sOld.ConsV) {
+				visit(sOld.ConsV[i][0])
+				visit(sOld.ConsV[i][1])
+			}
+			if int(i) < len(sNew.ConsV) {
+				visit(sNew.ConsV[i][0])
+				visit(sNew.ConsV[i][1])
+			}
+		}
+		for _, k := range objF {
+			if int(k) < len(sOld.Objs) {
+				for _, v := range sOld.Objs[k] {
+					visit(v)
+				}
+			}
+			if int(k) < len(sNew.Objs) {
+				for _, v := range sNew.Objs[k] {
+					visit(v)
+				}
+			}
+		}
+		dist++ // agentsF sits at distance dist ≤ radius
+		// The next agents would sit at dist+2; stop if they cannot qualify.
+		if dist+2 > radius || len(agentsF) == 0 {
+			break
+		}
+		consF, objF = consF[:0], objF[:0]
+		for _, v := range agentsF {
+			for _, i := range sOld.ConsOf[v] {
+				if !consSeen[i] {
+					consSeen[i] = true
+					consF = append(consF, i)
+				}
+			}
+			for _, i := range sNew.ConsOf[v] {
+				if !consSeen[i] {
+					consSeen[i] = true
+					consF = append(consF, i)
+				}
+			}
+			if k := sOld.ObjOf[v]; !objSeen[k] {
+				objSeen[k] = true
+				objF = append(objF, k)
+			}
+			if k := sNew.ObjOf[v]; !objSeen[k] {
+				objSeen[k] = true
+				objF = append(objF, k)
+			}
+		}
+		dist++ // consF/objF sit at distance dist
+	}
+
+	dirty := make([]int, 0, 16)
+	for v, hit := range agentSeen {
+		if hit {
+			dirty = append(dirty, v)
+		}
+	}
+	return dirty, nil
+}
+
+// consRowChanged reports a positional difference of constraint row i.
+func consRowChanged(a, b *structured.Instance, i int) bool {
+	if i >= len(a.ConsV) || i >= len(b.ConsV) {
+		return true
+	}
+	return a.ConsV[i] != b.ConsV[i] || a.ConsA[i] != b.ConsA[i]
+}
+
+// objRowChanged reports a positional difference of objective row k.
+func objRowChanged(a, b *structured.Instance, k int) bool {
+	if k >= len(a.Objs) || k >= len(b.Objs) {
+		return true
+	}
+	ma, mb := a.Objs[k], b.Objs[k]
+	if len(ma) != len(mb) {
+		return true
+	}
+	for j := range ma {
+		if ma[j] != mb[j] {
+			return true
+		}
+	}
+	return false
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cache"
 	"repro/internal/canon"
+	"repro/internal/delta"
 	"repro/internal/mmlp"
 	"repro/internal/obs"
 )
@@ -59,11 +60,14 @@ func (c *Cache) Prune(keep func(canon.Key) bool) int {
 	return c.c.Prune(keep)
 }
 
-// cachedResult is what one key maps to: the solution and, for the
-// message-passing engines, the traffic report of the run that produced it.
+// cachedResult is what one key maps to: the solution, the traffic report
+// of the run for the message-passing engines, and the delta record — the
+// canonical instance, options and kernel t-vector SolveDelta prices edits
+// against. All three are immutable once stored.
 type cachedResult struct {
 	sol  *Solution
 	info *DistInfo
+	rec  *delta.Record
 }
 
 // SolveKey canonically hashes one solve: the cache index of its result and
@@ -84,6 +88,7 @@ func (r *cachedResult) bytes() int64 {
 	if r.info != nil {
 		n += 48
 	}
+	n += r.rec.Bytes()
 	return n
 }
 
@@ -159,11 +164,12 @@ func SolveCached(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch,
 		if wsc == nil {
 			wsc = NewScratch()
 		}
-		sol, info, err := solveCanonical(ctx, cin, o, wsc, coreScratch)
+		rec := &delta.Record{In: cin.Clone(), Opts: canonOptions(o)}
+		sol, info, err := solveCanonical(ctx, cin, o, wsc, coreScratch, rec)
 		if err != nil {
 			return nil, 0, err
 		}
-		res := &cachedResult{sol: sol, info: info}
+		res := &cachedResult{sol: sol, info: info, rec: rec}
 		return res, res.bytes(), nil
 	})
 	if err != nil {
@@ -218,11 +224,12 @@ func SolveCachedDetach(ctx context.Context, in *mmlp.Instance, o Options, sc *Sc
 		if wsc == nil {
 			wsc = NewScratch()
 		}
-		sol, info, err := solveCanonical(ctx, cin, o, wsc, coreScratch)
+		rec := &delta.Record{In: cin.Clone(), Opts: canonOptions(o)}
+		sol, info, err := solveCanonical(ctx, cin, o, wsc, coreScratch, rec)
 		if err != nil {
 			return nil, 0, err
 		}
-		res := &cachedResult{sol: sol, info: info}
+		res := &cachedResult{sol: sol, info: info, rec: rec}
 		return res, res.bytes(), nil
 	}, func(val any, derr error) {
 		if derr != nil {

@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/canon"
+	"repro/internal/delta"
 	"repro/internal/mmlp"
 	"repro/internal/obs"
 )
@@ -70,24 +71,33 @@ func decodeCanon(payload []byte, sc *Scratch) (*mmlp.Instance, Options, error) {
 // cache-miss (or cache-disabled) arm shared by both entry points. The
 // decoded instance is already in canonical form (the decoder rejects
 // anything else), so the pipeline skips re-canonicalization entirely.
-func solveCanonBytesMiss(ctx context.Context, payload []byte, sc *Scratch) (*Solution, *DistInfo, error) {
+// capture asks for the delta record the caching entry points store with
+// the result; the cache-disabled path passes false and gets nil.
+func solveCanonBytesMiss(ctx context.Context, payload []byte, sc *Scratch, capture bool) (*Solution, *DistInfo, *delta.Record, error) {
 	// The wire decode is this path's twin of JSON canonicalization, so it
 	// is timed under the canonicalize trace slot. The entry points reset
 	// the trace; this arm only accumulates.
 	td := time.Now()
 	in, o, err := decodeCanon(payload, sc)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := in.Validate(); err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	coreScratch := sc != nil
 	if sc == nil {
 		sc = NewScratch()
 	}
 	sc.Trace.Add(obs.StageCanonicalize, time.Since(td))
-	return solveCanonical(ctx, in, o, sc, coreScratch)
+	var rec *delta.Record
+	if capture {
+		// The decoded instance lives in sc's decode arena; the record
+		// outlives the request, so it takes a deep copy.
+		rec = &delta.Record{In: in.Clone(), Opts: canonOptions(o)}
+	}
+	sol, info, err := solveCanonical(ctx, in, o, sc, coreScratch, rec)
+	return sol, info, rec, err
 }
 
 // SolveCanonBytes is the canon-payload counterpart of SolveCached: the key
@@ -103,7 +113,7 @@ func SolveCanonBytes(ctx context.Context, payload []byte, sc *Scratch, ca *Cache
 	}
 	tr.Reset()
 	if ca == nil || ca.c == nil {
-		sol, info, err = solveCanonBytesMiss(ctx, payload, sc)
+		sol, info, _, err = solveCanonBytesMiss(ctx, payload, sc, false)
 		return sol, info, false, err
 	}
 	if ctx == nil {
@@ -115,11 +125,11 @@ func SolveCanonBytes(ctx context.Context, payload []byte, sc *Scratch, ca *Cache
 	tl := time.Now()
 	v, hit, err := ca.c.Do(ctx, key, func() (any, int64, error) {
 		tr.Add(obs.StageCacheLookup, time.Since(tl))
-		sol, info, err := solveCanonBytesMiss(ctx, payload, sc)
+		sol, info, rec, err := solveCanonBytesMiss(ctx, payload, sc, true)
 		if err != nil {
 			return nil, 0, err
 		}
-		res := &cachedResult{sol: sol, info: info}
+		res := &cachedResult{sol: sol, info: info, rec: rec}
 		return res, res.bytes(), nil
 	})
 	if err != nil {
@@ -144,7 +154,7 @@ func SolveCanonBytesDetach(ctx context.Context, payload []byte, sc *Scratch, ca 
 	}
 	tr.Reset()
 	if ca == nil || ca.c == nil {
-		sol, info, err = solveCanonBytesMiss(ctx, payload, sc)
+		sol, info, _, err = solveCanonBytesMiss(ctx, payload, sc, false)
 		return sol, info, false, false, err
 	}
 	if ctx == nil {
@@ -156,11 +166,11 @@ func SolveCanonBytesDetach(ctx context.Context, payload []byte, sc *Scratch, ca 
 	tl := time.Now()
 	v, hit, done, err := ca.c.DoDetached(key, func() (any, int64, error) {
 		tr.Add(obs.StageCacheLookup, time.Since(tl))
-		sol, info, err := solveCanonBytesMiss(ctx, payload, sc)
+		sol, info, rec, err := solveCanonBytesMiss(ctx, payload, sc, true)
 		if err != nil {
 			return nil, 0, err
 		}
-		res := &cachedResult{sol: sol, info: info}
+		res := &cachedResult{sol: sol, info: info, rec: rec}
 		return res, res.bytes(), nil
 	}, func(val any, derr error) {
 		if derr != nil {

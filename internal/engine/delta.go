@@ -1,0 +1,262 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/canon"
+	"repro/internal/core"
+	"repro/internal/delta"
+	"repro/internal/mmlp"
+	"repro/internal/obs"
+	"repro/internal/structured"
+	"repro/internal/transform"
+)
+
+// This file is the incremental re-solve path behind POST /v1/delta. A
+// delta names a cached base solve by canonical key and edits a few rows;
+// the pipeline re-prices exactly the agents whose radius-(4r+3)
+// neighbourhood the edits touch (delta.Plan) and splices every other
+// kernel value from the base's record, then re-runs the cheap derived
+// stages. The result is bit-identical to a cold solve of the edited
+// instance — for every engine, because the dist protocols' T and X vectors
+// are bit-identical to the centralised kernel's (see internal/dist). What
+// a splice cannot reproduce is a dist run's traffic report, so delta
+// results are stored back into the cache only for the centralised engine:
+// a stored entry must replay bit-identically to ANY later request for its
+// key, including a /v1/solve that expects rounds/messages.
+
+// ErrBaseUnknown reports that the named base key holds no delta record on
+// this process — never cached here, evicted, or cached before delta
+// support. The serving layer maps it to 404/base_unknown and the client
+// falls back to a full solve.
+var ErrBaseUnknown = errors.New("engine: base key unknown (solve the instance in full first)")
+
+// DeltaOutcome is the accounting of one delta solve.
+type DeltaOutcome struct {
+	// Key is the canonical key of the edited instance (the base for a
+	// follow-up delta).
+	Key canon.Key
+	// DirtyAgents is how many structured-form agents the kernel re-ran for;
+	// TotalAgents the structured instance size. Both are zero when the
+	// edited instance was answered from the cache without solving.
+	DirtyAgents int
+	TotalAgents int
+	// Spliced reports that at least one agent's kernel value was taken from
+	// the base record. False on a cache hit, on a full recompute (the dirty
+	// ball covered every agent), and on the fallback paths that re-solve
+	// cold (base record without a t-vector, or a structural mismatch).
+	Spliced bool
+}
+
+// SolveDelta solves base-plus-edits against the result cache. The returned
+// solution is a private copy; cached reports that the edited instance was
+// already in the cache (empty edit set, or edits that cancel out). All
+// edit failures wrap mmlp.ErrInvalid; a missing base returns
+// ErrBaseUnknown. Concurrent deltas arriving at one edited key coalesce
+// exactly like concurrent solves of that key.
+func SolveDelta(ctx context.Context, base canon.Key, edits []mmlp.RowEdit, sc *Scratch, ca *Cache) (sol *Solution, out *DeltaOutcome, cached bool, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var tr *obs.Trace
+	var cs *mmlp.CanonScratch
+	if sc != nil {
+		tr = &sc.Trace
+		cs = &sc.canon
+	}
+	tr.Reset()
+	if ca == nil || ca.c == nil {
+		return nil, nil, false, ErrBaseUnknown
+	}
+
+	// Plan prologue: fetch the base record, apply the edits, canonicalize
+	// and key the edited instance. The record is immutable cache state, so
+	// it stays valid even if the entry is evicted between here and the
+	// kernel (the eviction edge case is a 404 only when it precedes this
+	// lookup).
+	tp := time.Now()
+	v, ok := ca.c.Get(base)
+	if !ok {
+		return nil, nil, false, ErrBaseUnknown
+	}
+	rec := v.(*cachedResult).rec
+	if rec == nil || rec.In == nil {
+		return nil, nil, false, ErrBaseUnknown
+	}
+	edited, err := delta.Apply(rec.In, edits)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if err := edited.Validate(); err != nil {
+		return nil, nil, false, err
+	}
+	o := OptionsFromCanon(rec.Opts)
+	cin := edited.CanonicalInto(cs)
+	key := canon.Hash(cin, rec.Opts)
+	tr.Add(obs.StageDeltaPlan, time.Since(tp))
+
+	out = &DeltaOutcome{Key: key}
+	tl := time.Now()
+	if v, hit := ca.c.Get(key); hit {
+		tr.Add(obs.StageCacheLookup, time.Since(tl))
+		res := v.(*cachedResult)
+		return res.sol.clone(), out, true, nil
+	}
+	if o.Engine != Central {
+		// No write-back (see the file comment), hence no coalescing either:
+		// a concurrent cold solve of the same key must not find a spliced
+		// entry without its traffic report.
+		sol, err := solveDeltaMiss(ctx, rec, cin, o, sc, out, nil)
+		return sol, out, false, err
+	}
+	v2, hit, err := ca.c.Do(ctx, key, func() (any, int64, error) {
+		tr.Add(obs.StageCacheLookup, time.Since(tl))
+		rec2 := &delta.Record{In: cin.Clone(), Opts: rec.Opts}
+		sol, err := solveDeltaMiss(ctx, rec, cin, o, sc, out, rec2)
+		if err != nil {
+			return nil, 0, err
+		}
+		res := &cachedResult{sol: sol, rec: rec2}
+		return res, res.bytes(), nil
+	})
+	if err != nil {
+		return nil, nil, false, err
+	}
+	if hit {
+		tr.Add(obs.StageCacheLookup, time.Since(tl))
+		// A concurrent flight beat us to the key: the answer is shared, the
+		// delta accounting (dirty set) is the leader's, not ours.
+		out.DirtyAgents, out.TotalAgents, out.Spliced = 0, 0, false
+	}
+	res := v2.(*cachedResult)
+	return res.sol.clone(), out, hit, nil
+}
+
+// solveDeltaMiss prices the edit: it mirrors solveCanonical on the edited
+// instance, with the kernel stage replaced by plan+recompute+splice
+// whenever the base record carries a t-vector and the structured forms
+// align. Every other shape — trivial dispatch, zero/unbounded preprocess
+// outcome, a base that never ran the kernel, agent-count drift — falls
+// back to solveCanonical itself, which is always bit-identical (just not
+// incremental). rec2, when non-nil, receives the edited instance's
+// t-vector for the stored record.
+func solveDeltaMiss(ctx context.Context, rec *delta.Record, cin *mmlp.Instance, o Options, sc *Scratch, out *DeltaOutcome, rec2 *delta.Record) (*Solution, error) {
+	coreScratch := sc != nil
+	if sc == nil {
+		sc = NewScratch()
+	}
+	cold := func() (*Solution, error) {
+		sol, _, err := solveCanonical(ctx, cin, o, sc, coreScratch, rec2)
+		if err == nil && rec2 != nil {
+			out.TotalAgents = len(rec2.T)
+			out.DirtyAgents = out.TotalAgents
+		}
+		return sol, err
+	}
+	if rec.T == nil {
+		return cold()
+	}
+	if o.R == 0 {
+		o.R = 3
+	}
+	if o.R < 2 {
+		return nil, fmt.Errorf("maxminlp: R must be ≥ 2, got %d", o.R)
+	}
+
+	// Transform the edited instance. Any path that leaves the standard
+	// preprocess→structure pipeline is handled by the cold solve: those
+	// paths never touch the kernel, so there is nothing to splice.
+	tp := time.Now()
+	pp := transform.PreprocessScratch(cin, &sc.pipe)
+	if pp.Outcome != transform.OK {
+		return cold()
+	}
+	red := pp.Out
+	if !o.DisableSpecialCases && (red.DegreeI() <= 1 || red.DegreeK() <= 1) {
+		return cold()
+	}
+	pipe, err := transform.StructureScratch(red, &sc.pipe)
+	if err != nil {
+		return nil, err
+	}
+	sNew, err := structured.FromMMLPScratch(pipe.Final(), &sc.str)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Transform the base the same way — once per record, not per delta: the
+	// memoised form is shared by every delta priced against this base. The
+	// build uses a private arena (sc's is holding the edited side) whose
+	// memory the structured instance then owns. The base reached the kernel
+	// (rec.T != nil), so its pipeline must take the same shape; anything
+	// else means the record cannot be aligned and the cold solve decides.
+	sOld, ok := rec.BaseStructured(func() (*structured.Instance, bool) {
+		osc := NewScratch()
+		ppOld := transform.PreprocessScratch(rec.In, &osc.pipe)
+		if ppOld.Outcome != transform.OK {
+			return nil, false
+		}
+		pipeOld, err := transform.StructureScratch(ppOld.Out, &osc.pipe)
+		if err != nil {
+			return nil, false
+		}
+		s, err := structured.FromMMLPScratch(pipeOld.Final(), &osc.str)
+		if err != nil {
+			return nil, false
+		}
+		return s, true
+	})
+	if !ok {
+		return cold()
+	}
+	if sOld.N != sNew.N || len(rec.T) != sOld.N {
+		return cold()
+	}
+	r := o.R - 2
+	dirty, err := delta.Plan(sOld, sNew, core.TRadius(r))
+	if err != nil {
+		return cold()
+	}
+	sc.Trace.Add(obs.StageDeltaPlan, time.Since(tp))
+
+	// Kernel: re-price exactly the dirty agents against the edited form.
+	tk := time.Now()
+	copts := core.Options{R: o.R, Workers: o.Workers, BinIters: o.BinIters}
+	t, err := core.RecomputeT(sNew, rec.T, dirty, copts)
+	if err != nil {
+		return nil, err
+	}
+	sc.Trace.Add(obs.StageDeltaKernel, time.Since(tk))
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Splice: derive the cheap stages from the merged t-vector and back-map
+	// exactly as a cold solve would.
+	ts := time.Now()
+	ctr, err := core.DeriveFromT(sNew, t, copts)
+	if err != nil {
+		return nil, err
+	}
+	x := cin.Strictify(pp.Lift(pipe.Back(ctr.X)))
+	sol := &Solution{
+		Status:     StatusApproximate,
+		X:          x,
+		Utility:    cin.Utility(x),
+		UpperBound: ctr.UpperBound,
+	}
+	sc.Trace.Add(obs.StageDeltaSplice, time.Since(ts))
+	if rec2 != nil {
+		rec2.T = t
+	}
+	out.DirtyAgents = len(dirty)
+	out.TotalAgents = sNew.N
+	out.Spliced = len(dirty) < sNew.N
+	return sol, nil
+}

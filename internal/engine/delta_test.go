@@ -1,0 +1,276 @@
+package engine_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/canon"
+	"repro/internal/delta"
+	"repro/internal/engine"
+	"repro/internal/gen"
+	"repro/internal/mmlp"
+)
+
+// reweightEdit builds an edit set that doubles (or scales) the
+// coefficients of the base's first canonical constraint row — the
+// smallest semantically meaningful edit, valid against any instance with
+// at least one constraint.
+func reweightEdit(in *mmlp.Instance, factor float64) []mmlp.RowEdit {
+	row := in.Canonical().Cons[0].Terms
+	nt := make([]mmlp.Term, len(row))
+	for j, tm := range row {
+		nt[j] = mmlp.Term{Agent: tm.Agent, Coef: tm.Coef * factor}
+	}
+	return []mmlp.RowEdit{{
+		Op:    mmlp.EditReweight,
+		Kind:  mmlp.EditConstraint,
+		Match: append([]mmlp.Term(nil), row...),
+		Terms: nt,
+	}}
+}
+
+// seedBase solves in under opts so the cache holds its delta record, and
+// returns the base key.
+func seedBase(t *testing.T, ca *engine.Cache, in *mmlp.Instance, opts engine.Options) canon.Key {
+	t.Helper()
+	if _, _, _, err := engine.SolveCached(context.Background(), in, opts, engine.NewScratch(), ca); err != nil {
+		t.Fatalf("base solve: %v", err)
+	}
+	return engine.SolveKey(in, opts)
+}
+
+// TestSolveDeltaConformance is the tentpole acceptance check: for every
+// engine, a delta solve is bit-identical to a cold solve of the edited
+// instance. The centralised engine additionally stores the result, so a
+// repeat of the same delta must hit the cache with the same bits; the
+// message-passing engines never store (a spliced entry could not replay a
+// traffic report), so a repeat re-prices.
+func TestSolveDeltaConformance(t *testing.T) {
+	ctx := context.Background()
+	cases := map[string]struct {
+		in     *mmlp.Instance
+		opts   engine.Options
+		stored bool
+	}{
+		"central":      {gen.Random(gen.RandomConfig{Agents: 18, MaxDegI: 3, MaxDegK: 3, ExtraCons: 5, ExtraObjs: 2}, 1), engine.Options{R: 3, DisableSpecialCases: true}, true},
+		"central-r4":   {gen.Random(gen.RandomConfig{Agents: 14, MaxDegI: 3, MaxDegK: 3, ExtraCons: 4, ExtraObjs: 2}, 2), engine.Options{R: 4, DisableSpecialCases: true}, true},
+		"dist":         {gen.TriNecklace(4), engine.Options{Engine: engine.Distributed, R: 3}, false},
+		"dist-compact": {gen.TriNecklace(4), engine.Options{Engine: engine.DistributedCompact, R: 3}, false},
+	}
+	for name, c := range cases {
+		ca := engine.NewCache(engine.CacheOptions{})
+		base := seedBase(t, ca, c.in, c.opts)
+		edits := reweightEdit(c.in, 2)
+
+		edited, err := delta.Apply(c.in.Canonical(), edits)
+		if err != nil {
+			t.Fatalf("%s: apply: %v", name, err)
+		}
+		cold, _, err := engine.Solve(ctx, edited, c.opts)
+		if err != nil {
+			t.Fatalf("%s: cold solve of the edited instance: %v", name, err)
+		}
+
+		sol, out, cached, err := engine.SolveDelta(ctx, base, edits, engine.NewScratch(), ca)
+		if err != nil {
+			t.Fatalf("%s: delta solve: %v", name, err)
+		}
+		if cached {
+			t.Fatalf("%s: first delta reported a cache hit", name)
+		}
+		equalSolutions(t, name+"/delta", sol, cold)
+		if want := engine.SolveKey(edited, c.opts); out.Key != want {
+			t.Fatalf("%s: delta key %s, want the edited instance's key %s", name, out.Key, want)
+		}
+
+		again, _, cached, err := engine.SolveDelta(ctx, base, edits, engine.NewScratch(), ca)
+		if err != nil {
+			t.Fatalf("%s: repeat delta: %v", name, err)
+		}
+		if cached != c.stored {
+			t.Fatalf("%s: repeat delta cached = %v, want %v", name, cached, c.stored)
+		}
+		equalSolutions(t, name+"/repeat", again, cold)
+	}
+}
+
+// TestSolveDeltaSplices pins the incremental path itself: on a large
+// instance with the minimum horizon (R=2, ball radius 3), a one-row edit
+// must dirty only a small neighbourhood, splice the rest from the base
+// record, and still reproduce the cold solve bit for bit.
+func TestSolveDeltaSplices(t *testing.T) {
+	ctx := context.Background()
+	in := gen.Random(gen.RandomConfig{Agents: 200, MaxDegI: 3, MaxDegK: 3, ExtraCons: 40, ExtraObjs: 10}, 11)
+	opts := engine.Options{R: 2, DisableSpecialCases: true}
+	ca := engine.NewCache(engine.CacheOptions{})
+	base := seedBase(t, ca, in, opts)
+	edits := reweightEdit(in, 3)
+
+	edited, err := delta.Apply(in.Canonical(), edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _, err := engine.Solve(ctx, edited, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, out, cached, err := engine.SolveDelta(ctx, base, edits, engine.NewScratch(), ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first delta reported a cache hit")
+	}
+	equalSolutions(t, "spliced", sol, cold)
+	if !out.Spliced {
+		t.Fatalf("outcome %+v: expected a spliced solve", out)
+	}
+	if out.DirtyAgents <= 0 || out.DirtyAgents >= out.TotalAgents {
+		t.Fatalf("dirty %d of %d agents: expected a strict subset", out.DirtyAgents, out.TotalAgents)
+	}
+}
+
+// TestSolveDeltaEmptyEdits: an empty edit set is the base itself — a pure
+// cache hit, no kernel work.
+func TestSolveDeltaEmptyEdits(t *testing.T) {
+	ctx := context.Background()
+	in := gen.Random(gen.RandomConfig{Agents: 18, MaxDegI: 3, MaxDegK: 3, ExtraCons: 5, ExtraObjs: 2}, 4)
+	opts := engine.Options{R: 3, DisableSpecialCases: true}
+	ca := engine.NewCache(engine.CacheOptions{})
+
+	want, _, _, err := engine.SolveCached(ctx, in, opts, engine.NewScratch(), ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := engine.SolveKey(in, opts)
+	sol, out, cached, err := engine.SolveDelta(ctx, base, nil, engine.NewScratch(), ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("empty edit set missed the cache")
+	}
+	equalSolutions(t, "empty-edits", sol, want)
+	if out.Key != base {
+		t.Fatalf("empty edit set changed the key: %s vs %s", out.Key, base)
+	}
+	if out.DirtyAgents != 0 || out.Spliced {
+		t.Fatalf("outcome %+v: a cache hit must report no kernel work", out)
+	}
+}
+
+// TestSolveDeltaRemoveLastObjective: an edit set that deletes every
+// objective is a typed validation failure, not a solve.
+func TestSolveDeltaRemoveLastObjective(t *testing.T) {
+	in := mmlp.New(2)
+	in.AddConstraint(0, 1, 1, 1)
+	in.AddObjective(0, 1, 1, 1)
+	opts := engine.Options{R: 3}
+	ca := engine.NewCache(engine.CacheOptions{})
+	base := seedBase(t, ca, in, opts)
+
+	match := in.Canonical().Objs[0].Terms
+	_, _, _, err := engine.SolveDelta(context.Background(), base, []mmlp.RowEdit{
+		{Op: mmlp.EditRemove, Kind: mmlp.EditObjective, Match: match},
+	}, engine.NewScratch(), ca)
+	if !errors.Is(err, mmlp.ErrInvalid) {
+		t.Fatalf("err = %v, want ErrInvalid", err)
+	}
+}
+
+// TestSolveDeltaAllDirty: on a small instance the edit ball covers every
+// agent — a full recompute, reported as such, and still bit-identical.
+func TestSolveDeltaAllDirty(t *testing.T) {
+	ctx := context.Background()
+	in := gen.TriNecklace(3)
+	opts := engine.Options{R: 3, DisableSpecialCases: true}
+	ca := engine.NewCache(engine.CacheOptions{})
+	base := seedBase(t, ca, in, opts)
+	edits := reweightEdit(in, 2)
+
+	edited, err := delta.Apply(in.Canonical(), edits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _, err := engine.Solve(ctx, edited, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, out, _, err := engine.SolveDelta(ctx, base, edits, engine.NewScratch(), ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalSolutions(t, "all-dirty", sol, cold)
+	if out.Spliced {
+		t.Fatalf("outcome %+v: a full recompute must not report a splice", out)
+	}
+	if out.DirtyAgents != out.TotalAgents || out.TotalAgents == 0 {
+		t.Fatalf("outcome %+v: expected every agent dirty", out)
+	}
+}
+
+// TestSolveDeltaBaseUnknown: a key never solved here — or evicted since —
+// is the typed 404, both on a cold cache and after eviction.
+func TestSolveDeltaBaseUnknown(t *testing.T) {
+	ctx := context.Background()
+	in := gen.Random(gen.RandomConfig{Agents: 12, MaxDegI: 3, MaxDegK: 3, ExtraCons: 4, ExtraObjs: 2}, 5)
+	opts := engine.Options{R: 3, DisableSpecialCases: true}
+	ca := engine.NewCache(engine.CacheOptions{})
+
+	if _, _, _, err := engine.SolveDelta(ctx, engine.SolveKey(in, opts), nil, engine.NewScratch(), ca); !errors.Is(err, engine.ErrBaseUnknown) {
+		t.Fatalf("cold cache: err = %v, want ErrBaseUnknown", err)
+	}
+
+	base := seedBase(t, ca, in, opts)
+	ca.Prune(func(canon.Key) bool { return false }) // evict everything
+	if _, _, _, err := engine.SolveDelta(ctx, base, nil, engine.NewScratch(), ca); !errors.Is(err, engine.ErrBaseUnknown) {
+		t.Fatalf("after eviction: err = %v, want ErrBaseUnknown", err)
+	}
+
+	if _, _, _, err := engine.SolveDelta(ctx, base, nil, engine.NewScratch(), nil); !errors.Is(err, engine.ErrBaseUnknown) {
+		t.Fatalf("nil cache: err = %v, want ErrBaseUnknown", err)
+	}
+}
+
+// TestSolveDeltaChained: the delta result's key is itself a usable base —
+// the centralised path stores a record for the edited instance, so a
+// second edit prices against it without ever re-solving from scratch.
+func TestSolveDeltaChained(t *testing.T) {
+	ctx := context.Background()
+	in := gen.Random(gen.RandomConfig{Agents: 18, MaxDegI: 3, MaxDegK: 3, ExtraCons: 5, ExtraObjs: 2}, 6)
+	opts := engine.Options{R: 3, DisableSpecialCases: true}
+	ca := engine.NewCache(engine.CacheOptions{})
+	base := seedBase(t, ca, in, opts)
+
+	first := reweightEdit(in, 2)
+	_, out1, _, err := engine.SolveDelta(ctx, base, first, engine.NewScratch(), ca)
+	if err != nil {
+		t.Fatal(err)
+	}
+	once, err := delta.Apply(in.Canonical(), first)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	second := reweightEdit(once, 2)
+	sol, out2, cached, err := engine.SolveDelta(ctx, out1.Key, second, engine.NewScratch(), ca)
+	if err != nil {
+		t.Fatalf("chained delta: %v", err)
+	}
+	if cached {
+		t.Fatal("chained delta reported a cache hit")
+	}
+	twice, err := delta.Apply(once.Canonical(), second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, _, err := engine.Solve(ctx, twice, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	equalSolutions(t, "chained", sol, cold)
+	if want := engine.SolveKey(twice, opts); out2.Key != want {
+		t.Fatalf("chained key %s, want %s", out2.Key, want)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/canon"
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/dist"
 	"repro/internal/mmlp"
 	"repro/internal/obs"
@@ -197,7 +198,7 @@ func SolveScratch(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch
 	tc := time.Now()
 	cin := in.CanonicalInto(&sc.canon)
 	sc.Trace.Add(obs.StageCanonicalize, time.Since(tc))
-	return solveCanonical(ctx, cin, o, sc, coreScratch)
+	return solveCanonical(ctx, cin, o, sc, coreScratch, nil)
 }
 
 // solveCanonical runs the pipeline stages on a validated instance already
@@ -205,7 +206,13 @@ func SolveScratch(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch
 // the entry points (SolveScratch, SolveCached) — never twice. coreScratch
 // selects the single-worker scratch kernel; the transform stages always
 // build into sc's arena.
-func solveCanonical(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch, coreScratch bool) (*Solution, *DistInfo, error) {
+//
+// rec, when non-nil, captures the kernel t-vector for the delta-solve
+// record the cache-miss paths store alongside the solution (a private
+// copy; the trivial and preprocess-shortcut paths leave rec.T nil — they
+// have no kernel to splice from). The uncached entry points pass nil, so
+// the warm SolveScratch path allocates nothing for it.
+func solveCanonical(ctx context.Context, in *mmlp.Instance, o Options, sc *Scratch, coreScratch bool, rec *delta.Record) (*Solution, *DistInfo, error) {
 	var info *DistInfo
 	if o.Engine != Central {
 		info = &DistInfo{}
@@ -292,6 +299,11 @@ func solveCanonical(ctx context.Context, in *mmlp.Instance, o Options, sc *Scrat
 			}
 		}
 		xs, ub = tr.X, tr.UpperBound
+		if rec != nil {
+			// The scratch kernel's T aliases sc's buffers; the record outlives
+			// this request, so it takes a copy.
+			rec.T = append([]float64(nil), tr.T...)
+		}
 	case Distributed, DistributedCompact:
 		solver := dist.SolveDistributed
 		if o.Engine == DistributedCompact {
@@ -313,6 +325,11 @@ func solveCanonical(ctx context.Context, in *mmlp.Instance, o Options, sc *Scrat
 			}
 		}
 		xs = res.X
+		if rec != nil {
+			// The dist protocols' T is bit-identical to the centralised
+			// kernel's (internal/dist), so the record splices for any engine.
+			rec.T = append([]float64(nil), res.T...)
+		}
 	default:
 		return nil, nil, fmt.Errorf("maxminlp: unknown engine %v", o.Engine)
 	}

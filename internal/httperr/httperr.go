@@ -1,0 +1,118 @@
+// Package httperr renders the fleet's unified JSON error envelope. Every
+// non-2xx response from mmlpserve and mmlprouter carries the same body —
+// {"error":{"code":"…","message":"…"}} — with a stable machine code from
+// the mmlp.ErrCode* vocabulary, so clients and the router branch on the
+// code instead of parsing English. The package also wraps an http.Handler
+// so the net/http mux's own plain-text fallbacks (404 page not found,
+// 405 method not allowed) speak the envelope too.
+package httperr
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"repro/internal/mmlp"
+)
+
+// Write emits one enveloped error response.
+func Write(w http.ResponseWriter, status int, code string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(mmlp.ErrorResponse{
+		Error: mmlp.ErrorDetail{Code: code, Message: err.Error()},
+	})
+}
+
+// CodeForStatus maps an HTTP status onto its default machine code — for
+// call sites whose status is computed (body-size limits, decode failures)
+// rather than chosen alongside a specific code.
+func CodeForStatus(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return mmlp.ErrCodeInvalidArgument
+	case http.StatusNotFound:
+		return mmlp.ErrCodeNotFound
+	case http.StatusMethodNotAllowed:
+		return mmlp.ErrCodeMethodNotAllowed
+	case http.StatusConflict:
+		return mmlp.ErrCodeConflict
+	case http.StatusRequestEntityTooLarge:
+		return mmlp.ErrCodeBodyTooLarge
+	case http.StatusTooManyRequests:
+		return mmlp.ErrCodeOverloaded
+	case http.StatusBadGateway:
+		return mmlp.ErrCodeBadGateway
+	case http.StatusServiceUnavailable:
+		return mmlp.ErrCodeUnavailable
+	case http.StatusGatewayTimeout:
+		return mmlp.ErrCodeDeadlineExceeded
+	default:
+		return mmlp.ErrCodeInternal
+	}
+}
+
+// Envelope wraps h so 404/405 responses h did not author itself — the
+// mux's plain-text "404 page not found" and "405 method not allowed"
+// fallbacks — are rewritten into the envelope. Responses that already
+// carry a JSON content type (every handler-authored error goes through
+// Write) pass through untouched, as does everything else: streaming,
+// flushing and status codes are preserved.
+func Envelope(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		h.ServeHTTP(&envelopeWriter{rw: w, req: r}, r)
+	})
+}
+
+// envelopeWriter intercepts the first WriteHeader: a non-JSON 404/405 at
+// that point can only be the mux fallback (handlers write the envelope
+// with the JSON content type already set), so its body is replaced and
+// the original plain-text body swallowed.
+type envelopeWriter struct {
+	rw      http.ResponseWriter
+	req     *http.Request
+	swallow bool
+	wrote   bool
+}
+
+func (w *envelopeWriter) Header() http.Header { return w.rw.Header() }
+
+func (w *envelopeWriter) WriteHeader(status int) {
+	if w.wrote {
+		w.rw.WriteHeader(status)
+		return
+	}
+	w.wrote = true
+	if (status == http.StatusNotFound || status == http.StatusMethodNotAllowed) &&
+		!strings.HasPrefix(w.rw.Header().Get("Content-Type"), "application/json") {
+		w.swallow = true
+		w.rw.Header().Set("Content-Type", "application/json")
+		err := fmt.Errorf("%s %s: %s", w.req.Method, w.req.URL.Path,
+			strings.ToLower(http.StatusText(status)))
+		w.rw.WriteHeader(status)
+		json.NewEncoder(w.rw).Encode(mmlp.ErrorResponse{
+			Error: mmlp.ErrorDetail{Code: CodeForStatus(status), Message: err.Error()},
+		})
+		return
+	}
+	w.rw.WriteHeader(status)
+}
+
+func (w *envelopeWriter) Write(b []byte) (int, error) {
+	if !w.wrote {
+		w.wrote = true // implicit 200: nothing to rewrite
+	}
+	if w.swallow {
+		return len(b), nil
+	}
+	return w.rw.Write(b)
+}
+
+// Flush forwards to the underlying writer so streaming handlers (batch
+// NDJSON) keep their per-record flushes through the wrapper.
+func (w *envelopeWriter) Flush() {
+	if f, ok := w.rw.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -86,11 +86,8 @@ func (r *SolveRequest) Validate() error {
 		return fmt.Errorf("%w: num_agents %d exceeds the serving limit %d",
 			ErrInvalid, r.Instance.NumAgents, MaxWireAgents)
 	}
-	switch r.Engine {
-	case "", EngineLocal, EngineDist, EngineDistCompact:
-	default:
-		return fmt.Errorf("%w: unknown engine %q (want %q, %q or %q)",
-			ErrInvalid, r.Engine, EngineLocal, EngineDist, EngineDistCompact)
+	if _, err := ParseEngine(r.Engine); err != nil {
+		return err
 	}
 	if r.R != 0 && (r.R < 2 || r.R > MaxWireR) {
 		return fmt.Errorf("%w: r must be in [2, %d], got %d", ErrInvalid, MaxWireR, r.R)
@@ -147,9 +144,55 @@ type BatchItem struct {
 	SolveResponse
 }
 
-// ErrorResponse is the body of every non-2xx serving response.
+// Machine-readable error codes, one per failure class. Every non-2xx
+// response from mmlpserve and mmlprouter carries exactly one of these, so
+// clients can branch on the code instead of parsing English.
+const (
+	// ErrCodeInvalidArgument (400): the request body or parameters are
+	// malformed or out of range.
+	ErrCodeInvalidArgument = "invalid_argument"
+	// ErrCodeBaseUnknown (404): a delta request named a base key no shard
+	// holds; the client should fall back to a full solve.
+	ErrCodeBaseUnknown = "base_unknown"
+	// ErrCodeNotFound (404): no handler is registered for the path.
+	ErrCodeNotFound = "not_found"
+	// ErrCodeMethodNotAllowed (405): the path exists but not for this verb.
+	ErrCodeMethodNotAllowed = "method_not_allowed"
+	// ErrCodeConflict (409): an admin operation collided with one in
+	// progress (e.g. a ring cutover still draining); Retry-After hints when
+	// to retry.
+	ErrCodeConflict = "conflict"
+	// ErrCodeBodyTooLarge (413): the body exceeds the configured limit.
+	ErrCodeBodyTooLarge = "body_too_large"
+	// ErrCodeOverloaded (429): admission control shed the request;
+	// Retry-After carries the backoff hint.
+	ErrCodeOverloaded = "overloaded"
+	// ErrCodeInternal (500): the solve failed for a reason that is not the
+	// client's fault.
+	ErrCodeInternal = "internal"
+	// ErrCodeBadGateway (502): the router could not obtain an answer from
+	// any replica of the owning shard.
+	ErrCodeBadGateway = "bad_gateway"
+	// ErrCodeUnavailable (503): the process is shutting down, the retry
+	// budget is exhausted, or the deadline expired before work started.
+	ErrCodeUnavailable = "unavailable"
+	// ErrCodeDeadlineExceeded (504): the propagated deadline expired while
+	// the job was queued or running.
+	ErrCodeDeadlineExceeded = "deadline_exceeded"
+)
+
+// ErrorDetail is the payload of the unified error envelope.
+type ErrorDetail struct {
+	// Code is one of the ErrCode constants; stable across releases.
+	Code string `json:"code"`
+	// Message is the human-readable detail; not stable.
+	Message string `json:"message"`
+}
+
+// ErrorResponse is the body of every non-2xx serving response, from both
+// mmlpserve and mmlprouter: {"error":{"code":"…","message":"…"}}.
 type ErrorResponse struct {
-	Error string `json:"error"`
+	Error ErrorDetail `json:"error"`
 }
 
 // StatsRaw is the body of GET /statsz?raw=1 on one mmlpserve process: the
@@ -182,6 +225,14 @@ type StatsRaw struct {
 	// offered load on a shard is therefore Jobs + Shed.
 	Shed            int64 `json:"shed,omitempty"`
 	DeadlineExpired int64 `json:"deadline_expired,omitempty"`
+	// DeltaHits counts delta jobs answered from the result cache (the
+	// edited instance was already solved), DeltaMisses the ones that priced
+	// the edit. DirtyAgents totals the agents whose kernel value was
+	// recomputed across all priced deltas, so DirtyAgents/DeltaMisses is
+	// the fleet's average edit ball size.
+	DeltaHits   int64 `json:"delta_hits,omitempty"`
+	DeltaMisses int64 `json:"delta_misses,omitempty"`
+	DirtyAgents int64 `json:"dirty_agents,omitempty"`
 	// FaultsInjected counts faults fired by the -fault-spec chaos layer;
 	// always zero in production (the layer is off by default).
 	FaultsInjected int64 `json:"faults_injected,omitempty"`
@@ -232,6 +283,9 @@ func (s *StatsRaw) Add(other *StatsRaw) {
 	s.Errors += other.Errors
 	s.Shed += other.Shed
 	s.DeadlineExpired += other.DeadlineExpired
+	s.DeltaHits += other.DeltaHits
+	s.DeltaMisses += other.DeltaMisses
+	s.DirtyAgents += other.DirtyAgents
 	s.FaultsInjected += other.FaultsInjected
 	if other.UptimeNS > s.UptimeNS {
 		s.UptimeNS = other.UptimeNS

@@ -1,0 +1,34 @@
+package mmlp
+
+// Capabilities is the body of GET /v1/capabilities on both binaries: a
+// static description of what the process serves, so clients discover delta
+// support, negotiated content types and the wire limits instead of probing
+// endpoints with requests that 404.
+type Capabilities struct {
+	// Service is "mmlpserve" or "mmlprouter".
+	Service string `json:"service"`
+	// Endpoints lists the served "METHOD /path" pairs.
+	Endpoints []string `json:"endpoints"`
+	// Engines lists the accepted wire engine names.
+	Engines []string `json:"engines"`
+	// ContentTypes lists the negotiable request/response content types.
+	ContentTypes []string `json:"content_types"`
+	// MaxWireR / MaxWireBinIters / MaxWireAgents / MaxWireEdits echo the
+	// wire limits of this package.
+	MaxWireR        int `json:"max_wire_r"`
+	MaxWireBinIters int `json:"max_wire_bin_iters"`
+	MaxWireAgents   int `json:"max_wire_agents"`
+	MaxWireEdits    int `json:"max_wire_edits"`
+	// MaxBodyBytes is the configured request-body limit.
+	MaxBodyBytes int64 `json:"max_body_bytes"`
+	// Delta reports whether POST /v1/delta can succeed here: it requires
+	// the result cache (the base record lives there), so a shard running
+	// with -cache-bytes 0 answers every delta with 404.
+	Delta bool `json:"delta"`
+	// Shed reports whether admission control refuses overflow with 429
+	// instead of queueing it (mmlpserve -shed).
+	Shed bool `json:"shed,omitempty"`
+	// Replication is the router's replica-set size (mmlprouter only;
+	// omitted by mmlpserve).
+	Replication int `json:"replication,omitempty"`
+}

@@ -1,0 +1,186 @@
+package mmlp
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file defines the wire format of the incremental re-solve surface
+// (POST /v1/delta). A delta request names a cached base solve by its
+// canonical key and describes an edit set against the base instance; the
+// server re-runs the kernel only for the agents whose radius-(4r+3)
+// neighbourhood the edits touch and splices everything else from the
+// cached base solution. The types are purely syntactic, like the rest of
+// this package: the base key travels as a hex string and rows as plain
+// term lists, so the package stays free of solver dependencies.
+
+// Row-edit operations.
+const (
+	// EditAdd appends a new row (Terms) to the named section.
+	EditAdd = "add"
+	// EditRemove deletes the row whose content matches Match.
+	EditRemove = "remove"
+	// EditReweight replaces the coefficients of the row matching Match with
+	// Terms; both must cover exactly the same agent set.
+	EditReweight = "reweight"
+)
+
+// Row kinds an edit can target.
+const (
+	// EditConstraint targets a packing row Σ a_iv x_v ≤ 1.
+	EditConstraint = "constraint"
+	// EditObjective targets a covering row of the max-min objective.
+	EditObjective = "objective"
+)
+
+// MaxWireEdits bounds the edit set accepted over HTTP. A delta is by
+// definition small relative to its base; a client holding more edits than
+// this should re-submit the instance as a full solve.
+const MaxWireEdits = 4096
+
+// RowEdit is one edit against the base instance. Rows are addressed by
+// content, not index: the base is stored in canonical form, where row
+// order is an artifact of sorting, so Match lists the terms of the row to
+// edit (order-insensitive) and the server locates it in the base.
+type RowEdit struct {
+	// Op is the operation: EditAdd, EditRemove or EditReweight.
+	Op string `json:"op"`
+	// Kind names the section: EditConstraint or EditObjective.
+	Kind string `json:"kind"`
+	// Match identifies the target row by its exact term content (agent and
+	// coefficient, any order). Required for remove and reweight; must be
+	// absent for add.
+	Match []Term `json:"match,omitempty"`
+	// Terms is the new row content. Required for add and reweight; must be
+	// absent for remove. A reweight must keep the agent set of Match.
+	Terms []Term `json:"terms,omitempty"`
+}
+
+// DeltaRequest is the body of POST /v1/delta.
+type DeltaRequest struct {
+	// Base is the canonical key of the cached base solve (64 hex chars, as
+	// returned by the serving layer's key rendering and computed by
+	// internal/canon). The delta is priced against this base: if no shard
+	// holds it any more the request fails with 404/base_unknown and the
+	// client falls back to a full solve.
+	Base string `json:"base"`
+	// Edits is the edit set. An empty set is legal and answers from the
+	// cache directly (the edited instance is the base).
+	Edits []RowEdit `json:"edits,omitempty"`
+}
+
+// validTerm vets one wire term the same way instance validation does:
+// agent indices are checked against the base instance server-side, so here
+// only the coefficient is vetted.
+func validTerm(t Term) error {
+	if t.Agent < 0 {
+		return fmt.Errorf("%w: negative agent %d", ErrInvalid, t.Agent)
+	}
+	if !(t.Coef > 0) || math.IsInf(t.Coef, 1) {
+		return fmt.Errorf("%w: coefficient %v for agent %d (want strictly positive and finite)",
+			ErrInvalid, t.Coef, t.Agent)
+	}
+	return nil
+}
+
+// Validate vets the request envelope: the base key must be 64 hex chars
+// and every edit must be syntactically complete for its operation. Whether
+// the edits apply to the base (rows exist, agents in range, an objective
+// survives) is checked server-side against the cached instance; those
+// failures also wrap ErrInvalid.
+func (r *DeltaRequest) Validate() error {
+	if len(r.Base) != 64 {
+		return fmt.Errorf("%w: base key must be 64 hex chars, got %d", ErrInvalid, len(r.Base))
+	}
+	for _, c := range []byte(r.Base) {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return fmt.Errorf("%w: base key must be lowercase hex", ErrInvalid)
+		}
+	}
+	if len(r.Edits) > MaxWireEdits {
+		return fmt.Errorf("%w: %d edits exceed the serving limit %d", ErrInvalid, len(r.Edits), MaxWireEdits)
+	}
+	for j, e := range r.Edits {
+		if err := e.Validate(); err != nil {
+			return fmt.Errorf("edit %d: %w", j, err)
+		}
+	}
+	return nil
+}
+
+// Validate vets one edit's shape.
+func (e *RowEdit) Validate() error {
+	switch e.Kind {
+	case EditConstraint, EditObjective:
+	default:
+		return fmt.Errorf("%w: unknown row kind %q (want %q or %q)",
+			ErrInvalid, e.Kind, EditConstraint, EditObjective)
+	}
+	switch e.Op {
+	case EditAdd:
+		if len(e.Match) != 0 {
+			return fmt.Errorf("%w: add must not carry a match", ErrInvalid)
+		}
+		if len(e.Terms) == 0 {
+			return fmt.Errorf("%w: add requires terms", ErrInvalid)
+		}
+	case EditRemove:
+		if len(e.Match) == 0 {
+			return fmt.Errorf("%w: remove requires a match", ErrInvalid)
+		}
+		if len(e.Terms) != 0 {
+			return fmt.Errorf("%w: remove must not carry terms", ErrInvalid)
+		}
+	case EditReweight:
+		if len(e.Match) == 0 || len(e.Terms) == 0 {
+			return fmt.Errorf("%w: reweight requires both match and terms", ErrInvalid)
+		}
+	default:
+		return fmt.Errorf("%w: unknown edit op %q (want %q, %q or %q)",
+			ErrInvalid, e.Op, EditAdd, EditRemove, EditReweight)
+	}
+	for _, t := range e.Match {
+		if err := validTerm(t); err != nil {
+			return err
+		}
+	}
+	for _, t := range e.Terms {
+		if err := validTerm(t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DeltaResponse is the body of a successful POST /v1/delta. It carries the
+// same solution fields as SolveResponse — the solution is bit-identical to
+// a cold solve of the edited instance — plus the delta accounting. The
+// distributed engines' traffic counters (rounds/messages/bytes) are never
+// present: a spliced solve runs no protocol, so only a full solve can
+// report them.
+type DeltaResponse struct {
+	// Status/X/Utility/UpperBound are as in SolveResponse.
+	Status     string    `json:"status"`
+	X          []float64 `json:"x,omitempty"`
+	Utility    float64   `json:"utility"`
+	UpperBound float64   `json:"upper_bound"`
+	// Key is the canonical key of the edited instance: the base key for the
+	// next delta in a chain of edits.
+	Key string `json:"key"`
+	// DirtyAgents is how many agents the edit's radius-(4r+3) ball covered
+	// (the kernel re-ran exactly for those); TotalAgents is the structured
+	// instance size, for comparison. Spliced reports that the remaining
+	// agents were taken from the cached base; it is false when the ball
+	// covered everything or the pipeline took a path that needs no kernel.
+	DirtyAgents int  `json:"dirty_agents"`
+	TotalAgents int  `json:"total_agents"`
+	Spliced     bool `json:"spliced,omitempty"`
+	// Cached reports that the edited instance itself was already cached (an
+	// empty edit set, or edits that cancel out).
+	Cached bool `json:"cached,omitempty"`
+	// LatencyMS is the server-side time in milliseconds.
+	LatencyMS float64 `json:"latency_ms"`
+	// Trace is the opt-in per-stage breakdown (?trace=1), including the
+	// delta_plan/delta_kernel/delta_splice stages.
+	Trace map[string]float64 `json:"trace,omitempty"`
+}

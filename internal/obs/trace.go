@@ -28,6 +28,14 @@ const (
 	StageTransform
 	StageKernel
 	StageBackMap
+	// The three delta stages partition an incremental re-solve: planning
+	// the dirty agent set (edit application, canonicalization, the BFS over
+	// both topologies), re-running the kernel for exactly the dirty agents,
+	// and splicing the untouched coordinates from the cached base solution
+	// (the smooth/approximate/back-map tail over the merged kernel output).
+	StageDeltaPlan
+	StageDeltaKernel
+	StageDeltaSplice
 	StageEncode
 
 	// NumStages bounds the Trace array; it is NOT a stage.
@@ -42,6 +50,9 @@ var stageNames = [NumStages]string{
 	"transform",
 	"kernel",
 	"back_map",
+	"delta_plan",
+	"delta_kernel",
+	"delta_splice",
 	"encode",
 }
 
